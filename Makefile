@@ -1,0 +1,44 @@
+# Convenience targets for the nbtinoc reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench tables tables-quick examples fuzz cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Benchmark-scale regeneration of every table/figure (one iteration each).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Full default-window regeneration of every table (several minutes).
+tables:
+	$(GO) run ./cmd/tables -table all
+
+tables-quick:
+	$(GO) run ./cmd/tables -table all -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/synthetic-sweep
+	$(GO) run ./examples/realtraffic
+	$(GO) run ./examples/areareport
+	$(GO) run ./examples/lifetime
+	$(GO) run ./examples/wearleveling
+
+fuzz:
+	$(GO) test -fuzz=FuzzReadTrace -fuzztime=30s ./internal/traffic
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/... && $(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,313 @@
+// Package nbtinoc's top-level benchmarks regenerate each table and
+// derived figure of the paper at benchmark scale, reporting the headline
+// metric of every experiment via b.ReportMetric, plus engine
+// micro-benchmarks. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Full-length regeneration (longer windows, paper-formatted output) is
+// provided by cmd/tables.
+package nbtinoc
+
+import (
+	"testing"
+
+	"nbtinoc/internal/area"
+	"nbtinoc/internal/core"
+	"nbtinoc/internal/noc"
+	"nbtinoc/internal/sim"
+	"nbtinoc/internal/traffic"
+)
+
+// benchTableOptions keeps per-iteration cost low so -bench=. terminates
+// quickly while still producing meaningful duty-cycles.
+func benchTableOptions() sim.TableOptions {
+	opt := sim.DefaultTableOptions()
+	opt.Warmup = 2_000
+	opt.Measure = 20_000
+	return opt
+}
+
+// BenchmarkTableII regenerates Table II (synthetic traffic, 4 VCs) and
+// reports the mean rr-vs-sensor-wise gap on the most degraded VC.
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := sim.RunSyntheticTable(4, benchTableOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var gap float64
+		for _, row := range tbl.Rows {
+			gap += row.Gap
+		}
+		b.ReportMetric(gap/float64(len(tbl.Rows)), "gap_pts")
+	}
+}
+
+// BenchmarkTableIII regenerates Table III (synthetic traffic, 2 VCs).
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := sim.RunSyntheticTable(2, benchTableOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var gap float64
+		for _, row := range tbl.Rows {
+			gap += row.Gap
+		}
+		b.ReportMetric(gap/float64(len(tbl.Rows)), "gap_pts")
+	}
+}
+
+// BenchmarkTableIV regenerates Table IV (benchmark mixes, avg/std over
+// iterations) and reports the mean gap across its rows.
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := sim.RealOptions{
+			Iterations: 3, VCs: 2, Warmup: 1_000, Measure: 12_000, SeedBase: 1,
+		}
+		tbl, err := sim.RunRealTable(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var gap float64
+		for _, row := range tbl.Rows {
+			gap += row.Gap
+		}
+		b.ReportMetric(gap/float64(len(tbl.Rows)), "gap_pts")
+	}
+}
+
+// BenchmarkAreaReport regenerates the Section III-D overhead analysis
+// and reports the total overhead percentage (paper: < 4%).
+func BenchmarkAreaReport(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		rep, err := area.Estimate(area.Default45nm(), area.PaperSpec())
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = rep.TotalPctOfBaseline
+	}
+	b.ReportMetric(total, "overhead_pct")
+}
+
+// BenchmarkVthSaving regenerates the ΔVth saving analysis behind the
+// paper's 54.2% conclusion and reports the maximum saving observed.
+func BenchmarkVthSaving(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := sim.RunVthSaving(2, 3, benchTableOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tbl.MaxSavingPct, "max_saving_pct")
+	}
+}
+
+// BenchmarkCooperation regenerates the cooperation ablation behind the
+// paper's "up to 23%" claim and reports the maximum reduction.
+func BenchmarkCooperation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := sim.RunCooperation(2, benchTableOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tbl.MaxReductionPts, "max_reduction_pts")
+	}
+}
+
+// BenchmarkPerfImpact regenerates the NBTI/performance trade-off sweep
+// (extension E1) and reports the sensor-wise latency penalty versus the
+// baseline at the highest swept load.
+func BenchmarkPerfImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := sim.RunPerfImpact(4, 2, 0, []float64{0.1, 0.3}, benchTableOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var base, sw float64
+		for _, r := range tbl.Rows {
+			if r.Rate != 0.3 {
+				continue
+			}
+			switch r.Policy {
+			case "baseline":
+				base = r.AvgLatency
+			case "sensor-wise":
+				sw = r.AvgLatency
+			}
+		}
+		b.ReportMetric(sw-base, "latency_penalty_cy")
+	}
+}
+
+// BenchmarkEnergy regenerates the leakage/energy extension (E2) and
+// reports the sensor-wise leakage saving.
+func BenchmarkEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := sim.RunEnergy(4, 2, 0.1, benchTableOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range tbl.Rows {
+			if r.Policy == "sensor-wise" {
+				b.ReportMetric(r.Report.LeakSavedPct, "leak_saved_pct")
+			}
+		}
+	}
+}
+
+// benchNetwork builds a loaded 16-core network for engine benchmarks.
+func benchNetwork(b *testing.B, policy noc.PolicyFactory) (*noc.Network, traffic.Generator) {
+	b.Helper()
+	cfg := noc.DefaultConfig()
+	cfg.Policy = policy
+	n, err := noc.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
+		Pattern: traffic.Uniform, Width: 4, Height: 4,
+		Rate: 0.2, PacketLen: 4, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n, gen
+}
+
+// BenchmarkFigure1Baseline measures the per-cycle cost of the baseline
+// microarchitecture of Fig. 1A (16-core mesh under load).
+func BenchmarkFigure1Baseline(b *testing.B) {
+	n, gen := benchNetwork(b, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Tick(uint64(i), func(src, dst noc.NodeID, vnet, l int) {
+			_ = n.Inject(src, dst, vnet, l)
+		})
+		n.Step()
+	}
+}
+
+// BenchmarkFigure1SensorWise measures the per-cycle cost of the
+// NBTI-aware microarchitecture of Fig. 1B (sensors, Down_Up/Up_Down
+// links, pre-VA policy) under the same load.
+func BenchmarkFigure1SensorWise(b *testing.B) {
+	n, gen := benchNetwork(b, core.NewSensorWise)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Tick(uint64(i), func(src, dst noc.NodeID, vnet, l int) {
+			_ = n.Inject(src, dst, vnet, l)
+		})
+		n.Step()
+	}
+}
+
+// BenchmarkPolicyDecide measures one pre-VA decision of each policy.
+func BenchmarkPolicyDecide(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		factory noc.PolicyFactory
+	}{
+		{"baseline", noc.NewBaseline},
+		{"rr-no-sensor", core.NewRRNoSensor},
+		{"sensor-wise", core.NewSensorWise},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			p := tc.factory()
+			in := noc.PolicyInput{
+				NumVCs:       4,
+				Idle:         []bool{true, false, true, true},
+				Powered:      []bool{true, true, true, true},
+				MostDegraded: 2,
+				NewTraffic:   true,
+			}
+			out := make([]bool, 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in.Cycle = uint64(i)
+				for j := range out {
+					out[j] = false
+				}
+				p.DesiredPower(&in, out)
+			}
+		})
+	}
+}
+
+// BenchmarkSyntheticTick measures workload generation throughput.
+func BenchmarkSyntheticTick(b *testing.B) {
+	gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
+		Pattern: traffic.Uniform, Width: 8, Height: 8,
+		Rate: 0.3, PacketLen: 4, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Tick(uint64(i), func(src, dst noc.NodeID, vnet, l int) { sink++ })
+	}
+	_ = sink
+}
+
+// BenchmarkAppMixTick measures application-model generation throughput.
+func BenchmarkAppMixTick(b *testing.B) {
+	gen, err := traffic.NewRandomAppMix(4, 4, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Tick(uint64(i), func(src, dst noc.NodeID, vnet, l int) { sink++ })
+	}
+	_ = sink
+}
+
+// BenchmarkSensorStudy regenerates the sensor-robustness extension and
+// reports the reference sensor's gap over rr-no-sensor.
+func BenchmarkSensorStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := sim.RunSensorStudy(4, 4, 0.1, benchTableOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range tbl.Rows {
+			if r.Variant == "reference" {
+				b.ReportMetric(r.GapVsRR, "gap_pts")
+			}
+		}
+	}
+}
+
+// BenchmarkCorners regenerates the operating-corner lifetime extension
+// sweep and reports the lifetime-extension factor at the hottest corner.
+func BenchmarkCorners(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := sim.RunCorners(4, 2, 0.1, 0.050,
+			[]float64{350, 400}, []float64{1.2}, benchTableOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := tbl.Rows[len(tbl.Rows)-1]
+		b.ReportMetric(last.ExtensionX, "lifetime_extension_x")
+	}
+}
+
+// BenchmarkDSE regenerates the design-space exploration and reports the
+// MD-VC duty at the paper's 4-VC/4-flit point.
+func BenchmarkDSE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := sim.RunDSE(4, 0.1, []int{2, 4}, []int{4}, benchTableOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range tbl.Rows {
+			if r.VCs == 4 && r.Depth == 4 {
+				b.ReportMetric(r.DutyMD, "duty_md_pct")
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Command compare runs the same scenario under two recovery policies on
+// identical silicon and traffic, then reports every router input port
+// side by side: most-degraded-VC duty-cycle under each policy, the gap,
+// and the performance deltas. It answers the practical question the
+// paper's tables answer for single ports — "what does switching policy
+// buy me, everywhere?" — over the whole chip.
+//
+// Example:
+//
+//	compare -a rr-no-sensor -b sensor-wise -cores 16 -vcs 4 -rate 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"nbtinoc/internal/core"
+	"nbtinoc/internal/noc"
+	"nbtinoc/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
+	}
+}
+
+type portResult struct {
+	node noc.NodeID
+	port noc.Port
+	md   int
+	a, b float64 // MD-VC duty under policy A and B
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	var (
+		polA     = fs.String("a", "rr-no-sensor", "first policy: "+strings.Join(core.Names(), ", "))
+		polB     = fs.String("b", "sensor-wise", "second policy")
+		cores    = fs.Int("cores", 16, "number of cores (square mesh)")
+		vcs      = fs.Int("vcs", 4, "VCs per vnet per input port")
+		workload = fs.String("workload", "uniform", "workload name or 'app'")
+		rate     = fs.Float64("rate", 0.2, "injection rate for synthetic workloads")
+		warmup   = fs.Uint64("warmup", 10_000, "warm-up cycles")
+		measure  = fs.Uint64("cycles", 100_000, "measured cycles")
+		seed     = fs.Uint64("seed", 1, "traffic seed")
+		pvSeed   = fs.Uint64("pv-seed", 1, "process-variation seed")
+		phits    = fs.Int("phits", 1, "link serialization factor")
+		worst    = fs.Int("top", 8, "show only the N ports with the largest |gap| (0 = all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runOne := func(policy string) (*sim.RunResult, error) {
+		scen := &sim.Scenario{
+			Name:     "compare",
+			Cores:    *cores,
+			VCs:      *vcs,
+			Policy:   policy,
+			Workload: *workload,
+			Rate:     *rate,
+			Phits:    *phits,
+			Warmup:   *warmup,
+			Measure:  *measure,
+			Seed:     *seed,
+			PVSeed:   *pvSeed,
+		}
+		return scen.Execute(nil)
+	}
+	resA, err := runOne(*polA)
+	if err != nil {
+		return err
+	}
+	resB, err := runOne(*polB)
+	if err != nil {
+		return err
+	}
+
+	ports, err := collect(resA, resB)
+	if err != nil {
+		return err
+	}
+	sort.Slice(ports, func(i, j int) bool {
+		return abs(ports[i].a-ports[i].b) > abs(ports[j].a-ports[j].b)
+	})
+	shown := ports
+	if *worst > 0 && len(shown) > *worst {
+		shown = shown[:*worst]
+	}
+
+	fmt.Fprintf(out, "policy A = %s, policy B = %s — MD-VC NBTI-duty-cycle per port\n", *polA, *polB)
+	fmt.Fprintf(out, "%-6s %-5s %-4s %10s %10s %9s\n", "node", "port", "MD", *polA, *polB, "A-B")
+	for _, p := range shown {
+		fmt.Fprintf(out, "%-6d %-5v %-4d %9.2f%% %9.2f%% %8.2f%%\n",
+			p.node, p.port, p.md, p.a, p.b, p.a-p.b)
+	}
+	if len(shown) < len(ports) {
+		fmt.Fprintf(out, "(%d more ports omitted; -top 0 shows all)\n", len(ports)-len(shown))
+	}
+
+	var sumA, sumB float64
+	wins := 0
+	for _, p := range ports {
+		sumA += p.a
+		sumB += p.b
+		if p.b < p.a {
+			wins++
+		}
+	}
+	n := float64(len(ports))
+	fmt.Fprintf(out, "\nsummary over %d ports:\n", len(ports))
+	fmt.Fprintf(out, "  mean MD duty: %s %.2f%%  %s %.2f%%  (mean gap %.2f points)\n",
+		*polA, sumA/n, *polB, sumB/n, (sumA-sumB)/n)
+	fmt.Fprintf(out, "  %s wins on %d/%d ports\n", *polB, wins, len(ports))
+	fmt.Fprintf(out, "  latency: %s %.2f cy, %s %.2f cy (Δ %+.2f)\n",
+		*polA, resA.AvgLatency, *polB, resB.AvgLatency, resB.AvgLatency-resA.AvgLatency)
+	fmt.Fprintf(out, "  throughput: %s %.4f, %s %.4f flits/cycle/node\n",
+		*polA, resA.Throughput, *polB, resB.Throughput)
+	return nil
+}
+
+// collect pairs up the per-port MD duty-cycles of the two runs.
+func collect(a, b *sim.RunResult) ([]portResult, error) {
+	var out []portResult
+	netA, netB := a.Net, b.Net
+	for node := noc.NodeID(0); int(node) < netA.Nodes(); node++ {
+		for p := noc.Port(0); p < noc.NumPorts; p++ {
+			if netA.Router(node).Input(p) == nil {
+				continue
+			}
+			md := netA.MostDegradedVC(node, p, 0)
+			if mdB := netB.MostDegradedVC(node, p, 0); mdB != md {
+				return nil, fmt.Errorf("MD VC differs across runs at node %d port %v (%d vs %d) — use the same -pv-seed",
+					node, p, md, mdB)
+			}
+			out = append(out, portResult{
+				node: node, port: p, md: md,
+				a: netA.DutyCycle(node, p, md),
+				b: netB.DutyCycle(node, p, md),
+			})
+		}
+	}
+	return out, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

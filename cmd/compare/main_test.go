@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCompareBasic(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-cores", "4", "-vcs", "2", "-rate", "0.1",
+		"-warmup", "500", "-cycles", "8000", "-top", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"rr-no-sensor", "sensor-wise", "summary over 12 ports",
+		"wins on", "latency", "throughput", "more ports omitted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareShowAll(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-cores", "4", "-vcs", "2", "-rate", "0.1",
+		"-warmup", "500", "-cycles", "5000", "-top", "0"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "omitted") {
+		t.Error("-top 0 still omitted ports")
+	}
+}
+
+func TestCompareBaselineVsSelf(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-a", "baseline", "-b", "baseline",
+		"-cores", "4", "-vcs", "2", "-warmup", "500", "-cycles", "5000"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical policies give a zero mean gap.
+	if !strings.Contains(buf.String(), "mean gap 0.00 points") {
+		t.Errorf("self-comparison gap not zero:\n%s", buf.String())
+	}
+}
+
+func TestCompareBadPolicy(t *testing.T) {
+	if err := run([]string{"-a", "bogus", "-cycles", "100"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

@@ -1,0 +1,351 @@
+// Command nbtisim runs one NoC simulation scenario and reports the
+// per-VC NBTI-duty-cycles of a probed input port together with network
+// performance statistics.
+//
+// Examples:
+//
+//	nbtisim -cores 16 -vcs 4 -policy sensor-wise -rate 0.2
+//	nbtisim -cores 4 -vcs 2 -policy rr-no-sensor -workload app -seed 3
+//	nbtisim -trace my.trace -policy sensor-wise -format json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"nbtinoc/internal/core"
+	"nbtinoc/internal/noc"
+	"nbtinoc/internal/sim"
+	"nbtinoc/internal/traffic"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nbtisim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nbtisim", flag.ContinueOnError)
+	var (
+		cores    = fs.Int("cores", 16, "number of cores (square mesh)")
+		vcs      = fs.Int("vcs", 4, "virtual channels per vnet per input port")
+		vnets    = fs.Int("vnets", 1, "virtual networks")
+		policy   = fs.String("policy", "sensor-wise", "recovery policy: "+strings.Join(core.Names(), ", "))
+		workload = fs.String("workload", "uniform", "workload: uniform, transpose, bit-complement, bit-reverse, shuffle, tornado, neighbor, hotspot, app")
+		rate     = fs.Float64("rate", 0.2, "injection rate (flits/cycle/node) for synthetic workloads")
+		pktLen   = fs.Int("pktlen", 4, "packet length in flits for synthetic workloads")
+		warmup   = fs.Uint64("warmup", 20_000, "warm-up cycles (statistics reset afterwards)")
+		measure  = fs.Uint64("cycles", 200_000, "measured cycles")
+		seed     = fs.Uint64("seed", 1, "traffic seed")
+		pvSeed   = fs.Uint64("pv-seed", 1, "process-variation seed")
+		probeStr = fs.String("probe", "0:E", "probed input port as node:port (port in L,N,E,S,W)")
+		traceIn  = fs.String("trace", "", "replay a trace file instead of a synthetic workload")
+		format   = fs.String("format", "text", "output format: text, csv, json")
+		routing  = fs.String("routing", "xy", "routing algorithm: xy, yx, west-first")
+		phits    = fs.Int("phits", 1, "link serialization factor (phits per flit)")
+		wakeup   = fs.Int("wakeup", 0, "sleep-transistor wake-up latency in cycles")
+		tech     = fs.Int("tech", 45, "technology node: 45 or 32 nm")
+		cfgPath  = fs.String("config", "", "JSON scenario file (overrides the scenario flags)")
+		allPorts = fs.Bool("all-ports", false, "dump every router input port as CSV instead of one probe")
+		heatmap  = fs.Bool("heatmap", false, "print an ASCII mesh heatmap of per-router worst duty-cycles")
+		agingIn  = fs.String("aging-in", "", "restore a JSON aging snapshot before the run (multi-epoch campaigns)")
+		agingOut = fs.String("aging-out", "", "write a JSON aging snapshot after the run")
+		flitLog  = fs.String("flit-trace", "", "write a flit-level pipeline event trace to this file (large!)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scen *sim.Scenario
+	if *cfgPath != "" {
+		var err error
+		if scen, err = sim.LoadScenarioFile(*cfgPath); err != nil {
+			return err
+		}
+	} else {
+		scen = &sim.Scenario{
+			Name:          "cli",
+			Cores:         *cores,
+			VCs:           *vcs,
+			VNets:         *vnets,
+			Policy:        *policy,
+			TechNode:      *tech,
+			Workload:      *workload,
+			Rate:          *rate,
+			PacketLen:     *pktLen,
+			Phits:         *phits,
+			WakeupLatency: *wakeup,
+			Warmup:        *warmup,
+			Measure:       *measure,
+			Seed:          *seed,
+			PVSeed:        *pvSeed,
+		}
+	}
+	cfg, err := scen.BuildConfig()
+	if err != nil {
+		return err
+	}
+	if cfg.Routing, err = noc.ParseRouting(*routing); err != nil {
+		return err
+	}
+
+	var gen traffic.Generator
+	if *traceIn != "" {
+		gen, err = loadTrace(*traceIn)
+	} else {
+		gen, err = scen.BuildGenerator()
+	}
+	if err != nil {
+		return err
+	}
+	probe, err := parseProbe(*probeStr)
+	if err != nil {
+		return err
+	}
+
+	rc := sim.RunConfig{
+		Net:        cfg,
+		PolicyName: scen.Policy,
+		Warmup:     scen.Warmup,
+		Measure:    scen.Measure,
+		Gen:        gen,
+	}
+	if *agingIn != "" {
+		snap, err := loadAging(*agingIn)
+		if err != nil {
+			return err
+		}
+		rc.RestoreAging = &snap
+	}
+	if *flitLog != "" {
+		f, err := os.Create(*flitLog)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		rc.Tracer = &noc.WriterTracer{W: bw}
+	}
+	res, err := sim.Run(rc, []sim.PortProbe{probe})
+	if err != nil {
+		return err
+	}
+	if *agingOut != "" {
+		if err := saveAging(*agingOut, res.Net.AgingSnapshot()); err != nil {
+			return err
+		}
+	}
+	if *allPorts {
+		return renderAllPorts(out, res)
+	}
+	if *heatmap {
+		return renderHeatmap(out, res)
+	}
+	return render(out, *format, res)
+}
+
+// renderHeatmap prints the mesh as a grid; each tile shows the worst
+// (maximum) NBTI-duty-cycle across its router's input VC buffers and a
+// coarse shade, making spatial stress hot-spots visible at a glance.
+func renderHeatmap(out io.Writer, res *sim.RunResult) error {
+	net := res.Net
+	cfg := net.Config()
+	fmt.Fprintf(out, "worst per-router NBTI-duty-cycle (%%), policy %s, %s\n",
+		res.Policy, res.Workload)
+	shades := []struct {
+		limit float64
+		mark  string
+	}{{10, "."}, {25, "-"}, {50, "+"}, {75, "#"}, {101, "@"}}
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			node := noc.Coord{X: x, Y: y}.NodeOf(cfg.Width)
+			worst := 0.0
+			r := net.Router(node)
+			for p := noc.Port(0); p < noc.NumPorts; p++ {
+				if r.Input(p) == nil {
+					continue
+				}
+				for vc := 0; vc < cfg.TotalVCs(); vc++ {
+					if d := net.DutyCycle(node, p, vc); d > worst {
+						worst = d
+					}
+				}
+			}
+			mark := "@"
+			for _, sh := range shades {
+				if worst < sh.limit {
+					mark = sh.mark
+					break
+				}
+			}
+			fmt.Fprintf(out, " %s%5.1f", mark, worst)
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintln(out, "shade: . <10%  - <25%  + <50%  # <75%  @ >=75%")
+	return nil
+}
+
+// loadAging reads a JSON aging snapshot.
+func loadAging(path string) (noc.AgingState, error) {
+	var st noc.AgingState
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return st, fmt.Errorf("parsing aging snapshot %s: %w", path, err)
+	}
+	return st, nil
+}
+
+// saveAging writes a JSON aging snapshot.
+func saveAging(path string, st noc.AgingState) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st)
+}
+
+// loadTrace builds a replayer from a trace file.
+func loadTrace(path string) (traffic.Generator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := traffic.ReadTrace(f)
+	if err != nil {
+		return nil, err
+	}
+	return traffic.NewReplayer(events), nil
+}
+
+// renderAllPorts dumps the duty-cycle of every VC of every router input
+// port as CSV — the raw data behind a network-wide aging heatmap.
+func renderAllPorts(out io.Writer, res *sim.RunResult) error {
+	fmt.Fprintln(out, "node,port,vc,duty_pct,vth0,most_degraded,powered_now")
+	net := res.Net
+	cfg := net.Config()
+	for node := noc.NodeID(0); int(node) < net.Nodes(); node++ {
+		r := net.Router(node)
+		for p := noc.Port(0); p < noc.NumPorts; p++ {
+			iu := r.Input(p)
+			if iu == nil {
+				continue
+			}
+			md := net.MostDegradedVC(node, p, 0)
+			for vc := 0; vc < cfg.TotalVCs(); vc++ {
+				isMD := 0
+				if vc == md {
+					isMD = 1
+				}
+				pow := 0
+				if iu.Powered(vc) {
+					pow = 1
+				}
+				fmt.Fprintf(out, "%d,%v,%d,%.4f,%.6f,%d,%d\n",
+					node, p, vc, net.DutyCycle(node, p, vc),
+					net.Vth0(node, p, vc), isMD, pow)
+			}
+		}
+	}
+	return nil
+}
+
+func parseProbe(s string) (sim.PortProbe, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return sim.PortProbe{}, fmt.Errorf("probe %q not in node:port form", s)
+	}
+	node, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return sim.PortProbe{}, fmt.Errorf("probe node %q: %v", parts[0], err)
+	}
+	var port noc.Port
+	switch strings.ToUpper(parts[1]) {
+	case "L":
+		port = noc.Local
+	case "N":
+		port = noc.North
+	case "E":
+		port = noc.East
+	case "S":
+		port = noc.South
+	case "W":
+		port = noc.West
+	default:
+		return sim.PortProbe{}, fmt.Errorf("unknown port %q", parts[1])
+	}
+	return sim.PortProbe{Node: noc.NodeID(node), Port: port}, nil
+}
+
+func render(out io.Writer, format string, res *sim.RunResult) error {
+	switch format {
+	case "json":
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Policy, Workload  string
+			Cycles            uint64
+			Probe             string
+			MostDegradedVC    int
+			DutyCycle         []float64
+			Vth0              []float64
+			AvgLatency        float64
+			Throughput        float64
+			Injected, Ejected uint64
+		}{
+			res.Policy, res.Workload, res.Cycles,
+			res.Ports[0].Probe.Label(), res.Ports[0].MostDegraded,
+			res.Ports[0].Duty, res.Ports[0].Vth0,
+			res.AvgLatency, res.Throughput,
+			res.InjectedPackets, res.EjectedPackets,
+		})
+	case "csv":
+		fmt.Fprintln(out, "policy,workload,probe,vc,duty_pct,vth0,most_degraded")
+		p := res.Ports[0]
+		for vc, d := range p.Duty {
+			md := 0
+			if vc == p.MostDegraded {
+				md = 1
+			}
+			fmt.Fprintf(out, "%s,%s,%s,%d,%.4f,%.6f,%d\n",
+				res.Policy, res.Workload, p.Probe.Label(), vc, d, p.Vth0[vc], md)
+		}
+		return nil
+	case "text":
+		p := res.Ports[0]
+		fmt.Fprintf(out, "policy      %s\n", res.Policy)
+		fmt.Fprintf(out, "workload    %s\n", res.Workload)
+		fmt.Fprintf(out, "cycles      %d measured\n", res.Cycles)
+		fmt.Fprintf(out, "probe       %s (most degraded VC: %d)\n", p.Probe.Label(), p.MostDegraded)
+		for vc, d := range p.Duty {
+			marker := " "
+			if vc == p.MostDegraded {
+				marker = "*"
+			}
+			fmt.Fprintf(out, "  VC%d%s  duty %6.2f%%  busy %6.2f%%  Vth0 %.4f V\n",
+				vc, marker, d, p.Busy[vc], p.Vth0[vc])
+		}
+		fmt.Fprintf(out, "latency     %.2f cycles avg\n", res.AvgLatency)
+		fmt.Fprintf(out, "throughput  %.4f flits/cycle/node\n", res.Throughput)
+		fmt.Fprintf(out, "packets     %d injected, %d ejected\n", res.InjectedPackets, res.EjectedPackets)
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}

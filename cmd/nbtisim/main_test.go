@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nbtinoc/internal/noc"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+func shortArgs(extra ...string) []string {
+	base := []string{"-cores", "4", "-vcs", "2", "-warmup", "500", "-cycles", "5000"}
+	return append(base, extra...)
+}
+
+func TestTextOutput(t *testing.T) {
+	out := runCLI(t, shortArgs("-policy", "sensor-wise")...)
+	for _, want := range []string{"policy      sensor-wise", "VC0", "VC1", "latency", "throughput"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	out := runCLI(t, shortArgs("-policy", "rr-no-sensor", "-format", "json")...)
+	var parsed struct {
+		Policy    string
+		DutyCycle []float64
+		Ejected   uint64
+	}
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if parsed.Policy != "rr-no-sensor" || len(parsed.DutyCycle) != 2 {
+		t.Errorf("unexpected JSON payload: %+v", parsed)
+	}
+	if parsed.Ejected == 0 {
+		t.Error("no traffic in JSON output")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	out := runCLI(t, shortArgs("-format", "csv")...)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 VCs
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "policy,workload,probe,vc,duty_pct") {
+		t.Errorf("bad csv header: %s", lines[0])
+	}
+}
+
+func TestAllWorkloads(t *testing.T) {
+	for _, w := range []string{"uniform", "transpose", "bit-complement", "bit-reverse",
+		"shuffle", "tornado", "neighbor", "hotspot", "app"} {
+		if out := runCLI(t, shortArgs("-workload", w)...); !strings.Contains(out, "duty") {
+			t.Errorf("workload %s produced no duty output", w)
+		}
+	}
+}
+
+func TestBadFlagsRejected(t *testing.T) {
+	cases := [][]string{
+		shortArgs("-policy", "bogus"),
+		shortArgs("-workload", "spiral"),
+		shortArgs("-probe", "0"),
+		shortArgs("-probe", "x:E"),
+		shortArgs("-probe", "0:Q"),
+		shortArgs("-format", "xml"),
+		shortArgs("-routing", "zigzag"),
+		{"-cores", "5"},
+		shortArgs("-trace", "/nonexistent/file.trace"),
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestProbeParsing(t *testing.T) {
+	p, err := parseProbe("3:w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Node != 3 || p.Port != noc.West {
+		t.Errorf("parseProbe = %+v", p)
+	}
+}
+
+func TestTraceReplayPath(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	content := "# trace\n10 0 3 0 4\n20 1 2 0 4\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Zero warm-up so the two early trace events fall inside the
+	// measured window (warm-up resets the traffic statistics).
+	out := runCLI(t, "-cores", "4", "-vcs", "2", "-warmup", "0", "-cycles", "5000",
+		"-trace", path)
+	if !strings.Contains(out, "trace-replay") {
+		t.Errorf("trace workload not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "2 injected, 2 ejected") {
+		t.Errorf("trace packets not delivered:\n%s", out)
+	}
+}
+
+func TestPhitsAndWakeupFlags(t *testing.T) {
+	out := runCLI(t, shortArgs("-phits", "2", "-wakeup", "2", "-policy", "sensor-wise")...)
+	if !strings.Contains(out, "sensor-wise") {
+		t.Errorf("run with phits/wakeup failed:\n%s", out)
+	}
+}
+
+func TestAllPortsCSV(t *testing.T) {
+	out := runCLI(t, shortArgs("-all-ports")...)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "node,port,vc,duty_pct,vth0,most_degraded,powered_now" {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	// 2x2 mesh: corner routers have L + 2 mesh inputs = 3 ports x 2 VCs
+	// = 6 rows each, 4 routers = 24 rows + header.
+	if len(lines) != 25 {
+		t.Fatalf("rows = %d, want 25", len(lines))
+	}
+	mdCount := 0
+	for _, l := range lines[1:] {
+		cols := strings.Split(l, ",")
+		if len(cols) != 7 {
+			t.Fatalf("bad row %q", l)
+		}
+		if cols[5] == "1" {
+			mdCount++
+		}
+	}
+	if mdCount != 12 { // one MD VC per port
+		t.Errorf("md markers = %d, want 12", mdCount)
+	}
+}
+
+func TestScenarioConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	content := `{"name":"t","cores":4,"vcs":2,"policy":"rr-no-sensor",
+		"workload":"uniform","rate":0.1,"warmup":500,"measure":5000,
+		"seed":1,"pv_seed":2}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, "-config", path)
+	if !strings.Contains(out, "rr-no-sensor") {
+		t.Errorf("config file policy not used:\n%s", out)
+	}
+}
+
+func TestTechFlag(t *testing.T) {
+	out45 := runCLI(t, shortArgs("-tech", "45", "-format", "json")...)
+	out32 := runCLI(t, shortArgs("-tech", "32", "-format", "json")...)
+	if out45 == out32 {
+		t.Error("tech node flag had no effect")
+	}
+	if err := run(shortArgs("-tech", "28"), &bytes.Buffer{}); err == nil {
+		t.Error("unsupported tech node accepted")
+	}
+}
+
+func TestAgingSnapshotFlags(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "aging.json")
+	// Epoch 1: heavy uniform traffic, snapshot at the end.
+	runCLI(t, "-cores", "4", "-vcs", "2", "-warmup", "0", "-cycles", "5000",
+		"-rate", "0.3", "-policy", "rr-no-sensor", "-aging-out", snap)
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	// Epoch 2: restore and continue under a different policy.
+	out := runCLI(t, "-cores", "4", "-vcs", "2", "-warmup", "0", "-cycles", "5000",
+		"-rate", "0.05", "-policy", "sensor-wise", "-aging-in", snap)
+	if !strings.Contains(out, "sensor-wise") {
+		t.Errorf("epoch 2 failed:\n%s", out)
+	}
+	// Restoring into a mismatched architecture must fail.
+	if err := run([]string{"-cores", "16", "-vcs", "4", "-cycles", "100",
+		"-aging-in", snap}, &bytes.Buffer{}); err == nil {
+		t.Error("mismatched snapshot accepted")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := runCLI(t, shortArgs("-heatmap", "-workload", "hotspot")...)
+	if !strings.Contains(out, "worst per-router") || !strings.Contains(out, "shade:") {
+		t.Errorf("heatmap output malformed:\n%s", out)
+	}
+	// 2x2 mesh: exactly 2 grid rows between header and legend.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("heatmap lines = %d, want 4:\n%s", len(lines), out)
+	}
+}
+
+func TestFlitTraceFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "flits.txt")
+	runCLI(t, "-cores", "4", "-vcs", "2", "-warmup", "0", "-cycles", "2000",
+		"-rate", "0.1", "-flit-trace", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ev=INJECT", "ev=EJECT", "ev=ST"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("flit trace missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Command tables regenerates every table and derived figure of the
+// paper's evaluation:
+//
+//	-table 1     Table I   — experimental setup as realised by this model
+//	-table 2     Table II  — synthetic traffic, 4 VCs
+//	-table 3     Table III — synthetic traffic, 2 VCs
+//	-table 4     Table IV  — SPLASH2/WCET benchmark mixes, 2 VCs
+//	-table area  Section III-D area overheads
+//	-table vth   conclusion claim: net ΔVth saving vs baseline
+//	-table coop  conclusion claim: cooperation ablation
+//	-table perf    extension: NBTI/performance trade-off sweep
+//	-table power   extension: leakage/energy impact of the gating
+//	-table sensors extension: sensor non-ideality robustness study
+//	-table corners extension: lifetime across temperature/Vdd corners
+//	-table dse     extension: VC/buffer-depth design-space exploration
+//	-table rr      extension: rr-no-sensor rotation-period study
+//	-table all   everything above
+//
+// The -quick flag shortens the simulation windows for smoke runs; -full
+// uses the paper's 30e6-cycle windows (slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"nbtinoc/internal/area"
+	"nbtinoc/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	var (
+		table   = fs.String("table", "all", "table to regenerate: 1, 2, 3, 4, area, vth, coop, perf, power, sensors, corners, dse, rr, all")
+		warmup  = fs.Uint64("warmup", 20_000, "warm-up cycles")
+		measure = fs.Uint64("measure", 200_000, "measured cycles")
+		iters   = fs.Int("iters", 10, "benchmark-mix iterations for Table IV")
+		seed    = fs.Uint64("seed", 1, "base seed for PV and traffic")
+		years   = fs.Float64("years", 3, "ΔVth projection horizon in years")
+		wakeup  = fs.Int("wakeup", 0, "sleep-transistor wake-up latency for -table perf")
+		quick   = fs.Bool("quick", false, "short windows for a fast smoke run")
+		full    = fs.Bool("full", false, "paper-length 30e6-cycle windows (slow)")
+		phits   = fs.Int("phits", 2, "link serialization (64-bit flits over 32-bit links = 2)")
+		csvDir  = fs.String("csv", "", "also write machine-readable CSV files into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *quick {
+		*warmup, *measure, *iters = 2_000, 20_000, 3
+	}
+	if *full {
+		*warmup, *measure = 9_000_000, 21_000_000
+	}
+	opt := sim.DefaultTableOptions()
+	opt.Warmup, opt.Measure, opt.SeedBase = *warmup, *measure, *seed
+	opt.Phits = *phits
+
+	emit := func(id string) bool { return *table == "all" || *table == id }
+	ran := false
+	writeCSV := func(name, content string) error {
+		if *csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(*csvDir, name), []byte(content), 0o644)
+	}
+
+	if emit("1") {
+		ran = true
+		fmt.Fprintln(out, "=== Table I: experimental setup (as realised by this model) ===")
+		renderSetup(out, *phits)
+	}
+	if emit("2") {
+		ran = true
+		fmt.Fprintln(out, "=== Table II: synthetic traffic, 4 VCs ===")
+		tbl, err := sim.RunSyntheticTable(4, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, tbl.Render())
+		if err := writeCSV("table2.csv", tbl.CSV()); err != nil {
+			return err
+		}
+	}
+	if emit("3") {
+		ran = true
+		fmt.Fprintln(out, "=== Table III: synthetic traffic, 2 VCs ===")
+		tbl, err := sim.RunSyntheticTable(2, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, tbl.Render())
+		if err := writeCSV("table3.csv", tbl.CSV()); err != nil {
+			return err
+		}
+	}
+	if emit("4") {
+		ran = true
+		fmt.Fprintln(out, "=== Table IV: SPLASH2/WCET benchmark mixes, 2 VCs ===")
+		ropt := sim.DefaultRealOptions()
+		ropt.Iterations = *iters
+		ropt.Warmup, ropt.Measure, ropt.SeedBase = *warmup, *measure, *seed
+		ropt.Phits = *phits
+		tbl, err := sim.RunRealTable(ropt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, tbl.Render())
+		if err := writeCSV("table4.csv", tbl.CSV()); err != nil {
+			return err
+		}
+	}
+	if emit("area") {
+		ran = true
+		fmt.Fprintln(out, "=== Section III-D: area overhead (45 nm, ORION-style model) ===")
+		if err := renderArea(out); err != nil {
+			return err
+		}
+	}
+	if emit("vth") {
+		ran = true
+		fmt.Fprintln(out, "=== Conclusion: net NBTI ΔVth saving vs non-gated baseline ===")
+		tbl, err := sim.RunVthSaving(2, *years, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, tbl.Render())
+		if err := writeCSV("vth.csv", tbl.CSV()); err != nil {
+			return err
+		}
+	}
+	if emit("coop") {
+		ran = true
+		fmt.Fprintln(out, "=== Conclusion: cooperation (traffic information) ablation ===")
+		tbl, err := sim.RunCooperation(2, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, tbl.Render())
+		if err := writeCSV("coop.csv", tbl.CSV()); err != nil {
+			return err
+		}
+	}
+	if emit("perf") {
+		ran = true
+		fmt.Fprintln(out, "=== Extension: NBTI/performance trade-off (16 cores, 4 VCs) ===")
+		tbl, err := sim.RunPerfImpact(16, 4, *wakeup,
+			[]float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3}, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, tbl.Render())
+		if err := writeCSV("perf.csv", tbl.CSV()); err != nil {
+			return err
+		}
+	}
+	if emit("power") {
+		ran = true
+		fmt.Fprintln(out, "=== Extension: router energy and leakage saving (16 cores, 2 VCs) ===")
+		tbl, err := sim.RunEnergy(16, 2, 0.1, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, tbl.Render())
+	}
+	if emit("sensors") {
+		ran = true
+		fmt.Fprintln(out, "=== Extension: sensor non-ideality robustness (16 cores, 4 VCs) ===")
+		tbl, err := sim.RunSensorStudy(16, 4, 0.1, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, tbl.Render())
+	}
+	if emit("corners") {
+		ran = true
+		fmt.Fprintln(out, "=== Extension: lifetime across operating corners (16 cores, 2 VCs) ===")
+		tbl, err := sim.RunCorners(16, 2, 0.1, 0.050,
+			[]float64{300, 325, 350, 375, 400}, []float64{1.0, 1.1, 1.2}, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, tbl.Render())
+	}
+	if emit("dse") {
+		ran = true
+		fmt.Fprintln(out, "=== Extension: design-space exploration (16 cores) ===")
+		tbl, err := sim.RunDSE(16, 0.1, []int{2, 4, 8}, []int{2, 4, 8}, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, tbl.Render())
+		if err := writeCSV("dse.csv", tbl.CSV()); err != nil {
+			return err
+		}
+	}
+	if emit("rr") {
+		ran = true
+		fmt.Fprintln(out, "=== Extension: rr-no-sensor rotation-period study (16 cores, 4 VCs) ===")
+		tbl, err := sim.RunRRPeriodStudy(16, 4, 0.1,
+			[]uint64{1, 4, 16, 64, 256, 1024}, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, tbl.Render())
+	}
+	if !ran {
+		return fmt.Errorf("unknown table %q", *table)
+	}
+	return nil
+}
+
+// renderSetup prints the realised counterpart of the paper's Table I.
+func renderSetup(out io.Writer, phits int) {
+	cfg, _ := sim.BaseConfig(16, 4)
+	cfg.PhitsPerFlit = phits
+	fmt.Fprintf(out, "%-18s %s\n", "Cores", "4/16 tiles, square 2D mesh (Tilera iMesh-style)")
+	fmt.Fprintf(out, "%-18s %s\n", "Workloads", "uniform synthetic (0.1/0.2/0.3 flits/cycle/node);")
+	fmt.Fprintf(out, "%-18s %s\n", "", "SPLASH2/WCET phase-model mixes (paper: GEM5 full-system)")
+	fmt.Fprintf(out, "%-18s %d-stage wormhole VC router (BW/RC, VA/SA, ST)\n", "Router", 3)
+	fmt.Fprintf(out, "%-18s %d/%d VCs per vnet, %d-flit buffers\n",
+		"Virtual channels", 2, 4, cfg.BufferDepth)
+	fmt.Fprintf(out, "%-18s %d-bit flits over %d-bit links (%d phits/flit), %d-cycle hops\n",
+		"Links", cfg.FlitWidthBits, cfg.FlitWidthBits/phits, phits, cfg.LinkLatency)
+	fmt.Fprintf(out, "%-18s XY dimension-order (YX, west-first available)\n", "Routing")
+	fmt.Fprintf(out, "%-18s Vth0 = %.3f V @45 nm (%.3f V @32 nm), Vdd = %.1f V, %g GHz\n",
+		"Technology", cfg.NBTI.Vth0, 0.160, cfg.NBTI.Vdd, 1e-9/cfg.NBTI.Tclk)
+	fmt.Fprintf(out, "%-18s within-die N(%.3f, %.3f) per VC buffer\n",
+		"Process variation", cfg.PV.MeanVth, cfg.PV.Sigma)
+	fmt.Fprintln(out)
+}
+
+func renderArea(out io.Writer) error {
+	rep, err := area.Estimate(area.Default45nm(), area.PaperSpec())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "router components (4 ports, 4 VCs, 4-flit buffers, 64-bit flits):\n")
+	fmt.Fprintf(out, "  input buffers     %8.0f um^2\n", rep.BufferUm2)
+	fmt.Fprintf(out, "  crossbar          %8.0f um^2\n", rep.CrossbarUm2)
+	fmt.Fprintf(out, "  allocators        %8.0f um^2\n", rep.AllocatorUm2)
+	fmt.Fprintf(out, "  outVCstate        %8.0f um^2\n", rep.OutVCStateUm2)
+	fmt.Fprintf(out, "  router total      %8.0f um^2\n", rep.RouterUm2)
+	fmt.Fprintf(out, "  data link (64b)   %8.0f um^2\n", rep.DataLinkUm2)
+	fmt.Fprintf(out, "NBTI additions:\n")
+	fmt.Fprintf(out, "  %d sensors        %8.0f um^2  -> %.2f%% of router (paper: 3.25%%)\n",
+		rep.SensorCount, rep.SensorsUm2, rep.SensorPctOfRouter)
+	fmt.Fprintf(out, "  Up_Down+Down_Up   %8.0f um^2  -> %.2f%% of a data link (paper: 3.8%%)\n",
+		rep.CtrlLinkUm2, rep.CtrlPctOfDataLink)
+	fmt.Fprintf(out, "  policy logic      %8.0f um^2  (paper: negligible)\n", rep.PolicyLogicUm2)
+	fmt.Fprintf(out, "  total overhead    %.2f%% of baseline tile (paper: < 4%%)\n\n",
+		rep.TotalPctOfBaseline)
+	return nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runTables(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestAreaTable(t *testing.T) {
+	out := runTables(t, "-table", "area")
+	for _, want := range []string{"sensors", "Up_Down+Down_Up", "total overhead", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("area output missing %q", want)
+		}
+	}
+}
+
+func TestQuickTable3(t *testing.T) {
+	out := runTables(t, "-table", "3", "-quick")
+	if !strings.Contains(out, "Table III") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "4core-inj0.10") || !strings.Contains(out, "16core-inj0.30") {
+		t.Errorf("missing scenario rows:\n%s", out)
+	}
+	if !strings.Contains(out, "rr-no-sensor") || !strings.Contains(out, "sensor-wise") {
+		t.Error("missing policy columns")
+	}
+}
+
+func TestQuickTable4(t *testing.T) {
+	out := runTables(t, "-table", "4", "-quick")
+	for _, want := range []string{"4c-r0-E", "4c-r1-W", "16c-r15-W", "±"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table IV output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQuickVth(t *testing.T) {
+	out := runTables(t, "-table", "vth", "-quick")
+	if !strings.Contains(out, "max saving") || !strings.Contains(out, "54.2%") {
+		t.Errorf("vth output incomplete:\n%s", out)
+	}
+}
+
+func TestQuickCoop(t *testing.T) {
+	out := runTables(t, "-table", "coop", "-quick")
+	if !strings.Contains(out, "max cooperative reduction") {
+		t.Errorf("coop output incomplete:\n%s", out)
+	}
+}
+
+func TestQuickPerfAndPower(t *testing.T) {
+	out := runTables(t, "-table", "perf", "-quick")
+	if !strings.Contains(out, "trade-off") {
+		t.Errorf("perf output incomplete:\n%s", out)
+	}
+	out = runTables(t, "-table", "power", "-quick")
+	if !strings.Contains(out, "leak saved") {
+		t.Errorf("power output incomplete:\n%s", out)
+	}
+}
+
+func TestUnknownTableRejected(t *testing.T) {
+	if err := run([]string{"-table", "99"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}
+
+func TestTable1Setup(t *testing.T) {
+	out := runTables(t, "-table", "1")
+	for _, want := range []string{"2D mesh", "3-stage", "64-bit flits", "0.180 V", "N(0.180, 0.005)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVFlag(t *testing.T) {
+	dir := t.TempDir()
+	runTables(t, "-table", "3", "-quick", "-csv", dir)
+	data, err := os.ReadFile(filepath.Join(dir, "table3.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "scenario,cores,rate,policy") {
+		t.Errorf("CSV content wrong:\n%s", data)
+	}
+}

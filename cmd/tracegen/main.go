@@ -1,0 +1,139 @@
+// Command tracegen generates, inspects and converts workload trace
+// files in the nbtinoc text format ("cycle src dst vnet len" lines).
+//
+// Examples:
+//
+//	tracegen -out fft.trace -cores 16 -workload app -cycles 100000 -seed 5
+//	tracegen -out uni.trace -cores 4 -workload uniform -rate 0.2 -cycles 50000
+//	tracegen -inspect uni.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nbtinoc/internal/noc"
+	"nbtinoc/internal/sim"
+	"nbtinoc/internal/traffic"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		outPath  = fs.String("out", "", "output trace file (generation mode)")
+		inspect  = fs.String("inspect", "", "trace file to summarise (inspection mode)")
+		cores    = fs.Int("cores", 16, "number of cores (square mesh)")
+		workload = fs.String("workload", "uniform", "workload: synthetic pattern name or 'app'")
+		rate     = fs.Float64("rate", 0.2, "injection rate for synthetic workloads")
+		pktLen   = fs.Int("pktlen", 4, "packet length for synthetic workloads")
+		cycles   = fs.Uint64("cycles", 100_000, "cycles to generate")
+		seed     = fs.Uint64("seed", 1, "generator seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inspect != "" {
+		return inspectTrace(*inspect, out)
+	}
+	if *outPath == "" {
+		return fmt.Errorf("need -out FILE or -inspect FILE")
+	}
+
+	side, err := sim.MeshSide(*cores)
+	if err != nil {
+		return err
+	}
+	var gen traffic.Generator
+	if *workload == "app" {
+		gen, err = traffic.NewRandomAppMix(side, side, 0, *seed)
+	} else {
+		var pat traffic.Pattern
+		pat, err = traffic.ParsePattern(*workload)
+		if err == nil {
+			gen, err = traffic.NewSynthetic(traffic.SyntheticConfig{
+				Pattern: pat, Width: side, Height: side,
+				Rate: *rate, PacketLen: *pktLen, Seed: *seed,
+				HotspotNode: 0, HotspotFraction: 0.3,
+			})
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	var events []traffic.Event
+	for c := uint64(0); c < *cycles; c++ {
+		gen.Tick(c, func(src, dst noc.NodeID, vnet, length int) {
+			events = append(events, traffic.Event{
+				Cycle: c, Src: src, Dst: dst, VNet: vnet, Len: length,
+			})
+		})
+	}
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := traffic.WriteTrace(f, events); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %d events over %d cycles to %s (workload %s)\n",
+		len(events), *cycles, *outPath, gen.Name())
+	return nil
+}
+
+func inspectTrace(path string, out io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := traffic.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		fmt.Fprintln(out, "empty trace")
+		return nil
+	}
+	var flits int
+	srcs := map[noc.NodeID]int{}
+	dsts := map[noc.NodeID]int{}
+	maxNode := noc.NodeID(0)
+	for _, e := range events {
+		flits += e.Len
+		srcs[e.Src]++
+		dsts[e.Dst]++
+		if e.Src > maxNode {
+			maxNode = e.Src
+		}
+		if e.Dst > maxNode {
+			maxNode = e.Dst
+		}
+	}
+	span := events[len(events)-1].Cycle - events[0].Cycle + 1
+	fmt.Fprintf(out, "events      %d packets, %d flits\n", len(events), flits)
+	fmt.Fprintf(out, "cycles      %d .. %d (span %d)\n",
+		events[0].Cycle, events[len(events)-1].Cycle, span)
+	fmt.Fprintf(out, "nodes       up to id %d (%d sources, %d destinations)\n",
+		maxNode, len(srcs), len(dsts))
+	fmt.Fprintf(out, "load        %.4f flits/cycle aggregate\n", float64(flits)/float64(span))
+	hot, hotN := noc.NodeID(0), 0
+	for n, c := range dsts {
+		if c > hotN || (c == hotN && n < hot) {
+			hot, hotN = n, c
+		}
+	}
+	fmt.Fprintf(out, "hottest dst node %d (%d packets, %.1f%%)\n",
+		hot, hotN, 100*float64(hotN)/float64(len(events)))
+	return nil
+}

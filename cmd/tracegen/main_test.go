@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nbtinoc/internal/traffic"
+)
+
+func TestGenerateAndInspect(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "u.trace")
+	var buf bytes.Buffer
+	err := run([]string{"-out", path, "-cores", "4", "-workload", "uniform",
+		"-rate", "0.2", "-cycles", "5000", "-seed", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote") {
+		t.Errorf("no confirmation: %s", buf.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := traffic.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace generated")
+	}
+	buf.Reset()
+	if err := run([]string{"-inspect", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"events", "cycles", "load", "hottest"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("inspect output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestGenerateAppTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.trace")
+	var buf bytes.Buffer
+	err := run([]string{"-out", path, "-cores", "16", "-workload", "app",
+		"-cycles", "10000", "-seed", "5"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "app-mix") {
+		t.Errorf("app workload not named: %s", buf.String())
+	}
+}
+
+func TestInspectEmptyTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "e.trace")
+	if err := os.WriteFile(path, []byte("# empty\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-inspect", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty trace") {
+		t.Errorf("empty trace not reported: %s", buf.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},                            // neither -out nor -inspect
+		{"-out", "/x", "-cores", "5"}, // non-square mesh
+		{"-out", "/x/y/z.trace"},      // unwritable path
+		{"-out", "/tmp/t2.trace", "-workload", "spiral"},
+		{"-inspect", "/nonexistent.trace"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

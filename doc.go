@@ -1,0 +1,14 @@
+// Package nbtinoc is a from-scratch Go reproduction of "Sensor-wise
+// methodology to face NBTI stress of NoC buffers" (Zoni & Fornaciari,
+// DATE 2013): a cycle-accurate 2D-mesh network-on-chip simulator with
+// power-gated virtual-channel buffers, an analytical NBTI aging model,
+// process-variation sampling, per-VC degradation sensors, and the
+// paper's cooperative pre-VA recovery policies, plus the experiment
+// harness that regenerates every table and claim of the evaluation.
+//
+// The implementation lives under internal/; see README.md for the
+// public entry points (cmd/nbtisim, cmd/tables, cmd/tracegen,
+// cmd/compare and the runnable examples), DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package nbtinoc

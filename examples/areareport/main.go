@@ -1,0 +1,63 @@
+// Area report: explore how the NBTI-awareness overhead of Section III-D
+// scales with the router microarchitecture — VC count, buffer depth and
+// flit width — using the ORION-style 45 nm area model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nbtinoc/internal/area"
+)
+
+func main() {
+	p := area.Default45nm()
+
+	fmt.Println("Paper configuration (4 ports, 4 VCs, 4-flit buffers, 64-bit flits):")
+	rep, err := area.Estimate(p, area.PaperSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  router %.0f um^2, %d sensors %.0f um^2 (%.2f%% — paper 3.25%%)\n",
+		rep.RouterUm2, rep.SensorCount, rep.SensorsUm2, rep.SensorPctOfRouter)
+	fmt.Printf("  control links %.2f%% of a data link (paper 3.8%%), total %.2f%% (paper <4%%)\n\n",
+		rep.CtrlPctOfDataLink, rep.TotalPctOfBaseline)
+
+	fmt.Println("Scaling with VC count (sensors are per VC):")
+	fmt.Printf("  %-4s %-10s %-12s %-10s\n", "VCs", "sensors%", "ctrl-link%", "total%")
+	for _, vcs := range []int{2, 4, 8} {
+		s := area.PaperSpec()
+		s.VCsPerPort = vcs
+		r, err := area.Estimate(p, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-4d %8.2f%% %10.2f%% %8.2f%%\n",
+			vcs, r.SensorPctOfRouter, r.CtrlPctOfDataLink, r.TotalPctOfBaseline)
+	}
+
+	fmt.Println("\nScaling with flit width (wider datapaths dilute the overhead):")
+	fmt.Printf("  %-6s %-10s %-12s %-10s\n", "bits", "sensors%", "ctrl-link%", "total%")
+	for _, bits := range []int{32, 64, 128, 256} {
+		s := area.PaperSpec()
+		s.FlitBits = bits
+		r, err := area.Estimate(p, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6d %8.2f%% %10.2f%% %8.2f%%\n",
+			bits, r.SensorPctOfRouter, r.CtrlPctOfDataLink, r.TotalPctOfBaseline)
+	}
+
+	fmt.Println("\nScaling with buffer depth (deeper buffers amortise the sensors):")
+	fmt.Printf("  %-6s %-10s %-10s\n", "depth", "sensors%", "total%")
+	for _, depth := range []int{2, 4, 8, 16} {
+		s := area.PaperSpec()
+		s.BufferDepth = depth
+		r, err := area.Estimate(p, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6d %8.2f%% %8.2f%%\n", depth, r.SensorPctOfRouter, r.TotalPctOfBaseline)
+	}
+}

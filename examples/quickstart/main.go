@@ -1,0 +1,68 @@
+// Quickstart: build a 4-core mesh, run the same uniform workload under
+// the non-NBTI-aware baseline and under the paper's sensor-wise policy,
+// and compare the NBTI-duty-cycle of every VC of one router input port.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nbtinoc/internal/noc"
+	"nbtinoc/internal/sim"
+	"nbtinoc/internal/traffic"
+)
+
+func main() {
+	probe := sim.PortProbe{Node: 0, Port: noc.East}
+
+	for _, policy := range []string{"baseline", "rr-no-sensor", "sensor-wise"} {
+		// The paper's base configuration: 45 nm, 4-flit buffers, 64-bit
+		// flits — here a 2x2 mesh with 2 VCs per input port.
+		cfg, err := sim.BaseConfig(4, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.PVSeed = 42 // same silicon for every policy
+
+		gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
+			Pattern:   traffic.Uniform,
+			Width:     cfg.Width,
+			Height:    cfg.Height,
+			Rate:      0.1, // flits/cycle/node
+			PacketLen: 4,
+			Seed:      7, // same offered traffic for every policy
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		res, err := sim.Run(sim.RunConfig{
+			Net:        cfg,
+			PolicyName: policy,
+			Warmup:     10_000,
+			Measure:    100_000,
+			Gen:        gen,
+		}, []sim.PortProbe{probe})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		p := res.Ports[0]
+		fmt.Printf("%-14s east port of router 0 — most degraded VC: %d\n",
+			res.Policy, p.MostDegraded)
+		for vc, d := range p.Duty {
+			marker := "  "
+			if vc == p.MostDegraded {
+				marker = " *"
+			}
+			fmt.Printf("  VC%d%s NBTI-duty-cycle %6.2f%%  (Vth0 %.4f V)\n",
+				vc, marker, d, p.Vth0[vc])
+		}
+		fmt.Printf("  latency %.1f cycles, throughput %.3f flits/cycle/node\n\n",
+			res.AvgLatency, res.Throughput)
+	}
+
+	fmt.Println("The baseline stresses every buffer 100% of the time; the")
+	fmt.Println("sensor-wise policy drives the most degraded VC's stress toward")
+	fmt.Println("zero by gating it whenever it is idle.")
+}

@@ -1,0 +1,3 @@
+module nbtinoc
+
+go 1.22

@@ -1,0 +1,208 @@
+// Package area implements an ORION-2.0-style parametric area model for
+// the NoC router, its links, and the NBTI-awareness additions of the
+// paper (per-VC sensors, Up_Down/Down_Up control links, pre-VA policy
+// logic), at a 45 nm technology node.
+//
+// The purpose of the model is to reproduce Section III-D of the paper:
+// with 64-bit flits, 4 VCs per input port and 4-flit buffers, the 16
+// NBTI sensors (4 input ports × 4 VCs) cost ≈3.25% of the router, the
+// two control links cost ≈3.8% of one 64-bit data link, and the total
+// overhead stays below 4% of the baseline tile (router + data links).
+// Component models follow ORION's structure — SRAM-cell-based buffers,
+// a wire-dominated matrix crossbar, gate-count-based allocators, and
+// pitch×length link wiring — with constants representative of a 45 nm
+// process.
+package area
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params holds the technology constants of the model. All areas are in
+// µm², lengths in µm.
+type Params struct {
+	// SRAMCellUm2 is the 6T SRAM cell area.
+	SRAMCellUm2 float64
+	// SRAMPeriphery multiplies raw cell area for decoders/sense-amps.
+	SRAMPeriphery float64
+	// FlopUm2 is the area of one flip-flop (state registers).
+	FlopUm2 float64
+	// GateUm2 is the area of one NAND2-equivalent gate.
+	GateUm2 float64
+	// WirePitchUm is the repeatered global-wire pitch used for data
+	// links and the crossbar.
+	WirePitchUm float64
+	// CtrlPitchFactor scales the pitch for the low-speed, unrepeated
+	// sideband control wires of the Up_Down/Down_Up links.
+	CtrlPitchFactor float64
+	// LinkLengthUm is the tile-to-tile link length.
+	LinkLengthUm float64
+	// SensorUm2 is the area of one synthesizable NBTI sensor
+	// (Singh et al., 45 nm multi-degradation sensor [20]).
+	SensorUm2 float64
+	// ArbGatesPerReq is the gate count of a round-robin arbiter per
+	// requester.
+	ArbGatesPerReq float64
+	// PolicyGatesPerPort is the synthesized pre-VA policy + comparator
+	// logic per output port (reported as negligible by the paper's
+	// Encounter synthesis).
+	PolicyGatesPerPort float64
+}
+
+// Default45nm returns constants representative of a 45 nm node.
+func Default45nm() Params {
+	return Params{
+		SRAMCellUm2:        0.346,
+		SRAMPeriphery:      1.3,
+		FlopUm2:            3.2,
+		GateUm2:            0.8,
+		WirePitchUm:        0.28,
+		CtrlPitchFactor:    0.5,
+		LinkLengthUm:       1000,
+		SensorUm2:          16,
+		ArbGatesPerReq:     6,
+		PolicyGatesPerPort: 12,
+	}
+}
+
+// Validate reports whether the constants are usable.
+func (p Params) Validate() error {
+	for name, v := range map[string]float64{
+		"SRAMCellUm2": p.SRAMCellUm2, "SRAMPeriphery": p.SRAMPeriphery,
+		"FlopUm2": p.FlopUm2, "GateUm2": p.GateUm2,
+		"WirePitchUm": p.WirePitchUm, "CtrlPitchFactor": p.CtrlPitchFactor,
+		"LinkLengthUm": p.LinkLengthUm, "SensorUm2": p.SensorUm2,
+		"ArbGatesPerReq": p.ArbGatesPerReq, "PolicyGatesPerPort": p.PolicyGatesPerPort,
+	} {
+		if v <= 0 {
+			return fmt.Errorf("area: %s must be positive", name)
+		}
+	}
+	return nil
+}
+
+// RouterSpec describes the router microarchitecture being sized.
+type RouterSpec struct {
+	// Ports is the router radix. The paper's Section III-D analysis uses
+	// the 4-port model of Fig. 1 (N/S/E/W).
+	Ports int
+	// VCsPerPort is the number of VC buffers per input port.
+	VCsPerPort int
+	// BufferDepth is the per-VC depth in flits.
+	BufferDepth int
+	// FlitBits is the flit/link width.
+	FlitBits int
+}
+
+// PaperSpec returns the configuration of Section III-D: 4 ports, 4 VCs,
+// 4-flit buffers, 64-bit flits.
+func PaperSpec() RouterSpec {
+	return RouterSpec{Ports: 4, VCsPerPort: 4, BufferDepth: 4, FlitBits: 64}
+}
+
+// Validate reports whether the spec is usable.
+func (s RouterSpec) Validate() error {
+	if s.Ports < 2 || s.VCsPerPort < 1 || s.BufferDepth < 1 || s.FlitBits < 1 {
+		return errors.New("area: router spec fields must be positive (ports >= 2)")
+	}
+	return nil
+}
+
+// Report is the itemised area estimate.
+type Report struct {
+	// Baseline router components (µm²).
+	BufferUm2     float64
+	CrossbarUm2   float64
+	AllocatorUm2  float64
+	OutVCStateUm2 float64
+	RouterUm2     float64
+
+	// Baseline link (one direction, data + flow control wires).
+	DataLinkUm2 float64
+
+	// NBTI additions.
+	SensorCount    int
+	SensorsUm2     float64
+	CtrlLinkUm2    float64 // Up_Down + Down_Up for one channel
+	PolicyLogicUm2 float64
+
+	// Derived overheads, matching the paper's accounting.
+	SensorPctOfRouter  float64 // paper: 3.25%
+	CtrlPctOfDataLink  float64 // paper: 3.8%
+	TotalPctOfBaseline float64 // paper: < 4%
+}
+
+// ceilLog2 returns ⌈log2(n)⌉ with a minimum of 1 wire.
+func ceilLog2(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Estimate sizes a router and its NBTI additions.
+func Estimate(p Params, s RouterSpec) (Report, error) {
+	if err := p.Validate(); err != nil {
+		return Report{}, err
+	}
+	if err := s.Validate(); err != nil {
+		return Report{}, err
+	}
+	var r Report
+
+	// Input buffers: ports × VCs × depth × width SRAM bits.
+	bits := float64(s.Ports * s.VCsPerPort * s.BufferDepth * s.FlitBits)
+	r.BufferUm2 = bits * p.SRAMCellUm2 * p.SRAMPeriphery
+
+	// Matrix crossbar: (ports × width × pitch)² wiring area.
+	side := float64(s.Ports*s.FlitBits) * p.WirePitchUm
+	r.CrossbarUm2 = side * side
+
+	// Allocators: VA (one arbiter per output port over ports×VCs
+	// requesters) + SA (per-input VC arbiters and per-output port
+	// arbiters).
+	vaGates := float64(s.Ports) * float64(s.Ports*s.VCsPerPort) * p.ArbGatesPerReq
+	saGates := float64(s.Ports)*float64(s.VCsPerPort)*p.ArbGatesPerReq +
+		float64(s.Ports)*float64(s.Ports)*p.ArbGatesPerReq
+	r.AllocatorUm2 = (vaGates + saGates) * p.GateUm2
+
+	// outVCstate registers: per output port × VC: state (1b), tail (1b),
+	// credits (⌈log2(depth+1)⌉ bits).
+	stateBits := 2 + ceilLog2(s.BufferDepth+1)
+	r.OutVCStateUm2 = float64(s.Ports*s.VCsPerPort*stateBits) * p.FlopUm2
+
+	r.RouterUm2 = r.BufferUm2 + r.CrossbarUm2 + r.AllocatorUm2 + r.OutVCStateUm2
+
+	// One data link: width wires at full pitch over the tile length.
+	r.DataLinkUm2 = float64(s.FlitBits) * p.WirePitchUm * p.LinkLengthUm
+
+	// NBTI additions. Sensors: one per VC buffer.
+	r.SensorCount = s.Ports * s.VCsPerPort
+	r.SensorsUm2 = float64(r.SensorCount) * p.SensorUm2
+
+	// Control links: Up_Down carries log2(V) VC-ID wires + 1 enable;
+	// Down_Up carries log2(V) wires (no enable — a most degraded VC is
+	// always valid). Sideband wires run at reduced pitch.
+	vidBits := ceilLog2(s.VCsPerPort)
+	ctrlWires := float64(vidBits+1) + float64(vidBits)
+	r.CtrlLinkUm2 = ctrlWires * p.WirePitchUm * p.CtrlPitchFactor * p.LinkLengthUm
+
+	// Pre-VA policy + most-degraded comparator logic.
+	r.PolicyLogicUm2 = float64(s.Ports) * p.PolicyGatesPerPort * p.GateUm2
+
+	// Overheads with the paper's accounting.
+	r.SensorPctOfRouter = 100 * r.SensorsUm2 / r.RouterUm2
+	r.CtrlPctOfDataLink = 100 * r.CtrlLinkUm2 / r.DataLinkUm2
+	// Baseline tile: router + one data link per port direction pair
+	// (each inter-router link is shared by two tiles → ports/2 links).
+	links := float64(s.Ports) / 2
+	base := r.RouterUm2 + links*r.DataLinkUm2
+	add := r.SensorsUm2 + links*r.CtrlLinkUm2 + r.PolicyLogicUm2
+	r.TotalPctOfBaseline = 100 * add / base
+	return r, nil
+}

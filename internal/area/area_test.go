@@ -1,0 +1,191 @@
+package area
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultsValidate(t *testing.T) {
+	if err := Default45nm().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := PaperSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	p := Default45nm()
+	p.SensorUm2 = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero sensor area accepted")
+	}
+	s := PaperSpec()
+	s.Ports = 1
+	if err := s.Validate(); err == nil {
+		t.Error("1-port router accepted")
+	}
+	if _, err := Estimate(p, PaperSpec()); err == nil {
+		t.Error("Estimate accepted bad params")
+	}
+	if _, err := Estimate(Default45nm(), s); err == nil {
+		t.Error("Estimate accepted bad spec")
+	}
+}
+
+// Section III-D headline numbers: 16 sensors ≈ 3.25% of the router,
+// control links ≈ 3.8% of one 64-bit data link, total < 4%.
+func TestPaperOverheads(t *testing.T) {
+	r, err := Estimate(Default45nm(), PaperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SensorCount != 16 {
+		t.Errorf("sensor count = %d, want 16 (4 ports x 4 VCs)", r.SensorCount)
+	}
+	if r.SensorPctOfRouter < 3.0 || r.SensorPctOfRouter > 3.5 {
+		t.Errorf("sensors = %.2f%% of router, paper reports 3.25%%", r.SensorPctOfRouter)
+	}
+	if r.CtrlPctOfDataLink < 3.5 || r.CtrlPctOfDataLink > 4.2 {
+		t.Errorf("control links = %.2f%% of data link, paper reports 3.8%%", r.CtrlPctOfDataLink)
+	}
+	if r.TotalPctOfBaseline >= 4.0 {
+		t.Errorf("total overhead = %.2f%%, paper reports < 4%%", r.TotalPctOfBaseline)
+	}
+}
+
+func TestComponentsPositiveAndSum(t *testing.T) {
+	r, err := Estimate(Default45nm(), PaperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"buffer": r.BufferUm2, "crossbar": r.CrossbarUm2,
+		"allocator": r.AllocatorUm2, "outVCstate": r.OutVCStateUm2,
+		"data link": r.DataLinkUm2, "sensors": r.SensorsUm2,
+		"ctrl link": r.CtrlLinkUm2, "policy": r.PolicyLogicUm2,
+	} {
+		if v <= 0 {
+			t.Errorf("%s area = %v", name, v)
+		}
+	}
+	sum := r.BufferUm2 + r.CrossbarUm2 + r.AllocatorUm2 + r.OutVCStateUm2
+	if diff := r.RouterUm2 - sum; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("router area %.3f != component sum %.3f", r.RouterUm2, sum)
+	}
+}
+
+func TestOverheadShrinksWithWiderFlits(t *testing.T) {
+	// Sensors are per-VC, so a wider datapath dilutes their share.
+	p := Default45nm()
+	narrow := PaperSpec()
+	wide := PaperSpec()
+	wide.FlitBits = 128
+	rn, err := Estimate(p, narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := Estimate(p, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rw.SensorPctOfRouter < rn.SensorPctOfRouter) {
+		t.Errorf("sensor share did not shrink: %.2f%% -> %.2f%%",
+			rn.SensorPctOfRouter, rw.SensorPctOfRouter)
+	}
+	if !(rw.CtrlPctOfDataLink < rn.CtrlPctOfDataLink) {
+		t.Errorf("ctrl-link share did not shrink: %.2f%% -> %.2f%%",
+			rn.CtrlPctOfDataLink, rw.CtrlPctOfDataLink)
+	}
+}
+
+func TestSensorCostGrowsWithVCs(t *testing.T) {
+	p := Default45nm()
+	s2 := PaperSpec()
+	s2.VCsPerPort = 2
+	s8 := PaperSpec()
+	s8.VCsPerPort = 8
+	r2, err := Estimate(p, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Estimate(p, s8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.SensorCount != 8 || r8.SensorCount != 32 {
+		t.Errorf("sensor counts = %d/%d, want 8/32", r2.SensorCount, r8.SensorCount)
+	}
+	if !(r8.SensorsUm2 > r2.SensorsUm2) {
+		t.Error("sensor area did not grow with VC count")
+	}
+}
+
+func TestCtrlWiresScaleLogarithmically(t *testing.T) {
+	// 2 VCs: 1+1+1 = 3 wires; 4 VCs: 2+1+2 = 5; 8 VCs: 3+1+3 = 7.
+	p := Default45nm()
+	wires := func(vcs int) int {
+		s := PaperSpec()
+		s.VCsPerPort = vcs
+		r, err := Estimate(p, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := r.CtrlLinkUm2 / (p.WirePitchUm * p.CtrlPitchFactor * p.LinkLengthUm)
+		return int(w + 0.5)
+	}
+	if w := wires(2); w != 3 {
+		t.Errorf("2 VCs -> %v ctrl wires, want 3", w)
+	}
+	if w := wires(4); w != 5 {
+		t.Errorf("4 VCs -> %v ctrl wires, want 5", w)
+	}
+	if w := wires(8); w != 7 {
+		t.Errorf("8 VCs -> %v ctrl wires, want 7", w)
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4}
+	for n, want := range cases {
+		if got := ceilLog2(n); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFivePortRouter(t *testing.T) {
+	// The full mesh router (with local port) must also stay under ~4%.
+	s := PaperSpec()
+	s.Ports = 5
+	r, err := Estimate(Default45nm(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalPctOfBaseline >= 4.5 {
+		t.Errorf("5-port total overhead = %.2f%%, want < 4.5%%", r.TotalPctOfBaseline)
+	}
+}
+
+// Property: all areas positive and overheads bounded for arbitrary sane
+// specs.
+func TestQuickEstimateSane(t *testing.T) {
+	p := Default45nm()
+	f := func(ports, vcs, depth, bits uint8) bool {
+		s := RouterSpec{
+			Ports:       int(ports%6) + 2,
+			VCsPerPort:  int(vcs%8) + 1,
+			BufferDepth: int(depth%8) + 1,
+			FlitBits:    (int(bits%4) + 1) * 32,
+		}
+		r, err := Estimate(p, s)
+		if err != nil {
+			return false
+		}
+		return r.RouterUm2 > 0 && r.SensorPctOfRouter > 0 &&
+			r.SensorPctOfRouter < 100 && r.TotalPctOfBaseline < 100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,23 @@
+package area_test
+
+import (
+	"fmt"
+
+	"nbtinoc/internal/area"
+)
+
+// The Section III-D analysis: sensors ≈3.25% of the router, control
+// links ≈3.8% of a data link, total under 4%.
+func ExampleEstimate() {
+	rep, err := area.Estimate(area.Default45nm(), area.PaperSpec())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d sensors: %.2f%% of router\n", rep.SensorCount, rep.SensorPctOfRouter)
+	fmt.Printf("control links: %.2f%% of a data link\n", rep.CtrlPctOfDataLink)
+	fmt.Printf("total overhead under 4%%: %v\n", rep.TotalPctOfBaseline < 4)
+	// Output:
+	// 16 sensors: 3.33% of router
+	// control links: 3.91% of a data link
+	// total overhead under 4%: true
+}

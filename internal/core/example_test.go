@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"fmt"
+
+	"nbtinoc/internal/core"
+	"nbtinoc/internal/noc"
+)
+
+// Algorithm 2's pre-VA decision over a 4-VC port: VC 2 (the most
+// degraded, per the Down_Up sensor feedback) is gated into recovery,
+// one other idle VC stays powered for the waiting packet, and the rest
+// recover too.
+func ExampleSensorWise() {
+	policy := core.NewSensorWise()
+	in := noc.PolicyInput{
+		NumVCs:       4,
+		Idle:         []bool{true, true, true, true},
+		Powered:      []bool{true, true, true, true},
+		MostDegraded: 2,
+		NewTraffic:   true, // is_new_traffic_outport_x() == 1
+	}
+	out := make([]bool, 4)
+	policy.DesiredPower(&in, out)
+	for vc, powered := range out {
+		state := "recover"
+		if powered {
+			state = "keep idle"
+		}
+		if vc == in.MostDegraded {
+			state += " (most degraded)"
+		}
+		fmt.Printf("VC%d: %s\n", vc, state)
+	}
+	// Output:
+	// VC0: recover
+	// VC1: recover
+	// VC2: recover (most degraded)
+	// VC3: keep idle
+}
+
+// Algorithm 1 without traffic: every idle VC recovers, because the
+// upstream router knows no new packet is waiting.
+func ExampleRRNoSensor() {
+	policy := core.NewRRNoSensor()
+	in := noc.PolicyInput{
+		NumVCs:       2,
+		Idle:         []bool{true, true},
+		Powered:      []bool{true, true},
+		MostDegraded: -1, // sensor-less
+		NewTraffic:   false,
+	}
+	out := make([]bool, 2)
+	policy.DesiredPower(&in, out)
+	fmt.Println("powered idle VCs:", out)
+	// Output:
+	// powered idle VCs: [false false]
+}

@@ -1,0 +1,66 @@
+package core
+
+import "nbtinoc/internal/noc"
+
+// SensorWiseLD is an extension of Algorithm 2 (discussed as future work
+// in the paper's trade-off framing): instead of keeping *some* idle VC
+// powered while gating the most degraded one first, it designates the
+// **least** degraded idle VC as the keep target, so new packets always
+// land on the healthiest buffer and every other idle VC recovers.
+//
+// The hardware cost over the paper's scheme is a second VC identifier
+// on the Down_Up link (the comparator already computes a full ranking
+// internally; exporting the argmin adds log2(V) wires), charged in the
+// area model notes. The policy consumes the ranking through
+// PolicyInput.Ranking when available and falls back to Algorithm 2
+// behaviour otherwise.
+type SensorWiseLD struct {
+	// AssumeTraffic forces boolTraffic to 1 (non-cooperative variant).
+	AssumeTraffic bool
+}
+
+// Name implements noc.Policy.
+func (p *SensorWiseLD) Name() string {
+	if p.AssumeTraffic {
+		return "sensor-wise-ld-no-traffic"
+	}
+	return "sensor-wise-ld"
+}
+
+// UsesSensors implements noc.UsesSensors.
+func (p *SensorWiseLD) UsesSensors() bool { return true }
+
+// DesiredPower implements noc.Policy: gate every idle VC except — when
+// traffic waits — the least degraded idle one.
+func (p *SensorWiseLD) DesiredPower(in *noc.PolicyInput, out []bool) {
+	if !in.NewTraffic && !p.AssumeTraffic {
+		return // all idle VCs recover
+	}
+	keep := -1
+	if in.LeastDegraded >= 0 && in.LeastDegraded < in.NumVCs && in.Idle[in.LeastDegraded] {
+		keep = in.LeastDegraded
+	} else {
+		// Fall back: any idle VC that is not the most degraded; prefer
+		// the highest index (Algorithm 2's survivor).
+		for vc := in.NumVCs - 1; vc >= 0; vc-- {
+			if in.Idle[vc] && vc != in.MostDegraded {
+				keep = vc
+				break
+			}
+		}
+		if keep == -1 {
+			for vc := in.NumVCs - 1; vc >= 0; vc-- {
+				if in.Idle[vc] {
+					keep = vc
+					break
+				}
+			}
+		}
+	}
+	if keep >= 0 {
+		out[keep] = true
+	}
+}
+
+// NewSensorWiseLD is the factory for the least-degraded-keep extension.
+func NewSensorWiseLD() noc.Policy { return &SensorWiseLD{} }

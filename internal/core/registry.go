@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nbtinoc/internal/noc"
+)
+
+// Registry maps policy names to factories, for CLI tools and experiment
+// configs.
+var registry = map[string]noc.PolicyFactory{
+	"baseline":                noc.NewBaseline,
+	"rr-no-sensor":            NewRRNoSensor,
+	"rr-no-sensor-no-traffic": NewRRNoSensorNoTraffic,
+	"sensor-wise":             NewSensorWise,
+	"sensor-wise-no-traffic":  NewSensorWiseNoTraffic,
+	"sensor-wise-ld":          NewSensorWiseLD,
+}
+
+// Lookup returns the factory for a policy name.
+func Lookup(name string) (noc.PolicyFactory, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown policy %q (known: %v)", name, Names())
+	}
+	return f, nil
+}
+
+// Names returns the registered policy names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,117 @@
+package nbti
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Epoch is one phase of a device's operating history: a sustained
+// stress probability over a duration.
+type Epoch struct {
+	// Alpha is the NBTI-duty-cycle fraction in [0, 1] during the epoch.
+	Alpha float64
+	// Seconds is the epoch duration.
+	Seconds float64
+}
+
+// History composes a device's long-term degradation from a sequence of
+// operating epochs — e.g. a datacentre NoC alternating between loaded
+// days and idle nights, or a policy change partway through the
+// deployment.
+//
+// The long-term R-D model is driven by the average stress probability:
+// for t >> Tclk the recovery fraction βt depends on total elapsed time
+// only, and the interface-trap generation term accumulates
+// proportionally to the stressed time, so a piecewise-constant α
+// history is equivalent (to first order) to its time-weighted mean
+// applied over the total duration. This is the standard "effective
+// duty-cycle" reduction used by aging-budget tools; it is exact for the
+// closed form of Eq. 1 because α enters only as a multiplicative factor
+// under the outer power.
+type History struct {
+	epochs []Epoch
+}
+
+// AddEpoch appends a phase to the history.
+func (h *History) AddEpoch(alpha, seconds float64) error {
+	if alpha < 0 || alpha > 1 {
+		return fmt.Errorf("nbti: epoch alpha %v outside [0, 1]", alpha)
+	}
+	if seconds <= 0 {
+		return errors.New("nbti: epoch duration must be positive")
+	}
+	h.epochs = append(h.epochs, Epoch{Alpha: alpha, Seconds: seconds})
+	return nil
+}
+
+// AddFromTracker appends an epoch whose duty-cycle is taken from a
+// simulation window's stress statistics, scaled to represent
+// `seconds` of wallclock operation.
+func (h *History) AddFromTracker(t *StressTracker, seconds float64) error {
+	return h.AddEpoch(t.Alpha(), seconds)
+}
+
+// Len returns the number of epochs.
+func (h *History) Len() int { return len(h.epochs) }
+
+// Epochs returns a copy of the recorded epochs.
+func (h *History) Epochs() []Epoch { return append([]Epoch(nil), h.epochs...) }
+
+// TotalSeconds returns the summed duration.
+func (h *History) TotalSeconds() float64 {
+	var total float64
+	for _, e := range h.epochs {
+		total += e.Seconds
+	}
+	return total
+}
+
+// EffectiveAlpha returns the time-weighted mean stress probability, or
+// 0 for an empty history.
+func (h *History) EffectiveAlpha() float64 {
+	total := h.TotalSeconds()
+	if total == 0 {
+		return 0
+	}
+	var weighted float64
+	for _, e := range h.epochs {
+		weighted += e.Alpha * e.Seconds
+	}
+	return weighted / total
+}
+
+// DeltaVth evaluates the long-term model over the whole history.
+func (h *History) DeltaVth(p Params) float64 {
+	return p.DeltaVth(h.EffectiveAlpha(), h.TotalSeconds())
+}
+
+// RemainingLifetime returns how much longer the device can sustain a
+// future duty-cycle alphaFuture before ΔVth reaches budget, given the
+// history so far. It solves for the additional time by bisection on the
+// composed history and returns +Inf if the budget is never reached
+// within 100 further years, and 0 if it is already exceeded.
+func (h *History) RemainingLifetime(p Params, alphaFuture, budget float64) float64 {
+	if h.DeltaVth(p) >= budget {
+		return 0
+	}
+	eval := func(extra float64) float64 {
+		total := h.TotalSeconds() + extra
+		weighted := h.EffectiveAlpha()*h.TotalSeconds() + clamp01(alphaFuture)*extra
+		return p.DeltaVth(weighted/total, total)
+	}
+	const hi0 = 100 * SecondsPerYear
+	if eval(hi0) < budget {
+		return math.Inf(1)
+	}
+	lo, hi := 0.0, hi0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if eval(mid) < budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

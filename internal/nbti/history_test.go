@@ -1,0 +1,152 @@
+package nbti
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistoryValidation(t *testing.T) {
+	var h History
+	if err := h.AddEpoch(-0.1, 100); err == nil {
+		t.Error("negative alpha accepted")
+	}
+	if err := h.AddEpoch(1.1, 100); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+	if err := h.AddEpoch(0.5, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if h.Len() != 0 {
+		t.Error("rejected epochs were recorded")
+	}
+}
+
+func TestEffectiveAlpha(t *testing.T) {
+	var h History
+	if h.EffectiveAlpha() != 0 || h.TotalSeconds() != 0 {
+		t.Error("empty history not zero")
+	}
+	if err := h.AddEpoch(1.0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddEpoch(0.0, 300); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.EffectiveAlpha(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("effective alpha = %v, want 0.25", got)
+	}
+	if h.TotalSeconds() != 400 || h.Len() != 2 {
+		t.Errorf("totals wrong: %v s, %d epochs", h.TotalSeconds(), h.Len())
+	}
+}
+
+func TestHistoryMatchesSingleEpoch(t *testing.T) {
+	p := Default45nm()
+	var h History
+	if err := h.AddEpoch(0.6, 2*SecondsPerYear); err != nil {
+		t.Fatal(err)
+	}
+	want := p.DeltaVth(0.6, 2*SecondsPerYear)
+	if got := h.DeltaVth(p); math.Abs(got-want) > 1e-15 {
+		t.Errorf("single-epoch history = %v, want %v", got, want)
+	}
+}
+
+func TestHistorySplitInvariance(t *testing.T) {
+	// Splitting a constant-alpha interval into epochs must not change
+	// the result.
+	p := Default45nm()
+	var whole, split History
+	_ = whole.AddEpoch(0.4, 3*SecondsPerYear)
+	for i := 0; i < 6; i++ {
+		_ = split.AddEpoch(0.4, 0.5*SecondsPerYear)
+	}
+	if a, b := whole.DeltaVth(p), split.DeltaVth(p); math.Abs(a-b) > 1e-15 {
+		t.Errorf("split changed ΔVth: %v vs %v", a, b)
+	}
+}
+
+func TestAddFromTracker(t *testing.T) {
+	var tr StressTracker
+	tr.Stress(30, 0)
+	tr.Recover(70)
+	var h History
+	if err := h.AddFromTracker(&tr, SecondsPerYear); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.EffectiveAlpha(); math.Abs(got-0.30) > 1e-12 {
+		t.Errorf("tracker epoch alpha = %v, want 0.30", got)
+	}
+}
+
+func TestRemainingLifetime(t *testing.T) {
+	p := Default45nm()
+	var h History
+	_ = h.AddEpoch(1.0, 1*SecondsPerYear) // one hard year
+
+	// Continuing at full stress must reach the 50 mV budget in about two
+	// more years (calibration: α=1 hits 50 mV at exactly 3 years).
+	rem := h.RemainingLifetime(p, 1.0, 0.050)
+	if math.Abs(rem-2*SecondsPerYear) > 0.02*SecondsPerYear {
+		t.Errorf("remaining at α=1 = %.2f y, want ≈2", rem/SecondsPerYear)
+	}
+	// A gentler future extends the lifetime.
+	remLow := h.RemainingLifetime(p, 0.05, 0.050)
+	if !(remLow > rem) {
+		t.Errorf("gentler future did not extend lifetime: %v vs %v", remLow, rem)
+	}
+	// Nearly-zero future duty never reaches the budget within 100 years.
+	if v := h.RemainingLifetime(p, 0.0001, 0.050); !math.IsInf(v, 1) {
+		t.Errorf("remaining at α≈0 = %v, want +Inf", v)
+	}
+	// Exhausted budget returns zero.
+	var worn History
+	_ = worn.AddEpoch(1.0, 10*SecondsPerYear)
+	if v := worn.RemainingLifetime(p, 0.5, 0.050); v != 0 {
+		t.Errorf("worn device remaining = %v, want 0", v)
+	}
+}
+
+func TestEpochsCopy(t *testing.T) {
+	var h History
+	_ = h.AddEpoch(0.5, 100)
+	es := h.Epochs()
+	es[0].Alpha = 0.9
+	if h.EffectiveAlpha() != 0.5 {
+		t.Error("Epochs exposed internal state")
+	}
+}
+
+// Property: effective alpha is always within the min/max of the epochs.
+func TestQuickEffectiveAlphaBounds(t *testing.T) {
+	f := func(alphas []uint8, durs []uint8) bool {
+		var h History
+		lo, hi := 1.0, 0.0
+		n := len(alphas)
+		if len(durs) < n {
+			n = len(durs)
+		}
+		for i := 0; i < n; i++ {
+			a := float64(alphas[i]) / 255
+			d := float64(durs[i]) + 1
+			if h.AddEpoch(a, d) != nil {
+				return false
+			}
+			if a < lo {
+				lo = a
+			}
+			if a > hi {
+				hi = a
+			}
+		}
+		if h.Len() == 0 {
+			return h.EffectiveAlpha() == 0
+		}
+		ea := h.EffectiveAlpha()
+		return ea >= lo-1e-12 && ea <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

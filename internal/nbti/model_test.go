@@ -1,0 +1,242 @@
+package nbti
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsValidate(t *testing.T) {
+	if err := Default45nm().Validate(); err != nil {
+		t.Fatalf("Default45nm invalid: %v", err)
+	}
+	if err := Default32nm().Validate(); err != nil {
+		t.Fatalf("Default32nm invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.Vdd = 0 },
+		func(p *Params) { p.Vth0 = 0 },
+		func(p *Params) { p.Vth0 = p.Vdd + 1 },
+		func(p *Params) { p.TempK = -1 },
+		func(p *Params) { p.Tclk = 0 },
+		func(p *Params) { p.Tox = 0 },
+		func(p *Params) { p.N = 0 },
+		func(p *Params) { p.N = 0.7 },
+		func(p *Params) { p.D0 = 0 },
+		func(p *Params) { p.A = -1 },
+	}
+	for i, mutate := range cases {
+		p := Default45nm()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted bad params", i)
+		}
+	}
+}
+
+func TestCalibration50mVAt3Years(t *testing.T) {
+	for _, p := range []Params{Default45nm(), Default32nm()} {
+		got := p.DeltaVth(1, 3*SecondsPerYear)
+		if math.Abs(got-0.050) > 1e-9 {
+			t.Errorf("Vth0=%v: ΔVth(1, 3y) = %v V, want 0.050", p.Vth0, got)
+		}
+	}
+}
+
+func TestDeltaVthZeroCases(t *testing.T) {
+	p := Default45nm()
+	if v := p.DeltaVth(0, SecondsPerYear); v != 0 {
+		t.Errorf("ΔVth(α=0) = %v, want 0", v)
+	}
+	if v := p.DeltaVth(0.5, 0); v != 0 {
+		t.Errorf("ΔVth(t=0) = %v, want 0", v)
+	}
+	if v := p.DeltaVth(-0.3, SecondsPerYear); v != 0 {
+		t.Errorf("ΔVth(α<0) = %v, want 0 (clamped)", v)
+	}
+}
+
+func TestDeltaVthMonotonicInAlpha(t *testing.T) {
+	p := Default45nm()
+	const tEnd = 3 * SecondsPerYear
+	prev := 0.0
+	for alpha := 0.05; alpha <= 1.0001; alpha += 0.05 {
+		v := p.DeltaVth(alpha, tEnd)
+		if v <= prev {
+			t.Fatalf("ΔVth not increasing at α=%v: %v <= %v", alpha, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestDeltaVthMonotonicInTime(t *testing.T) {
+	p := Default45nm()
+	prev := 0.0
+	for _, yrs := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		v := p.DeltaVth(0.8, yrs*SecondsPerYear)
+		if v <= prev {
+			t.Fatalf("ΔVth not increasing at t=%vy: %v <= %v", yrs, v, prev)
+		}
+		prev = v
+	}
+}
+
+// The long-term model behaves as ΔVth ∝ α^n for fixed large t (the
+// recovery fraction's α-dependence vanishes because C·Tclk << C·t).
+func TestAlphaPowerLaw(t *testing.T) {
+	p := Default45nm()
+	const tEnd = 3 * SecondsPerYear
+	r1 := p.DeltaVth(0.5, tEnd) / p.DeltaVth(1.0, tEnd)
+	want := math.Pow(0.5, p.N)
+	if math.Abs(r1-want) > 0.02 {
+		t.Errorf("ΔVth(0.5)/ΔVth(1) = %v, want ≈ %v", r1, want)
+	}
+}
+
+// Reproduces the headline magnitude: a most-degraded VC held near ~0.9%
+// duty-cycle by sensor-wise saves ≈54% ΔVth versus an always-on baseline.
+func TestSavingMatchesPaperMagnitude(t *testing.T) {
+	p := Default45nm()
+	s := p.Saving(0.009, 1.0, 3*SecondsPerYear)
+	if s < 0.50 || s > 0.60 {
+		t.Errorf("saving at α=0.9%% = %.1f%%, want ≈54%%", 100*s)
+	}
+}
+
+func TestSavingEdges(t *testing.T) {
+	p := Default45nm()
+	if s := p.Saving(1, 1, SecondsPerYear); math.Abs(s) > 1e-12 {
+		t.Errorf("Saving(1,1) = %v, want 0", s)
+	}
+	if s := p.Saving(0.5, 0, SecondsPerYear); s != 0 {
+		t.Errorf("Saving with zero baseline = %v, want 0", s)
+	}
+	if s := p.Saving(0, 1, SecondsPerYear); s != 1 {
+		t.Errorf("Saving(0,1) = %v, want 1", s)
+	}
+}
+
+func TestBetaTRange(t *testing.T) {
+	p := Default45nm()
+	for _, alpha := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		for _, tt := range []float64{0, 1, 3600, SecondsPerYear, 50 * SecondsPerYear} {
+			b := p.BetaT(alpha, tt)
+			if b < 0 || b >= 1 {
+				t.Fatalf("BetaT(%v, %v) = %v out of [0,1)", alpha, tt, b)
+			}
+		}
+	}
+}
+
+func TestBetaTIncreasingInTime(t *testing.T) {
+	p := Default45nm()
+	prev := -1.0
+	for _, tt := range []float64{1, 1e3, 1e6, 1e8, 1e9} {
+		b := p.BetaT(0.5, tt)
+		if b <= prev {
+			t.Fatalf("BetaT not increasing at t=%v: %v <= %v", tt, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestLifetimeToBudget(t *testing.T) {
+	p := Default45nm()
+	// α=1 reaches 50 mV at exactly 3 years by calibration.
+	lt := p.LifetimeToBudget(1, 0.050)
+	if math.Abs(lt-3*SecondsPerYear) > 0.01*SecondsPerYear {
+		t.Errorf("lifetime(α=1, 50mV) = %.2f y, want 3", lt/SecondsPerYear)
+	}
+	// Lower duty-cycle must extend lifetime.
+	ltLow := p.LifetimeToBudget(0.2, 0.050)
+	if !(ltLow > lt) {
+		t.Errorf("lifetime(α=0.2) = %v not beyond lifetime(α=1) = %v", ltLow, lt)
+	}
+	// Never reached within 100 years -> +Inf.
+	if v := p.LifetimeToBudget(0.001, 0.050); !math.IsInf(v, 1) {
+		t.Errorf("lifetime(α=0.1%%) = %v, want +Inf", v)
+	}
+	// Budget of 0 is exceeded immediately.
+	if v := p.LifetimeToBudget(1, 0); v != 0 {
+		t.Errorf("lifetime(budget=0) = %v, want 0", v)
+	}
+}
+
+func TestLifetimeRoundTrip(t *testing.T) {
+	p := Default45nm()
+	for _, alpha := range []float64{0.3, 0.6, 1.0} {
+		lt := p.LifetimeToBudget(alpha, 0.040)
+		if math.IsInf(lt, 1) || lt == 0 {
+			continue
+		}
+		if got := p.DeltaVth(alpha, lt); math.Abs(got-0.040) > 1e-6 {
+			t.Errorf("ΔVth at solved lifetime = %v, want 0.040", got)
+		}
+	}
+}
+
+func TestKvPositive(t *testing.T) {
+	p := Default45nm()
+	if kv := p.Kv(); kv <= 0 {
+		t.Fatalf("Kv = %v, want > 0", kv)
+	}
+	// Hotter device degrades faster: Kv grows with temperature.
+	hot := p
+	hot.TempK = 400
+	if hot.Kv() <= p.Kv() {
+		t.Errorf("Kv(400K) = %v not above Kv(350K) = %v", hot.Kv(), p.Kv())
+	}
+}
+
+func TestQuickDeltaVthNonNegativeAndMonotone(t *testing.T) {
+	p := Default45nm()
+	f := func(a1, a2, tt uint16) bool {
+		alpha1 := float64(a1) / 65535
+		alpha2 := float64(a2) / 65535
+		if alpha1 > alpha2 {
+			alpha1, alpha2 = alpha2, alpha1
+		}
+		tm := 1e4 + float64(tt)*1e4
+		v1, v2 := p.DeltaVth(alpha1, tm), p.DeltaVth(alpha2, tm)
+		return v1 >= 0 && v2 >= 0 && v1 <= v2+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDeltaVth(b *testing.B) {
+	p := Default45nm()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += p.DeltaVth(0.5, SecondsPerYear)
+	}
+	_ = sink
+}
+
+func TestKvZeroOverdrive(t *testing.T) {
+	p := Default45nm()
+	p.Vth0 = p.Vdd // no overdrive: Kv collapses to zero
+	if kv := p.Kv(); kv != 0 {
+		t.Fatalf("Kv with Vth0 = Vdd is %v, want 0", kv)
+	}
+}
+
+func TestBetaTNegativeTimeClamped(t *testing.T) {
+	p := Default45nm()
+	b := p.BetaT(0.5, -10)
+	if b < 0 || b >= 1 {
+		t.Fatalf("BetaT with negative t = %v", b)
+	}
+}
+
+func TestDeltaVthZeroPrefactor(t *testing.T) {
+	p := Default45nm()
+	p.A = 0
+	if v := p.DeltaVth(1, SecondsPerYear); v != 0 {
+		t.Fatalf("ΔVth with A=0 is %v", v)
+	}
+}

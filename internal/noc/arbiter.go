@@ -1,0 +1,53 @@
+package noc
+
+// RoundRobin is a rotating-priority arbiter over n requesters, matching
+// the matrix/rotating arbiters used in VC and switch allocators. The
+// zero value is not ready; use NewRoundRobin.
+type RoundRobin struct {
+	n    int
+	next int // requester with highest priority this round
+}
+
+// NewRoundRobin returns an arbiter over n requesters with initial
+// priority at index 0.
+func NewRoundRobin(n int) *RoundRobin {
+	if n <= 0 {
+		panic("noc: arbiter over non-positive requester count")
+	}
+	return &RoundRobin{n: n}
+}
+
+// Size returns the requester count.
+func (a *RoundRobin) Size() int { return a.n }
+
+// Grant returns the granted requester among those with req[i] == true,
+// starting the search at the current priority pointer, and advances the
+// pointer just past the winner (so the winner has lowest priority next
+// round). It returns -1 when nothing is requested.
+func (a *RoundRobin) Grant(req []bool) int {
+	if len(req) != a.n {
+		panic("noc: request vector length mismatch")
+	}
+	for i := 0; i < a.n; i++ {
+		idx := (a.next + i) % a.n
+		if req[idx] {
+			a.next = (idx + 1) % a.n
+			return idx
+		}
+	}
+	return -1
+}
+
+// Peek is like Grant but does not advance the priority pointer.
+func (a *RoundRobin) Peek(req []bool) int {
+	if len(req) != a.n {
+		panic("noc: request vector length mismatch")
+	}
+	for i := 0; i < a.n; i++ {
+		idx := (a.next + i) % a.n
+		if req[idx] {
+			return idx
+		}
+	}
+	return -1
+}

@@ -1,0 +1,247 @@
+package noc
+
+import (
+	"fmt"
+
+	"nbtinoc/internal/nbti"
+	"nbtinoc/internal/rng"
+	"nbtinoc/internal/sensor"
+)
+
+// vcBuffer is one virtual-channel buffer of an input unit: a flit FIFO
+// plus allocation state, power state and the NBTI device model of its
+// critical PMOS network.
+type vcBuffer struct {
+	fifo  []Flit
+	head  int
+	size  int
+	state VCState
+	// outPort is the output port computed by RC for the resident packet.
+	outPort Port
+	// outVC is the downstream VC allocated by this router's VA for the
+	// resident packet's next hop; -1 while unallocated or not needed
+	// (ejection).
+	outVC int
+	// powered is the buffer's supply state: false = power gated
+	// (NBTI recovery).
+	powered bool
+	// device accumulates the buffer's NBTI stress history.
+	device *nbti.Device
+}
+
+func (b *vcBuffer) len() int    { return b.size }
+func (b *vcBuffer) empty() bool { return b.size == 0 }
+func (b *vcBuffer) full() bool  { return b.size == len(b.fifo) }
+
+func (b *vcBuffer) push(f Flit) {
+	if b.full() {
+		panic("noc: VC buffer overflow (credit protocol violated)")
+	}
+	b.fifo[(b.head+b.size)%len(b.fifo)] = f
+	b.size++
+}
+
+func (b *vcBuffer) peek() *Flit {
+	if b.empty() {
+		panic("noc: peek on empty VC buffer")
+	}
+	return &b.fifo[b.head]
+}
+
+func (b *vcBuffer) pop() Flit {
+	f := *b.peek()
+	b.head = (b.head + 1) % len(b.fifo)
+	b.size--
+	return f
+}
+
+// InputUnit is the set of VC buffers of one input port, downstream end
+// of a channel. It receives flits and the Up_Down power commands, sends
+// credits back, and hosts the NBTI sensor banks that drive the Down_Up
+// link.
+type InputUnit struct {
+	owner NodeID
+	port  Port
+	cfg   *Config
+	vcs   []vcBuffer
+	// creditOut returns freed buffer slots to the upstream output unit.
+	creditOut *Pipeline[int]
+	// powerIn is the Up_Down channel carrying the desired power mask.
+	powerIn *powerLink
+	// mdOut is the Down_Up channel publishing the most degraded VC.
+	mdOut *mdLink
+	// banks are the per-vnet sensor banks (nil when sensors disabled).
+	banks []*sensor.Bank
+	// writes and reads count buffer write/read events (flits in/out),
+	// feeding the energy model.
+	writes, reads uint64
+}
+
+// newInputUnit builds an input unit with the given per-VC depth and
+// initial Vth values (one per flattened VC, from process variation).
+func newInputUnit(owner NodeID, port Port, cfg *Config, depth int, vth0 []float64) *InputUnit {
+	total := cfg.TotalVCs()
+	if len(vth0) != total {
+		panic(fmt.Sprintf("noc: %d Vth0 samples for %d VCs", len(vth0), total))
+	}
+	iu := &InputUnit{
+		owner: owner,
+		port:  port,
+		cfg:   cfg,
+		vcs:   make([]vcBuffer, total),
+	}
+	for i := range iu.vcs {
+		iu.vcs[i] = vcBuffer{
+			fifo:    make([]Flit, depth),
+			outVC:   -1,
+			powered: true,
+			device:  nbti.NewDevice(vth0[i], cfg.NBTI),
+		}
+	}
+	return iu
+}
+
+// attachSensors instantiates one sensor bank per vnet over the unit's
+// devices. src may be nil for noiseless sensor configs.
+func (iu *InputUnit) attachSensors(cfg sensor.Config, src sensorSeeder) error {
+	iu.banks = make([]*sensor.Bank, iu.cfg.VNets)
+	for vn := 0; vn < iu.cfg.VNets; vn++ {
+		devs := make([]*nbti.Device, iu.cfg.VCsPerVNet)
+		for i := range devs {
+			devs[i] = iu.vcs[iu.cfg.vcIndex(vn, i)].device
+		}
+		b, err := sensor.NewBank(devs, cfg, src())
+		if err != nil {
+			return err
+		}
+		iu.banks[vn] = b
+	}
+	return nil
+}
+
+// Port returns the input port this unit serves.
+func (iu *InputUnit) Port() Port { return iu.port }
+
+// NumVCs returns the flattened VC count.
+func (iu *InputUnit) NumVCs() int { return len(iu.vcs) }
+
+// Device returns the NBTI device of flattened VC vc.
+func (iu *InputUnit) Device(vc int) *nbti.Device { return iu.vcs[vc].device }
+
+// Powered reports the current power state of flattened VC vc.
+func (iu *InputUnit) Powered(vc int) bool { return iu.vcs[vc].powered }
+
+// VCStateOf returns the allocation state of flattened VC vc.
+func (iu *InputUnit) VCStateOf(vc int) VCState { return iu.vcs[vc].state }
+
+// Occupancy returns the number of buffered flits in flattened VC vc.
+func (iu *InputUnit) Occupancy(vc int) int { return iu.vcs[vc].len() }
+
+// bufferWrite performs the BW stage for an arriving flit. route gives
+// the output port for head flits (RC); it is ignored for body/tail.
+func (iu *InputUnit) bufferWrite(f Flit, cycle uint64, route Port) {
+	vc := &iu.vcs[f.VC]
+	if !vc.powered {
+		panic(fmt.Sprintf("noc: flit arrived at gated VC %d of node %d port %v",
+			f.VC, iu.owner, iu.port))
+	}
+	if f.Type.IsHead() {
+		if vc.state != VCIdle {
+			panic(fmt.Sprintf("noc: head flit into busy VC %d of node %d port %v (packet mixing)",
+				f.VC, iu.owner, iu.port))
+		}
+		vc.state = VCActive
+		vc.outPort = route
+		vc.outVC = -1
+	} else if vc.state != VCActive {
+		panic("noc: body/tail flit into idle VC")
+	}
+	f.Arrive = cycle
+	vc.push(f)
+	iu.writes++
+}
+
+// popFlit removes the head flit of vc (the ST stage of the downstream
+// router or the NI ejection drain), returns it, and sends a credit back
+// upstream. When the tail leaves, the VC returns to idle.
+func (iu *InputUnit) popFlit(vc int) Flit {
+	b := &iu.vcs[vc]
+	f := b.pop()
+	iu.reads++
+	if f.Type.IsTail() {
+		b.state = VCIdle
+		b.outVC = -1
+	}
+	iu.creditOut.Send(vc)
+	return f
+}
+
+// headReady reports whether vc has a flit at its FIFO head that finished
+// its buffer-write stage before the given cycle (the one-cycle BW stage:
+// a flit arriving at cycle t can be allocated/switched at t+1).
+func (iu *InputUnit) headReady(vc int, cycle uint64) bool {
+	b := &iu.vcs[vc]
+	return !b.empty() && b.peek().Arrive < cycle
+}
+
+// applyPower enacts this cycle's Up_Down mask. The mask is authoritative
+// for idle VCs; busy VCs are always powered (and the mask, being derived
+// from the upstream outVCstate, always keeps them on — asserted here).
+func (iu *InputUnit) applyPower() {
+	mask := iu.powerIn.Current()
+	for i := range iu.vcs {
+		b := &iu.vcs[i]
+		on := mask&(1<<uint(i)) != 0
+		if !on && (b.state != VCIdle || !b.empty()) {
+			panic(fmt.Sprintf("noc: power mask gates busy VC %d of node %d port %v",
+				i, iu.owner, iu.port))
+		}
+		b.powered = on || b.state != VCIdle
+	}
+}
+
+// accountNBTI charges one cycle of stress or recovery to every VC.
+func (iu *InputUnit) accountNBTI() {
+	for i := range iu.vcs {
+		b := &iu.vcs[i]
+		if b.powered {
+			busy := uint64(0)
+			if !b.empty() {
+				busy = 1
+			}
+			b.device.Tracker.Stress(1, busy)
+		} else {
+			b.device.Tracker.Recover(1)
+		}
+	}
+}
+
+// publishMostDegraded runs the sensor banks and sends the per-vnet most
+// degraded VC over the Down_Up link.
+func (iu *InputUnit) publishMostDegraded(cycle uint64) {
+	if iu.banks == nil {
+		return
+	}
+	for vn, bank := range iu.banks {
+		iu.mdOut.Send(vn, bank.MostDegraded(cycle), bank.LeastDegraded(cycle))
+	}
+}
+
+// Writes returns the number of buffer-write events (flits received).
+func (iu *InputUnit) Writes() uint64 { return iu.writes }
+
+// Reads returns the number of buffer-read events (flits drained).
+func (iu *InputUnit) Reads() uint64 { return iu.reads }
+
+// bufferedFlits returns the total number of flits held across all VCs.
+func (iu *InputUnit) bufferedFlits() int {
+	n := 0
+	for i := range iu.vcs {
+		n += iu.vcs[i].len()
+	}
+	return n
+}
+
+// sensorSeeder supplies rng sources for sensor banks; it returns nil
+// when sensors are configured noiseless.
+type sensorSeeder func() *rng.Source

@@ -1,0 +1,113 @@
+package noc
+
+// Pipeline models a unidirectional link with a fixed latency in cycles:
+// values sent during cycle t are received during cycle t+latency. The
+// network advances every pipeline exactly once per cycle by calling
+// Receive, so the structure is a simple ring of per-cycle batches.
+type Pipeline[T any] struct {
+	slots [][]T
+	head  int
+}
+
+// NewPipeline returns a pipeline with the given latency (>= 1).
+func NewPipeline[T any](latency int) *Pipeline[T] {
+	if latency < 1 {
+		panic("noc: pipeline latency must be >= 1")
+	}
+	slots := make([][]T, latency)
+	return &Pipeline[T]{slots: slots}
+}
+
+// Send enqueues v for delivery latency cycles after the current one.
+// It must be called after this cycle's Receive.
+func (p *Pipeline[T]) Send(v T) {
+	idx := (p.head + len(p.slots) - 1) % len(p.slots)
+	p.slots[idx] = append(p.slots[idx], v)
+}
+
+// Receive returns the batch arriving this cycle and advances the
+// pipeline. The returned slice is reused; callers must consume it before
+// the pipeline wraps around.
+func (p *Pipeline[T]) Receive() []T {
+	out := p.slots[p.head]
+	p.slots[p.head] = p.slots[p.head][:0]
+	p.head = (p.head + 1) % len(p.slots)
+	return out
+}
+
+// InFlight returns the total number of values currently traversing the
+// pipeline — used by invariant checks and drain detection.
+func (p *Pipeline[T]) InFlight() int {
+	n := 0
+	for _, s := range p.slots {
+		n += len(s)
+	}
+	return n
+}
+
+// powerLink is the Up_Down control channel of the paper: each cycle the
+// upstream output unit publishes the desired power state of the
+// downstream VCs, which takes effect downstream one cycle later.
+//
+// Physically the paper's link carries only log2(numVC) VC-ID lines plus
+// an enable bit per port; the downstream reconstructs the full mask from
+// its local VC states. The simulator transports the reconstructed mask
+// directly (as a bitmask over the port's flattened VCs) — behaviourally
+// identical, since the mask is a pure function of information available
+// at both ends, while the area model still charges only the paper's
+// log2(V)+1 wires.
+type powerLink struct {
+	cur, next uint64
+}
+
+// newPowerLink returns a link whose initial state powers all VCs.
+func newPowerLink() *powerLink {
+	return &powerLink{cur: ^uint64(0), next: ^uint64(0)}
+}
+
+// Send publishes the desired mask; bit v = 1 keeps flattened VC v on.
+func (l *powerLink) Send(mask uint64) { l.next = mask }
+
+// Tick advances the one-cycle delay.
+func (l *powerLink) Tick() { l.cur = l.next }
+
+// Current returns the mask in effect at the downstream this cycle.
+func (l *powerLink) Current() uint64 { return l.cur }
+
+// mdLink is the Down_Up control channel: the downstream sensor banks
+// publish the most degraded VC per vnet (the paper's marker) plus the
+// least degraded VC (the wear-steering extension); values reach the
+// upstream outVCstate one cycle later. A valid VC id is always present
+// (the link needs no enable line, as the paper notes).
+type mdLink struct {
+	curMD, nextMD []int
+	curLD, nextLD []int
+}
+
+// newMDLink returns a link for vnets virtual networks, initialised to
+// VC 0 per vnet.
+func newMDLink(vnets int) *mdLink {
+	return &mdLink{
+		curMD: make([]int, vnets), nextMD: make([]int, vnets),
+		curLD: make([]int, vnets), nextLD: make([]int, vnets),
+	}
+}
+
+// Send publishes the most and least degraded VCs (indices within the
+// vnet slice).
+func (l *mdLink) Send(vnet, md, ld int) {
+	l.nextMD[vnet] = md
+	l.nextLD[vnet] = ld
+}
+
+// Tick advances the one-cycle delay.
+func (l *mdLink) Tick() {
+	copy(l.curMD, l.nextMD)
+	copy(l.curLD, l.nextLD)
+}
+
+// Current returns the most degraded VC for the vnet as seen upstream.
+func (l *mdLink) Current(vnet int) int { return l.curMD[vnet] }
+
+// CurrentLD returns the least degraded VC for the vnet as seen upstream.
+func (l *mdLink) CurrentLD(vnet int) int { return l.curLD[vnet] }

@@ -1,0 +1,483 @@
+package noc
+
+import (
+	"fmt"
+
+	"nbtinoc/internal/pv"
+	"nbtinoc/internal/rng"
+)
+
+// Network is a complete mesh NoC instance: routers, network interfaces
+// and all flit/credit/control channels, advanced one cycle at a time.
+type Network struct {
+	cfg     Config
+	routers []*Router
+	nis     []*NI
+
+	powerLinks []*powerLink
+	mdLinks    []*mdLink
+	flitPipes  []*Pipeline[Flit]
+	credPipes  []*Pipeline[int]
+
+	cycle        uint64
+	nextPacketID uint64
+	vmap         *pv.VCMap
+
+	// deliverHook, when set, is invoked once per delivered packet (at
+	// tail-flit ejection) — the attachment point for closed-loop traffic
+	// generators such as request/response protocols.
+	deliverHook func(f Flit, cycle uint64)
+	// tracer, when set, receives flit-level pipeline events.
+	tracer Tracer
+	// lastProgress is the most recent cycle in which any flit moved
+	// (switch traversal, NI send, or ejection); it feeds the stall
+	// watchdog used to flag livelocked policy configurations.
+	lastProgress uint64
+}
+
+// ejPort is the pseudo-port index used when sampling process variation
+// for the NI ejection buffers.
+const ejPort = int(NumPorts)
+
+// New builds a network from the configuration. The same PVSeed yields
+// the same initial Vth values regardless of the policy, as the paper's
+// methodology requires.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TotalVCs() > 64 {
+		return nil, fmt.Errorf("noc: %d VCs per port exceeds the 64-bit power mask", cfg.TotalVCs())
+	}
+	n := &Network{cfg: cfg}
+	nodes := cfg.Nodes()
+	n.vmap = pv.SampleNetwork(cfg.PV, cfg.PVSeed, nodes, int(NumPorts)+1, cfg.TotalVCs())
+
+	sensorSrc := rng.New(cfg.SensorSeed)
+	seeder := func() *rng.Source {
+		if cfg.Sensor.NoiseSigma > 0 {
+			return sensorSrc.Split()
+		}
+		return nil
+	}
+
+	n.routers = make([]*Router, nodes)
+	n.nis = make([]*NI, nodes)
+	for id := 0; id < nodes; id++ {
+		n.routers[id] = newRouter(NodeID(id), CoordOf(NodeID(id), cfg.Width), &n.cfg)
+		n.routers[id].net = n
+		n.nis[id] = newNI(NodeID(id), &n.cfg)
+		n.nis[id].net = n
+	}
+
+	for id := 0; id < nodes; id++ {
+		r := n.routers[id]
+		ni := n.nis[id]
+
+		// NI → router Local input port (gated like any router port).
+		ni.out = newOutputUnit(NodeID(id), Local, &n.cfg, cfg.BufferDepth, cfg.Policy)
+		r.in[Local] = newInputUnit(NodeID(id), Local, &n.cfg, cfg.BufferDepth,
+			n.vmap.PortVths(id, int(Local)))
+		flit, cred := n.connect(ni.out, r.in[Local])
+		r.flitIn[Local] = flit
+		_ = cred
+
+		// Router Local output port → NI ejection buffers.
+		ejPolicy := PolicyFactory(NewBaseline)
+		if cfg.GateEjection && cfg.Policy != nil {
+			ejPolicy = cfg.Policy
+		}
+		r.out[Local] = newOutputUnit(NodeID(id), Local, &n.cfg, cfg.EjectBufferDepth, ejPolicy)
+		ni.ej = newInputUnit(NodeID(id), Local, &n.cfg, cfg.EjectBufferDepth,
+			n.vmap.PortVths(id, ejPort))
+		flit, _ = n.connect(r.out[Local], ni.ej)
+		ni.ejFlitIn = flit
+
+		// Mesh links: create the outgoing channel for each direction.
+		c := r.Coord()
+		for _, dir := range []Port{North, East, South, West} {
+			nb, ok := n.neighbour(c, dir)
+			if !ok {
+				continue
+			}
+			down := n.routers[nb]
+			inPort := dir.Opposite()
+			r.out[dir] = newOutputUnit(NodeID(id), dir, &n.cfg, cfg.BufferDepth, cfg.Policy)
+			down.in[inPort] = newInputUnit(nb, inPort, &n.cfg, cfg.BufferDepth,
+				n.vmap.PortVths(int(nb), int(inPort)))
+			flit, _ = n.connect(r.out[dir], down.in[inPort])
+			down.flitIn[inPort] = flit
+		}
+	}
+
+	// Attach sensors to every input unit (router ports and NI ejection).
+	for id := 0; id < nodes; id++ {
+		for p := Port(0); p < NumPorts; p++ {
+			if iu := n.routers[id].in[p]; iu != nil {
+				if err := iu.attachSensors(cfg.Sensor, seeder); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := n.nis[id].ej.attachSensors(cfg.Sensor, seeder); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// connect wires an upstream output unit to a downstream input unit with
+// flit, credit and control channels, returning the flit and credit
+// pipelines (the downstream end keeps the flit pipe, the upstream keeps
+// the credit pipe).
+func (n *Network) connect(ou *OutputUnit, iu *InputUnit) (*Pipeline[Flit], *Pipeline[int]) {
+	// A serialized flit is fully received LinkLatency + phits - 1 cycles
+	// after switch traversal begins; credits travel on dedicated narrow
+	// wires at plain link latency.
+	flit := NewPipeline[Flit](n.cfg.LinkLatency + n.cfg.PhitsPerFlit - 1)
+	cred := NewPipeline[int](n.cfg.LinkLatency)
+	power := newPowerLink()
+	md := newMDLink(n.cfg.VNets)
+
+	ou.flitOut = flit
+	ou.creditIn = cred
+	ou.powerOut = power
+	ou.mdIn = md
+
+	iu.creditOut = cred
+	iu.powerIn = power
+	iu.mdOut = md
+
+	n.flitPipes = append(n.flitPipes, flit)
+	n.credPipes = append(n.credPipes, cred)
+	n.powerLinks = append(n.powerLinks, power)
+	n.mdLinks = append(n.mdLinks, md)
+	return flit, cred
+}
+
+// neighbour returns the node id in direction dir from c, if it exists.
+func (n *Network) neighbour(c Coord, dir Port) (NodeID, bool) {
+	nc := c
+	switch dir {
+	case North:
+		nc.Y--
+	case South:
+		nc.Y++
+	case East:
+		nc.X++
+	case West:
+		nc.X--
+	}
+	if nc.X < 0 || nc.X >= n.cfg.Width || nc.Y < 0 || nc.Y >= n.cfg.Height {
+		return 0, false
+	}
+	return nc.NodeOf(n.cfg.Width), true
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Cycle returns the current cycle count.
+func (n *Network) Cycle() uint64 { return n.cycle }
+
+// Router returns router id.
+func (n *Network) Router(id NodeID) *Router { return n.routers[id] }
+
+// NI returns the network interface of node id.
+func (n *Network) NI(id NodeID) *NI { return n.nis[id] }
+
+// Nodes returns the node count.
+func (n *Network) Nodes() int { return len(n.routers) }
+
+// SetDeliveryHook registers fn to be called on every packet delivery
+// (tail-flit ejection at the destination NI). Pass nil to clear. The
+// hook runs synchronously inside Step; it must not call Step or Inject
+// re-entrantly (queue follow-up packets and inject them next cycle).
+func (n *Network) SetDeliveryHook(fn func(f Flit, cycle uint64)) {
+	n.deliverHook = fn
+}
+
+// Inject enqueues a packet for injection at src. The packet is assigned
+// a network-unique id and stamped with the current cycle.
+func (n *Network) Inject(src, dst NodeID, vnet, length int) error {
+	if int(src) < 0 || int(src) >= len(n.nis) {
+		return fmt.Errorf("noc: source node %d out of range", src)
+	}
+	if int(dst) < 0 || int(dst) >= len(n.nis) {
+		return fmt.Errorf("noc: destination node %d out of range", dst)
+	}
+	if src == dst {
+		return fmt.Errorf("noc: self-addressed packet at node %d", src)
+	}
+	p := Packet{
+		ID:          n.nextPacketID,
+		Src:         src,
+		Dst:         dst,
+		VNet:        vnet,
+		Len:         length,
+		InjectCycle: n.cycle,
+	}
+	if err := n.nis[src].inject(p); err != nil {
+		return err
+	}
+	if n.tracer != nil {
+		n.trace(EvInject, src, Local, -1, Flit{
+			PacketID: p.ID, Src: src, Dst: dst, VNet: vnet,
+			Type: HeadFlit, Len: length, InjectCycle: n.cycle,
+		})
+	}
+	n.nextPacketID++
+	return nil
+}
+
+// Step advances the network by one cycle. Phase order emulates the
+// synchronous hardware: control/credit/flit deliveries land first, then
+// ST executes last cycle's switch grants, then VA/SA compute this
+// cycle's allocations, then the pre-VA recovery policies publish next
+// cycle's power commands, and finally NBTI accounting charges the cycle.
+func (n *Network) Step() {
+	n.cycle++
+	cycle := n.cycle
+
+	for _, l := range n.powerLinks {
+		l.Tick()
+	}
+	for _, l := range n.mdLinks {
+		l.Tick()
+	}
+	for _, r := range n.routers {
+		r.creditTick()
+	}
+	for _, ni := range n.nis {
+		ni.out.creditTick()
+	}
+	for _, r := range n.routers {
+		r.deliverFlits(cycle)
+	}
+	for _, ni := range n.nis {
+		ni.deliverEject(cycle)
+	}
+	for _, r := range n.routers {
+		r.applyPower()
+	}
+	for _, ni := range n.nis {
+		ni.ej.applyPower()
+	}
+	for _, r := range n.routers {
+		r.stageST(cycle)
+	}
+	for _, ni := range n.nis {
+		ni.drainEject(cycle)
+		ni.stageSend(cycle)
+	}
+	for _, r := range n.routers {
+		r.stageVA(cycle)
+	}
+	for _, ni := range n.nis {
+		ni.stageVA(cycle)
+	}
+	for _, r := range n.routers {
+		r.stageSA(cycle)
+	}
+	for _, r := range n.routers {
+		r.stagePolicy(cycle)
+	}
+	for _, ni := range n.nis {
+		ni.stagePolicy(cycle)
+	}
+	for _, r := range n.routers {
+		r.accountNBTI(cycle)
+	}
+	for _, ni := range n.nis {
+		ni.accountNBTI(cycle)
+	}
+}
+
+// Run advances the network by cycles steps.
+func (n *Network) Run(cycles uint64) {
+	for i := uint64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// noteProgress records that a flit moved this cycle.
+func (n *Network) noteProgress() { n.lastProgress = n.cycle }
+
+// StalledFor returns the number of cycles since a flit last moved.
+func (n *Network) StalledFor() uint64 { return n.cycle - n.lastProgress }
+
+// Stalled reports whether traffic is pending but nothing has moved for
+// at least threshold cycles — the signature of a livelocked recovery
+// policy (e.g. a round-robin rotation period shorter than the
+// sleep-transistor wake-up latency).
+func (n *Network) Stalled(threshold uint64) bool {
+	if n.Quiescent() {
+		return false
+	}
+	return n.StalledFor() >= threshold
+}
+
+// InFlightFlits returns the number of flits buffered or on links.
+func (n *Network) InFlightFlits() int {
+	total := 0
+	for _, p := range n.flitPipes {
+		total += p.InFlight()
+	}
+	for _, r := range n.routers {
+		total += r.bufferedFlits()
+	}
+	for _, ni := range n.nis {
+		total += ni.ej.bufferedFlits() + ni.pendingFlits()
+	}
+	return total
+}
+
+// Quiescent reports whether no packet is queued, buffered or in flight.
+func (n *Network) Quiescent() bool {
+	for _, ni := range n.nis {
+		if ni.QueuedPackets() > 0 {
+			return false
+		}
+	}
+	return n.InFlightFlits() == 0
+}
+
+// ResetNBTIStats clears all NBTI stress trackers (end of warm-up).
+func (n *Network) ResetNBTIStats() {
+	for _, r := range n.routers {
+		for p := Port(0); p < NumPorts; p++ {
+			if iu := r.in[p]; iu != nil {
+				for vc := range iu.vcs {
+					iu.vcs[vc].device.Tracker.Reset()
+				}
+			}
+		}
+	}
+	for _, ni := range n.nis {
+		for vc := range ni.ej.vcs {
+			ni.ej.vcs[vc].device.Tracker.Reset()
+		}
+	}
+}
+
+// EventCounts aggregates the microarchitectural event counters used by
+// the energy model.
+type EventCounts struct {
+	// BufferWrites/BufferReads are flit buffer accesses across all
+	// router input units (NI ejection buffers excluded).
+	BufferWrites, BufferReads uint64
+	// CrossbarTraversals counts router ST events.
+	CrossbarTraversals uint64
+	// VAGrants and SAGrants count allocator operations.
+	VAGrants, SAGrants uint64
+	// LinkFlits counts flits launched onto links (router and NI output
+	// units).
+	LinkFlits uint64
+	// GateEvents and WakeEvents count sleep-transistor transitions.
+	GateEvents, WakeEvents uint64
+	// StressCycles and RecoveryCycles aggregate powered/gated
+	// buffer-cycles across all router input VCs.
+	StressCycles, RecoveryCycles uint64
+}
+
+// Events returns the aggregated event counters since the last reset.
+func (n *Network) Events() EventCounts {
+	var e EventCounts
+	for _, r := range n.routers {
+		e.CrossbarTraversals += r.stFlits
+		e.VAGrants += r.vaGrants
+		e.SAGrants += r.saGrants
+		for p := Port(0); p < NumPorts; p++ {
+			if iu := r.in[p]; iu != nil {
+				e.BufferWrites += iu.writes
+				e.BufferReads += iu.reads
+				for vc := range iu.vcs {
+					e.StressCycles += iu.vcs[vc].device.Tracker.StressCycles()
+					e.RecoveryCycles += iu.vcs[vc].device.Tracker.RecoveryCycles()
+				}
+			}
+			if ou := r.out[p]; ou != nil {
+				e.LinkFlits += ou.flitsSent
+				e.GateEvents += ou.gateEvents
+				e.WakeEvents += ou.wakeEvents
+			}
+		}
+	}
+	for _, ni := range n.nis {
+		e.LinkFlits += ni.out.flitsSent
+		e.GateEvents += ni.out.gateEvents
+		e.WakeEvents += ni.out.wakeEvents
+	}
+	return e
+}
+
+// ResetEventCounters clears the microarchitectural event counters.
+func (n *Network) ResetEventCounters() {
+	for _, r := range n.routers {
+		r.stFlits, r.vaGrants, r.saGrants = 0, 0, 0
+		for p := Port(0); p < NumPorts; p++ {
+			if iu := r.in[p]; iu != nil {
+				iu.writes, iu.reads = 0, 0
+			}
+			if ou := r.out[p]; ou != nil {
+				ou.flitsSent, ou.gateEvents, ou.wakeEvents = 0, 0, 0
+			}
+		}
+	}
+	for _, ni := range n.nis {
+		ni.out.flitsSent, ni.out.gateEvents, ni.out.wakeEvents = 0, 0, 0
+		ni.ej.writes, ni.ej.reads = 0, 0
+	}
+}
+
+// ResetTrafficStats clears all NI traffic statistics.
+func (n *Network) ResetTrafficStats() {
+	for _, ni := range n.nis {
+		ni.ResetStats()
+	}
+}
+
+// DutyCycle returns the NBTI-duty-cycle (percent) of a router input VC.
+func (n *Network) DutyCycle(node NodeID, port Port, vc int) float64 {
+	return n.routers[node].in[port].Device(vc).Tracker.DutyCycle()
+}
+
+// MostDegradedVC returns the most degraded VC (index within the vnet
+// slice) of a router input port, as the port's sensor bank reports it.
+func (n *Network) MostDegradedVC(node NodeID, port Port, vnet int) int {
+	return n.routers[node].in[port].banks[vnet].MostDegraded(n.cycle)
+}
+
+// Vth0 returns the process-variation initial threshold voltage sampled
+// for a router input VC.
+func (n *Network) Vth0(node NodeID, port Port, vc int) float64 {
+	return n.vmap.At(int(node), int(port), vc)
+}
+
+// LatencyHistogramAll returns the merged full-latency histogram across
+// all NIs.
+func (n *Network) LatencyHistogramAll() LatencyHistogram {
+	var h LatencyHistogram
+	for _, ni := range n.nis {
+		h.Merge(&ni.stats.Latency)
+	}
+	return h
+}
+
+// TotalEjectedPackets sums ejected packets across all NIs.
+func (n *Network) TotalEjectedPackets() uint64 {
+	var total uint64
+	for _, ni := range n.nis {
+		total += ni.stats.EjectedPackets
+	}
+	return total
+}
+
+// TotalInjectedPackets sums packets accepted into source queues.
+func (n *Network) TotalInjectedPackets() uint64 {
+	var total uint64
+	for _, ni := range n.nis {
+		total += ni.stats.InjectedPackets
+	}
+	return total
+}

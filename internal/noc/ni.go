@@ -1,0 +1,256 @@
+package noc
+
+import "fmt"
+
+// NIStats aggregates per-node traffic statistics.
+type NIStats struct {
+	// InjectedPackets counts packets accepted into the source queues.
+	InjectedPackets uint64
+	// InjectedFlits counts flits launched into the network.
+	InjectedFlits uint64
+	// EjectedPackets and EjectedFlits count received traffic.
+	EjectedPackets uint64
+	EjectedFlits   uint64
+	// LatencySum accumulates packet latency (source-queue entry to tail
+	// ejection) for ejected packets.
+	LatencySum uint64
+	// NetLatencySum accumulates network latency (head launch to tail
+	// ejection).
+	NetLatencySum uint64
+	// MaxQueueLen is the high-water mark of the source queues.
+	MaxQueueLen int
+	// Latency histograms over ejected packets: full latency (queue entry
+	// to tail ejection) and network-only latency.
+	Latency, NetLatency LatencyHistogram
+}
+
+// AvgLatency returns the mean packet latency in cycles, or 0 when no
+// packet has been ejected.
+func (s NIStats) AvgLatency() float64 {
+	if s.EjectedPackets == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.EjectedPackets)
+}
+
+// AvgNetLatency returns the mean network latency in cycles.
+func (s NIStats) AvgNetLatency() float64 {
+	if s.EjectedPackets == 0 {
+		return 0
+	}
+	return float64(s.NetLatencySum) / float64(s.EjectedPackets)
+}
+
+// niFlow is a packet in flight from an NI: the flits not yet launched on
+// the flattened local-port VC the packet was allocated.
+type niFlow struct {
+	flits []Flit
+	next  int
+}
+
+// NI is a tile's network interface. On the injection side it is the
+// *upstream* of the router's Local input port: it owns an output unit
+// (with outVCstate and a recovery policy) and performs VA for new
+// packets, so the local port participates in NBTI gating exactly like
+// router-to-router channels. On the ejection side it hosts the always-on
+// ejection buffers fed by the router's Local output port.
+type NI struct {
+	id  NodeID
+	cfg *Config
+	net *Network
+	// out is the injection-side output unit (downstream: router local
+	// input port).
+	out *OutputUnit
+	// ej holds the ejection buffers (downstream of the router's Local
+	// output port).
+	ej       *InputUnit
+	ejFlitIn *Pipeline[Flit]
+	ejArb    *RoundRobin
+
+	srcQ    [][]Packet // per-vnet source queues
+	flows   []niFlow   // per flattened local-port VC
+	flowArb *RoundRobin
+
+	newTraffic []bool
+
+	stats NIStats
+}
+
+func newNI(id NodeID, cfg *Config) *NI {
+	total := cfg.TotalVCs()
+	return &NI{
+		id:         id,
+		cfg:        cfg,
+		srcQ:       make([][]Packet, cfg.VNets),
+		flows:      make([]niFlow, total),
+		flowArb:    NewRoundRobin(total),
+		ejArb:      NewRoundRobin(total),
+		newTraffic: make([]bool, cfg.VNets),
+	}
+}
+
+// ID returns the NI's node id.
+func (ni *NI) ID() NodeID { return ni.id }
+
+// Stats returns a copy of the NI's statistics.
+func (ni *NI) Stats() NIStats { return ni.stats }
+
+// ResetStats clears traffic statistics (used at the end of warm-up).
+func (ni *NI) ResetStats() { ni.stats = NIStats{} }
+
+// Ejection returns the NI's ejection input unit.
+func (ni *NI) Ejection() *InputUnit { return ni.ej }
+
+// InjectionOutput returns the NI's injection-side output unit.
+func (ni *NI) InjectionOutput() *OutputUnit { return ni.out }
+
+// QueuedPackets returns the number of packets waiting in source queues.
+func (ni *NI) QueuedPackets() int {
+	n := 0
+	for _, q := range ni.srcQ {
+		n += len(q)
+	}
+	return n
+}
+
+// pendingFlits returns flits buffered in open flows (allocated but not
+// yet launched).
+func (ni *NI) pendingFlits() int {
+	n := 0
+	for i := range ni.flows {
+		fl := &ni.flows[i]
+		n += len(fl.flits) - fl.next
+	}
+	return n
+}
+
+// inject appends a packet to its vnet source queue.
+func (ni *NI) inject(p Packet) error {
+	if p.VNet < 0 || p.VNet >= ni.cfg.VNets {
+		return fmt.Errorf("noc: packet vnet %d out of range", p.VNet)
+	}
+	if p.Len < 1 {
+		return fmt.Errorf("noc: packet length %d", p.Len)
+	}
+	ni.srcQ[p.VNet] = append(ni.srcQ[p.VNet], p)
+	ni.stats.InjectedPackets++
+	if q := ni.QueuedPackets(); q > ni.stats.MaxQueueLen {
+		ni.stats.MaxQueueLen = q
+	}
+	return nil
+}
+
+// deliverEject writes flits arriving from the router into the ejection
+// buffers.
+func (ni *NI) deliverEject(cycle uint64) {
+	for _, f := range ni.ejFlitIn.Receive() {
+		ni.ej.bufferWrite(f, cycle, Local)
+	}
+}
+
+// drainEject consumes up to EjectRate flits from the ejection buffers,
+// completing packets and recording latency.
+func (ni *NI) drainEject(cycle uint64) {
+	for k := 0; k < ni.cfg.EjectRate; k++ {
+		vc := -1
+		for i := 0; i < ni.ej.NumVCs(); i++ {
+			cand := (ni.ejArb.next + i) % ni.ej.NumVCs()
+			if ni.ej.headReady(cand, cycle) {
+				vc = cand
+				break
+			}
+		}
+		if vc < 0 {
+			return
+		}
+		ni.ejArb.next = (vc + 1) % ni.ej.NumVCs()
+		f := ni.ej.popFlit(vc)
+		ni.stats.EjectedFlits++
+		if ni.net != nil {
+			ni.net.noteProgress()
+		}
+		if ni.net != nil && ni.net.tracer != nil {
+			ni.net.trace(EvEject, ni.id, Local, vc, f)
+		}
+		if f.Type.IsTail() {
+			ni.stats.EjectedPackets++
+			ni.stats.LatencySum += cycle - f.InjectCycle
+			ni.stats.NetLatencySum += cycle - f.NetInjectCycle
+			ni.stats.Latency.Add(cycle - f.InjectCycle)
+			ni.stats.NetLatency.Add(cycle - f.NetInjectCycle)
+			if ni.net != nil && ni.net.deliverHook != nil {
+				ni.net.deliverHook(f, cycle)
+			}
+		}
+	}
+}
+
+// stageSend launches at most one flit from an open flow (the NI's ST).
+func (ni *NI) stageSend(cycle uint64) {
+	total := ni.cfg.TotalVCs()
+	picked := -1
+	for i := 0; i < total; i++ {
+		vc := (ni.flowArb.next + i) % total
+		fl := &ni.flows[vc]
+		if fl.next < len(fl.flits) && ni.out.canSend(vc, cycle) {
+			picked = vc
+			break
+		}
+	}
+	if picked < 0 {
+		return
+	}
+	ni.flowArb.next = (picked + 1) % total
+	fl := &ni.flows[picked]
+	ni.out.sendFlit(fl.flits[fl.next], picked, cycle)
+	fl.next++
+	ni.stats.InjectedFlits++
+	if ni.net != nil {
+		ni.net.noteProgress()
+	}
+	if fl.next == len(fl.flits) {
+		*fl = niFlow{}
+	}
+}
+
+// stageVA allocates a local-port VC to the head packet of each vnet
+// queue (at most one per vnet per cycle), mirroring the router VA rate.
+func (ni *NI) stageVA(cycle uint64) {
+	for vn := 0; vn < ni.cfg.VNets; vn++ {
+		if len(ni.srcQ[vn]) == 0 || !ni.out.hasFreeVC(vn) {
+			continue
+		}
+		vc := ni.out.allocVC(vn)
+		if vc < 0 {
+			continue
+		}
+		pkt := ni.srcQ[vn][0]
+		copy(ni.srcQ[vn], ni.srcQ[vn][1:])
+		ni.srcQ[vn] = ni.srcQ[vn][:len(ni.srcQ[vn])-1]
+		flits := pkt.Flits()
+		for i := range flits {
+			flits[i].NetInjectCycle = cycle
+		}
+		ni.flows[vc] = niFlow{flits: flits}
+		if ni.net != nil && ni.net.tracer != nil {
+			ni.net.trace(EvNIAlloc, ni.id, Local, vc, flits[0])
+		}
+	}
+}
+
+// stagePolicy runs the injection-side pre-VA recovery policy: new
+// traffic exists for a vnet whenever a packet waits in its source queue.
+func (ni *NI) stagePolicy(cycle uint64) {
+	for vn := 0; vn < ni.cfg.VNets; vn++ {
+		ni.newTraffic[vn] = len(ni.srcQ[vn]) > 0
+	}
+	ni.out.runPolicy(ni.newTraffic, cycle)
+}
+
+// accountNBTI charges stress/recovery on the ejection buffers and
+// publishes their most-degraded VC (the router's Local output unit is
+// the consumer; with the default always-on policy the value is unused).
+func (ni *NI) accountNBTI(cycle uint64) {
+	ni.ej.accountNBTI()
+	ni.ej.publishMostDegraded(cycle)
+}

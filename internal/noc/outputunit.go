@@ -1,0 +1,237 @@
+package noc
+
+import "fmt"
+
+// outVC is one entry of the upstream outVCstate: the mirror of a
+// downstream VC's allocation state, its credit count, and — for the
+// NBTI-aware network of Fig. 1B — the power mirror and the most_degraded
+// marker fed by the Down_Up link.
+type outVC struct {
+	state    VCState
+	credits  int
+	tailSent bool
+	// powered mirrors the power mask most recently sent downstream; VA
+	// only considers powered idle VCs.
+	powered bool
+	// wakeLeft counts the remaining sleep-transistor wake-up cycles
+	// after a gated VC is commanded back on; the VC is powered (and
+	// stressed) but not allocatable until it reaches zero.
+	wakeLeft int
+}
+
+// OutputUnit is the upstream end of a channel: it owns the outVCstate
+// for the downstream input port, performs the downstream VC allocation,
+// runs the pre-VA recovery policy, and transmits flits.
+type OutputUnit struct {
+	owner NodeID
+	port  Port
+	cfg   *Config
+	depth int
+	vcs   []outVC
+	// flitOut carries flits to the downstream input unit.
+	flitOut *Pipeline[Flit]
+	// creditIn receives freed-slot notifications from downstream.
+	creditIn *Pipeline[int]
+	// powerOut is the Up_Down control channel.
+	powerOut *powerLink
+	// mdIn is the Down_Up control channel.
+	mdIn *mdLink
+	// policies holds one recovery-policy instance per vnet.
+	policies []Policy
+	// allocPtr rotates the VA start position per vnet so that, when a
+	// policy leaves several idle VCs powered (baseline), allocation
+	// spreads across them.
+	allocPtr []int
+	// scratch buffers reused by runPolicy.
+	inIdle, inPow, desired []bool
+	polIn                  PolicyInput
+	// flitsSent counts link traversals; gateEvents and wakeEvents count
+	// power-state transitions (1->0 and 0->1) commanded by the policy.
+	flitsSent, gateEvents, wakeEvents uint64
+	// linkFreeAt is the first cycle the (possibly serialized) link is
+	// free again after the previous flit's phits.
+	linkFreeAt uint64
+}
+
+// newOutputUnit builds the upstream side of a channel whose downstream
+// buffers have the given depth.
+func newOutputUnit(owner NodeID, port Port, cfg *Config, depth int, factory PolicyFactory) *OutputUnit {
+	total := cfg.TotalVCs()
+	ou := &OutputUnit{
+		owner:    owner,
+		port:     port,
+		cfg:      cfg,
+		depth:    depth,
+		vcs:      make([]outVC, total),
+		policies: make([]Policy, cfg.VNets),
+		allocPtr: make([]int, cfg.VNets),
+		inIdle:   make([]bool, cfg.VCsPerVNet),
+		inPow:    make([]bool, cfg.VCsPerVNet),
+		desired:  make([]bool, cfg.VCsPerVNet),
+	}
+	for i := range ou.vcs {
+		ou.vcs[i] = outVC{credits: depth, powered: true}
+	}
+	if factory == nil {
+		factory = NewBaseline
+	}
+	for vn := range ou.policies {
+		ou.policies[vn] = factory()
+	}
+	return ou
+}
+
+// Port returns the output port this unit serves.
+func (ou *OutputUnit) Port() Port { return ou.port }
+
+// FlitsSent returns the number of flits launched onto the link.
+func (ou *OutputUnit) FlitsSent() uint64 { return ou.flitsSent }
+
+// GateEvents returns the number of power-down transitions commanded.
+func (ou *OutputUnit) GateEvents() uint64 { return ou.gateEvents }
+
+// WakeEvents returns the number of power-up transitions commanded.
+func (ou *OutputUnit) WakeEvents() uint64 { return ou.wakeEvents }
+
+// PolicyName returns the name of the recovery policy (vnet 0).
+func (ou *OutputUnit) PolicyName() string { return ou.policies[0].Name() }
+
+// Credits returns the available credits of flattened VC vc.
+func (ou *OutputUnit) Credits(vc int) int { return ou.vcs[vc].credits }
+
+// StateOf returns the mirrored allocation state of flattened VC vc.
+func (ou *OutputUnit) StateOf(vc int) VCState { return ou.vcs[vc].state }
+
+// PoweredMirror reports whether VC vc is powered per the last mask sent.
+func (ou *OutputUnit) PoweredMirror(vc int) bool { return ou.vcs[vc].powered }
+
+// creditTick consumes this cycle's returned credits and retires VCs
+// whose packets have fully drained downstream (tail sent and all
+// credits back), returning them to idle for reallocation.
+func (ou *OutputUnit) creditTick() {
+	for _, vc := range ou.creditIn.Receive() {
+		v := &ou.vcs[vc]
+		v.credits++
+		if v.credits > ou.depth {
+			panic(fmt.Sprintf("noc: credit overflow on node %d port %v vc %d",
+				ou.owner, ou.port, vc))
+		}
+		if v.state == VCActive && v.tailSent && v.credits == ou.depth {
+			v.state = VCIdle
+			v.tailSent = false
+		}
+	}
+}
+
+// hasFreeVC reports whether the vnet slice contains an idle, powered VC
+// that allocVC would claim.
+func (ou *OutputUnit) hasFreeVC(vnet int) bool {
+	for i := 0; i < ou.cfg.VCsPerVNet; i++ {
+		v := &ou.vcs[ou.cfg.vcIndex(vnet, i)]
+		if v.state == VCIdle && v.powered && v.wakeLeft == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// allocVC implements the VA stage for one new packet on the given vnet:
+// it claims an idle, powered downstream VC and returns its flattened
+// index, or -1 when none is available. The search starts at a rotating
+// pointer; under gating policies at most one candidate exists (the
+// designated keep VC), so the rotation only matters for the baseline.
+func (ou *OutputUnit) allocVC(vnet int) int {
+	v := ou.cfg.VCsPerVNet
+	for i := 0; i < v; i++ {
+		idx := ou.cfg.vcIndex(vnet, (ou.allocPtr[vnet]+i)%v)
+		cand := &ou.vcs[idx]
+		if cand.state == VCIdle && cand.powered && cand.wakeLeft == 0 {
+			cand.state = VCActive
+			cand.tailSent = false
+			ou.allocPtr[vnet] = ((ou.allocPtr[vnet]+i)%v + 1) % v
+			return idx
+		}
+	}
+	return -1
+}
+
+// canSend reports whether a flit may be sent on flattened VC vc at the
+// given cycle: the VC must be owned, a credit available, and the
+// serialized link free.
+func (ou *OutputUnit) canSend(vc int, cycle uint64) bool {
+	v := &ou.vcs[vc]
+	return v.state == VCActive && v.credits > 0 && cycle >= ou.linkFreeAt
+}
+
+// sendFlit transmits f on flattened VC vc (the ST stage) starting at
+// the given cycle, consuming one credit and occupying the link for
+// PhitsPerFlit cycles. The flit's VC field is rewritten for the
+// downstream port.
+func (ou *OutputUnit) sendFlit(f Flit, vc int, cycle uint64) {
+	v := &ou.vcs[vc]
+	if v.state != VCActive {
+		panic("noc: send on unallocated VC")
+	}
+	if v.credits <= 0 {
+		panic("noc: send without credit")
+	}
+	if cycle < ou.linkFreeAt {
+		panic("noc: send on busy serialized link")
+	}
+	ou.linkFreeAt = cycle + uint64(ou.cfg.PhitsPerFlit)
+	v.credits--
+	if f.Type.IsTail() {
+		v.tailSent = true
+	}
+	f.VC = vc
+	ou.flitOut.Send(f)
+	ou.flitsSent++
+}
+
+// runPolicy executes the pre-VA recovery stage for every vnet and sends
+// the composed power mask over the Up_Down link. newTraffic[vn] is the
+// is_new_traffic_outport_x() input for vnet vn.
+func (ou *OutputUnit) runPolicy(newTraffic []bool, cycle uint64) {
+	var mask uint64
+	v := ou.cfg.VCsPerVNet
+	for vn := 0; vn < ou.cfg.VNets; vn++ {
+		for i := 0; i < v; i++ {
+			idx := ou.cfg.vcIndex(vn, i)
+			ou.inIdle[i] = ou.vcs[idx].state == VCIdle
+			ou.inPow[i] = ou.vcs[idx].powered
+			ou.desired[i] = false
+		}
+		ou.polIn.NumVCs = v
+		ou.polIn.Idle = ou.inIdle
+		ou.polIn.Powered = ou.inPow
+		ou.polIn.MostDegraded = ou.mdIn.Current(vn)
+		ou.polIn.LeastDegraded = ou.mdIn.CurrentLD(vn)
+		ou.polIn.NewTraffic = newTraffic[vn]
+		ou.polIn.Cycle = cycle
+		ou.policies[vn].DesiredPower(&ou.polIn, ou.desired)
+		for i := 0; i < v; i++ {
+			idx := ou.cfg.vcIndex(vn, i)
+			vc := &ou.vcs[idx]
+			on := ou.desired[i] || vc.state != VCIdle
+			switch {
+			case on && !vc.powered:
+				// 0 -> 1 transition: the sleep transistor starts its
+				// wake-up ramp.
+				vc.wakeLeft = ou.cfg.WakeupLatency
+				ou.wakeEvents++
+			case on && vc.wakeLeft > 0:
+				vc.wakeLeft--
+			case !on && vc.powered:
+				vc.wakeLeft = 0
+				ou.gateEvents++
+			case !on:
+				vc.wakeLeft = 0
+			}
+			vc.powered = on
+			if on {
+				mask |= 1 << uint(idx)
+			}
+		}
+	}
+	ou.powerOut.Send(mask)
+}

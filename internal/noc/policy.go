@@ -1,0 +1,82 @@
+package noc
+
+// PolicyInput is the information visible to a pre-VA recovery stage for
+// one (output port, vnet) pair — i.e. for the VCs of one downstream
+// input port slice. Slices are indexed by the VC position within the
+// vnet (0..NumVCs-1) and must not be retained across calls.
+type PolicyInput struct {
+	// NumVCs is the number of VCs in the vnet slice.
+	NumVCs int
+	// Idle reports, per VC, whether the outVCstate mirror considers the
+	// VC unallocated (gateable). A false entry means the VC is owned by
+	// a packet and will be kept powered regardless of the decision.
+	Idle []bool
+	// Powered is the current power state per VC (the upstream mirror).
+	Powered []bool
+	// MostDegraded is the VC (within the slice) reported by the
+	// downstream sensor bank over the Down_Up link, or -1 when the
+	// policy runs sensor-less.
+	MostDegraded int
+	// LeastDegraded is the healthiest VC per the sensor bank — used by
+	// the wear-steering policy extension; -1 when unavailable.
+	LeastDegraded int
+	// NewTraffic is the is_new_traffic_outport_x() input of Algorithms
+	// 1 and 2: true when at least one packet buffered at this upstream
+	// node wants this output port and has no downstream VC allocated.
+	NewTraffic bool
+	// Cycle is the current network cycle (for time-based rotation).
+	Cycle uint64
+}
+
+// Policy is the pre-VA recovery stage run by an upstream output unit,
+// one instance per (output port, vnet). Implementations set out[v] to
+// the desired power state of VC v. The caller forces out[v] = true for
+// every non-idle VC afterwards, so a policy can never gate a buffer that
+// holds or expects flits.
+//
+// The contract derived from the paper's observations (Section III-A):
+// leave at most one idle VC powered when NewTraffic is true (the VC a new
+// packet will be steered to), and gate every idle VC when it is false.
+// The Baseline policy intentionally violates this — it models the
+// non-NBTI-aware reference NoC with no gating at all.
+type Policy interface {
+	// Name returns the policy identifier used in reports.
+	Name() string
+	// DesiredPower fills out (length in.NumVCs) with the wanted power
+	// state of each VC in the slice.
+	DesiredPower(in *PolicyInput, out []bool)
+}
+
+// UsesSensors reports whether the policy consumes Down_Up sensor
+// information; used by the area model to decide whether sensor and
+// control-link overhead applies. Policies may implement it optionally.
+type UsesSensors interface {
+	UsesSensors() bool
+}
+
+// PolicyUsesSensors returns p's sensor usage, defaulting to false for
+// policies that do not implement UsesSensors.
+func PolicyUsesSensors(p Policy) bool {
+	if u, ok := p.(UsesSensors); ok {
+		return u.UsesSensors()
+	}
+	return false
+}
+
+// BaselinePolicy keeps every VC buffer powered at all times: the paper's
+// reference NoC that is not NBTI aware. Its duty-cycle is 100% on every
+// VC and it anchors the absolute ΔVth-saving comparison.
+type BaselinePolicy struct{}
+
+// Name implements Policy.
+func (BaselinePolicy) Name() string { return "baseline" }
+
+// DesiredPower implements Policy: all VCs stay on.
+func (BaselinePolicy) DesiredPower(in *PolicyInput, out []bool) {
+	for i := 0; i < in.NumVCs; i++ {
+		out[i] = true
+	}
+}
+
+// NewBaseline is the PolicyFactory for BaselinePolicy.
+func NewBaseline() Policy { return BaselinePolicy{} }

@@ -1,0 +1,344 @@
+package noc
+
+// saGrant records one switch-allocation winner, executed by the ST stage
+// in the following cycle.
+type saGrant struct {
+	inPort  Port
+	vc      int // flattened input VC
+	outPort Port
+	outVC   int // flattened downstream VC
+}
+
+// Router is a 3-stage pipelined virtual-channel router:
+//
+//	stage 1  BW/RC — arriving flits are written into their input VC;
+//	               heads compute their output port
+//	stage 2  VA/SA — heads obtain a downstream VC (from this router's
+//	               output units, which own the downstream outVCstate);
+//	               buffered flits with credits arbitrate for the crossbar
+//	stage 3  ST   — winners traverse the switch onto the output links
+//
+// plus the pre-VA recovery stage of the paper, which runs after VA each
+// cycle on every output unit.
+type Router struct {
+	id    NodeID
+	coord Coord
+	cfg   *Config
+	net   *Network
+	// in/out may contain nil entries for mesh-edge directions.
+	in     [NumPorts]*InputUnit
+	out    [NumPorts]*OutputUnit
+	flitIn [NumPorts]*Pipeline[Flit]
+
+	// vaArb arbitrates, per output port and vnet, among the flattened
+	// input VCs requesting a downstream VC.
+	vaArb [NumPorts][]*RoundRobin
+	// saVCArb picks, per input port, which of its VCs bids for the
+	// crossbar this cycle.
+	saVCArb [NumPorts]*RoundRobin
+	// saPortArb picks, per output port, the winning input port.
+	saPortArb [NumPorts]*RoundRobin
+
+	// grants are the SA winners executed by ST next cycle.
+	grants []saGrant
+
+	// stFlits, vaGrants and saGrants count pipeline events for the
+	// energy model and reports.
+	stFlits, vaGrants, saGrants uint64
+
+	// scratch buffers (reused every cycle; never escape).
+	vaCands    []vaCand
+	saReq      [NumPorts][]bool
+	saCand     [NumPorts]int
+	saPortReq  [NumPorts][NumPorts]bool
+	newTraffic [NumPorts][]bool
+}
+
+// newRouter builds the router shell; input/output units are attached by
+// the network wiring.
+func newRouter(id NodeID, coord Coord, cfg *Config) *Router {
+	r := &Router{id: id, coord: coord, cfg: cfg}
+	total := cfg.TotalVCs()
+	flat := int(NumPorts) * total
+	for p := Port(0); p < NumPorts; p++ {
+		r.vaArb[p] = make([]*RoundRobin, cfg.VNets)
+		for vn := 0; vn < cfg.VNets; vn++ {
+			r.vaArb[p][vn] = NewRoundRobin(flat)
+		}
+		r.saVCArb[p] = NewRoundRobin(total)
+		r.saPortArb[p] = NewRoundRobin(int(NumPorts))
+		r.saReq[p] = make([]bool, total)
+		r.newTraffic[p] = make([]bool, cfg.VNets)
+	}
+	return r
+}
+
+// ID returns the router's node id.
+func (r *Router) ID() NodeID { return r.id }
+
+// Coord returns the router's mesh coordinate.
+func (r *Router) Coord() Coord { return r.coord }
+
+// Input returns the input unit at port p (nil on mesh edges).
+func (r *Router) Input(p Port) *InputUnit { return r.in[p] }
+
+// Output returns the output unit at port p (nil on mesh edges).
+func (r *Router) Output(p Port) *OutputUnit { return r.out[p] }
+
+// deliverFlits performs BW/RC for every flit arriving this cycle.
+func (r *Router) deliverFlits(cycle uint64) {
+	for p := Port(0); p < NumPorts; p++ {
+		pipe := r.flitIn[p]
+		if pipe == nil {
+			continue
+		}
+		for _, f := range pipe.Receive() {
+			route := Local
+			if f.Type.IsHead() {
+				route = r.cfg.Routing.Route(r.coord, CoordOf(f.Dst, r.cfg.Width))
+			}
+			r.in[p].bufferWrite(f, cycle, route)
+			if r.net != nil && r.net.tracer != nil {
+				r.net.trace(EvBufferWrite, r.id, p, f.VC, f)
+			}
+		}
+	}
+}
+
+// creditTick advances credit processing on all output units.
+func (r *Router) creditTick() {
+	for p := Port(0); p < NumPorts; p++ {
+		if r.out[p] != nil {
+			r.out[p].creditTick()
+		}
+	}
+}
+
+// applyPower enacts the Up_Down masks on all input units.
+func (r *Router) applyPower() {
+	for p := Port(0); p < NumPorts; p++ {
+		if r.in[p] != nil {
+			r.in[p].applyPower()
+		}
+	}
+}
+
+// stageST executes last cycle's switch grants: winners leave their input
+// buffers, traverse the crossbar and are launched onto the output links.
+func (r *Router) stageST(cycle uint64) {
+	for _, g := range r.grants {
+		f := r.in[g.inPort].popFlit(g.vc)
+		r.out[g.outPort].sendFlit(f, g.outVC, cycle)
+		r.stFlits++
+		if r.net != nil {
+			r.net.noteProgress()
+		}
+		if r.net != nil && r.net.tracer != nil {
+			r.net.trace(EvSTraverse, r.id, g.outPort, g.outVC, f)
+		}
+	}
+	r.grants = r.grants[:0]
+}
+
+// vaCand is one input VC requesting a downstream VC this cycle.
+type vaCand struct {
+	inP  Port
+	vc   int
+	outP Port
+	vn   int
+	flat int
+}
+
+// stageVA grants downstream VCs to packets whose head flits completed
+// buffer write. One grant per (output port, vnet) per cycle; the
+// candidate set is restricted to idle *powered* downstream VCs, so the
+// recovery policies steer which VC a new packet lands on.
+//
+// Requesters are gathered in a single pass over the input VCs (almost
+// always zero or one per cycle), then arbitrated per (output port, vnet)
+// with the rotating-priority rule of a round-robin arbiter.
+func (r *Router) stageVA(cycle uint64) {
+	total := r.cfg.TotalVCs()
+	r.vaCands = r.vaCands[:0]
+	for inP := Port(0); inP < NumPorts; inP++ {
+		iu := r.in[inP]
+		if iu == nil {
+			continue
+		}
+		for vc := range iu.vcs {
+			b := &iu.vcs[vc]
+			if b.state == VCActive && b.outVC == -1 && iu.headReady(vc, cycle) {
+				r.vaCands = append(r.vaCands, vaCand{
+					inP:  inP,
+					vc:   vc,
+					outP: b.outPort,
+					vn:   vc / r.cfg.VCsPerVNet,
+					flat: int(inP)*total + vc,
+				})
+			}
+		}
+	}
+	flat := int(NumPorts) * total
+	for i := 0; i < len(r.vaCands); i++ {
+		c := r.vaCands[i]
+		if c.flat < 0 {
+			continue // already arbitrated as part of an earlier group
+		}
+		ou := r.out[c.outP]
+		arb := r.vaArb[c.outP][c.vn]
+		// Rotating-priority selection among all candidates of this
+		// (output port, vnet) group; remaining group members are marked
+		// consumed.
+		best, bestDist := i, (c.flat-arb.next+flat)%flat
+		for j := i + 1; j < len(r.vaCands); j++ {
+			cj := r.vaCands[j]
+			if cj.flat < 0 || cj.outP != c.outP || cj.vn != c.vn {
+				continue
+			}
+			if d := (cj.flat - arb.next + flat) % flat; d < bestDist {
+				best, bestDist = j, d
+			}
+		}
+		for j := i; j < len(r.vaCands); j++ {
+			if r.vaCands[j].flat >= 0 && r.vaCands[j].outP == c.outP && r.vaCands[j].vn == c.vn {
+				if j != best {
+					r.vaCands[j].flat = -1
+				}
+			}
+		}
+		w := r.vaCands[best]
+		r.vaCands[best].flat = -1
+		if ou == nil || !ou.hasFreeVC(w.vn) {
+			continue
+		}
+		arb.next = (w.flat + 1) % flat
+		outVC := ou.allocVC(w.vn)
+		if outVC < 0 {
+			panic("noc: hasFreeVC/allocVC disagree")
+		}
+		r.in[w.inP].vcs[w.vc].outVC = outVC
+		r.vaGrants++
+		if r.net != nil && r.net.tracer != nil {
+			r.net.trace(EvVAGrant, r.id, w.inP, w.vc, *r.in[w.inP].vcs[w.vc].peek())
+		}
+	}
+}
+
+// stageSA performs separable switch allocation: each input port bids one
+// ready VC; each output port grants one input port. Winners are queued
+// for next cycle's ST.
+func (r *Router) stageSA(cycle uint64) {
+	// Input stage: pick a candidate VC per input port.
+	for inP := Port(0); inP < NumPorts; inP++ {
+		r.saCand[inP] = -1
+		iu := r.in[inP]
+		if iu == nil {
+			continue
+		}
+		req := r.saReq[inP]
+		any := false
+		for vc := range req {
+			b := &iu.vcs[vc]
+			req[vc] = b.state == VCActive && b.outVC != -1 &&
+				iu.headReady(vc, cycle) && r.out[b.outPort].canSend(b.outVC, cycle+1)
+			any = any || req[vc]
+		}
+		if any {
+			r.saCand[inP] = r.saVCArb[inP].Peek(req)
+		}
+	}
+	// Output stage: grant one input port per output port.
+	for outP := Port(0); outP < NumPorts; outP++ {
+		if r.out[outP] == nil {
+			continue
+		}
+		reqPorts := r.saPortReq[outP][:]
+		any := false
+		for inP := Port(0); inP < NumPorts; inP++ {
+			ok := false
+			if c := r.saCand[inP]; c >= 0 {
+				ok = r.in[inP].vcs[c].outPort == outP
+			}
+			reqPorts[inP] = ok
+			any = any || ok
+		}
+		if !any {
+			continue
+		}
+		winner := r.saPortArb[outP].Grant(reqPorts)
+		if winner < 0 {
+			continue
+		}
+		inP := Port(winner)
+		vc := r.saCand[inP]
+		// Advance the winning input port's VC arbiter.
+		r.saVCArb[inP].Grant(r.saReq[inP])
+		r.grants = append(r.grants, saGrant{
+			inPort:  inP,
+			vc:      vc,
+			outPort: outP,
+			outVC:   r.in[inP].vcs[vc].outVC,
+		})
+		r.saGrants++
+	}
+}
+
+// stagePolicy computes is_new_traffic per (output port, vnet) and runs
+// the pre-VA recovery policy of every output unit — the paper's
+// cooperative step, executed in the upstream router.
+func (r *Router) stagePolicy(cycle uint64) {
+	for p := Port(0); p < NumPorts; p++ {
+		for vn := range r.newTraffic[p] {
+			r.newTraffic[p][vn] = false
+		}
+	}
+	for inP := Port(0); inP < NumPorts; inP++ {
+		iu := r.in[inP]
+		if iu == nil {
+			continue
+		}
+		for vc := range iu.vcs {
+			b := &iu.vcs[vc]
+			if b.state == VCActive && b.outVC == -1 {
+				r.newTraffic[b.outPort][vc/r.cfg.VCsPerVNet] = true
+			}
+		}
+	}
+	for p := Port(0); p < NumPorts; p++ {
+		if r.out[p] != nil {
+			r.out[p].runPolicy(r.newTraffic[p], cycle)
+		}
+	}
+}
+
+// accountNBTI charges this cycle's stress/recovery on every input VC and
+// publishes the most-degraded VC over each Down_Up link.
+func (r *Router) accountNBTI(cycle uint64) {
+	for p := Port(0); p < NumPorts; p++ {
+		if iu := r.in[p]; iu != nil {
+			iu.accountNBTI()
+			iu.publishMostDegraded(cycle)
+		}
+	}
+}
+
+// CrossbarTraversals returns the number of ST events executed.
+func (r *Router) CrossbarTraversals() uint64 { return r.stFlits }
+
+// VAGrants returns the number of downstream VCs allocated by this
+// router.
+func (r *Router) VAGrants() uint64 { return r.vaGrants }
+
+// SAGrants returns the number of switch allocations performed.
+func (r *Router) SAGrants() uint64 { return r.saGrants }
+
+// bufferedFlits returns the number of flits buffered in the router.
+func (r *Router) bufferedFlits() int {
+	n := 0
+	for p := Port(0); p < NumPorts; p++ {
+		if r.in[p] != nil {
+			n += r.in[p].bufferedFlits()
+		}
+	}
+	return n
+}

@@ -1,0 +1,91 @@
+package noc
+
+import "fmt"
+
+// RoutingAlgorithm selects the output port for a packet at a router.
+type RoutingAlgorithm int
+
+const (
+	// RouteXY is dimension-order routing, X first (deadlock-free on a
+	// mesh; the default, as in Garnet).
+	RouteXY RoutingAlgorithm = iota
+	// RouteYX is dimension-order routing, Y first.
+	RouteYX
+	// RouteWestFirst is the west-first turn-model algorithm: any west
+	// hops are taken first, after which the packet may route adaptively
+	// minimal among the remaining directions; this implementation
+	// breaks the remaining tie deterministically (X before Y) so runs
+	// stay reproducible.
+	RouteWestFirst
+)
+
+func (a RoutingAlgorithm) String() string {
+	switch a {
+	case RouteXY:
+		return "xy"
+	case RouteYX:
+		return "yx"
+	case RouteWestFirst:
+		return "west-first"
+	default:
+		return fmt.Sprintf("RoutingAlgorithm(%d)", int(a))
+	}
+}
+
+// ParseRouting converts a name ("xy", "yx", "west-first") to an
+// algorithm.
+func ParseRouting(name string) (RoutingAlgorithm, error) {
+	switch name {
+	case "xy":
+		return RouteXY, nil
+	case "yx":
+		return RouteYX, nil
+	case "west-first":
+		return RouteWestFirst, nil
+	default:
+		return 0, fmt.Errorf("noc: unknown routing algorithm %q", name)
+	}
+}
+
+// Route returns the output port at router cur for a packet headed to
+// dst, in a width-w mesh. It returns Local when cur == dst.
+func (a RoutingAlgorithm) Route(cur, dst Coord) Port {
+	if cur == dst {
+		return Local
+	}
+	switch a {
+	case RouteYX:
+		if cur.Y != dst.Y {
+			return vertical(cur, dst)
+		}
+		return horizontal(cur, dst)
+	case RouteWestFirst:
+		if dst.X < cur.X {
+			return West
+		}
+		// No west component remains; minimal X-then-Y.
+		if cur.X != dst.X {
+			return East
+		}
+		return vertical(cur, dst)
+	default: // RouteXY
+		if cur.X != dst.X {
+			return horizontal(cur, dst)
+		}
+		return vertical(cur, dst)
+	}
+}
+
+func horizontal(cur, dst Coord) Port {
+	if dst.X > cur.X {
+		return East
+	}
+	return West
+}
+
+func vertical(cur, dst Coord) Port {
+	if dst.Y > cur.Y {
+		return South
+	}
+	return North
+}

@@ -1,0 +1,78 @@
+package noc
+
+import (
+	"fmt"
+	"io"
+)
+
+// EventKind identifies a traced microarchitectural event.
+type EventKind uint8
+
+// Traced event kinds, in pipeline order.
+const (
+	// EvInject: a packet entered an NI source queue.
+	EvInject EventKind = iota
+	// EvNIAlloc: the NI's VA granted a local-port VC to a packet.
+	EvNIAlloc
+	// EvBufferWrite: a flit was written into an input VC (BW stage).
+	EvBufferWrite
+	// EvVAGrant: a head flit obtained a downstream VC (VA stage).
+	EvVAGrant
+	// EvSTraverse: a flit won switch allocation and traversed (ST).
+	EvSTraverse
+	// EvEject: a flit was drained at its destination NI.
+	EvEject
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvInject:
+		return "INJECT"
+	case EvNIAlloc:
+		return "NI-VA"
+	case EvBufferWrite:
+		return "BW"
+	case EvVAGrant:
+		return "VA"
+	case EvSTraverse:
+		return "ST"
+	case EvEject:
+		return "EJECT"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Tracer receives flit-level pipeline events. Implementations must be
+// fast; the tracer runs inline with the simulation. A nil tracer (the
+// default) costs a single branch per event site.
+type Tracer interface {
+	// Event reports one pipeline event. node/port locate the event
+	// (port is the input port for BW/VA, the output port for ST, Local
+	// for NI events); vc is the flattened VC involved (-1 if n/a).
+	Event(cycle uint64, kind EventKind, node NodeID, port Port, vc int, f Flit)
+}
+
+// WriterTracer formats events as one text line each, suitable for
+// post-processing into per-packet waterfalls:
+//
+//	cycle=12 ev=BW node=1 port=W vc=0 pkt=3 src=0 dst=1 seq=0/4 type=head
+type WriterTracer struct {
+	W io.Writer
+}
+
+// Event implements Tracer.
+func (t *WriterTracer) Event(cycle uint64, kind EventKind, node NodeID, port Port, vc int, f Flit) {
+	fmt.Fprintf(t.W, "cycle=%d ev=%s node=%d port=%v vc=%d pkt=%d src=%d dst=%d seq=%d/%d type=%s\n",
+		cycle, kind, node, port, vc, f.PacketID, f.Src, f.Dst, f.Seq, f.Len, f.Type)
+}
+
+// SetTracer installs (or clears, with nil) the network's event tracer.
+func (n *Network) SetTracer(tr Tracer) { n.tracer = tr }
+
+// trace emits an event if a tracer is installed.
+func (n *Network) trace(kind EventKind, node NodeID, port Port, vc int, f Flit) {
+	if n.tracer != nil {
+		n.tracer.Event(n.cycle, kind, node, port, vc, f)
+	}
+}

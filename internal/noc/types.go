@@ -1,0 +1,109 @@
+// Package noc implements a cycle-accurate 2D-mesh network-on-chip model
+// in the style of Garnet (Agarwal et al., ISPASS'09): wormhole switching,
+// virtual-channel flow control with credits, virtual networks, and
+// 3-stage pipelined routers (BW/RC → VA/SA → ST) plus single-cycle link
+// traversal.
+//
+// Two properties of the model are specific to this reproduction of
+// Zoni & Fornaciari (DATE'13):
+//
+//  1. Virtual-channel allocation for a downstream input port is performed
+//     by the *upstream* router (or network interface), which maintains an
+//     outVCstate mirror of the downstream VCs — exactly the structure the
+//     paper's pre-VA recovery policies exploit.
+//  2. Every router input VC buffer can be power gated. A gated buffer is
+//     in NBTI *recovery*; a powered buffer (holding flits or idle) is
+//     under NBTI *stress*. The pre-VA policy of each upstream output unit
+//     decides, every cycle, which idle downstream VCs stay powered.
+//
+// The package depends only on the aging substrates (nbti, pv, sensor,
+// rng); the paper's recovery policies themselves live in internal/core.
+package noc
+
+import "fmt"
+
+// Port identifies one of the five router ports.
+type Port int
+
+// Router port indices. Local connects to the tile's network interface.
+const (
+	Local Port = iota
+	North
+	East
+	South
+	West
+	// NumPorts is the router radix (4 mesh directions + local).
+	NumPorts
+)
+
+// String returns the conventional one-letter port name.
+func (p Port) String() string {
+	switch p {
+	case Local:
+		return "L"
+	case North:
+		return "N"
+	case East:
+		return "E"
+	case South:
+		return "S"
+	case West:
+		return "W"
+	default:
+		return fmt.Sprintf("Port(%d)", int(p))
+	}
+}
+
+// Opposite returns the port on the neighbouring router that faces p:
+// a flit leaving through East arrives on the neighbour's West input.
+func (p Port) Opposite() Port {
+	switch p {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	default:
+		return Local
+	}
+}
+
+// VCState is the allocation state of a virtual channel as tracked both in
+// the downstream input unit and in the upstream outVCstate mirror.
+type VCState uint8
+
+const (
+	// VCIdle means no packet is assigned to the VC.
+	VCIdle VCState = iota
+	// VCActive means a packet owns the VC, from allocation (upstream
+	// view) or head-flit arrival (downstream view) until the tail flit
+	// has fully drained.
+	VCActive
+)
+
+func (s VCState) String() string {
+	switch s {
+	case VCIdle:
+		return "idle"
+	case VCActive:
+		return "active"
+	default:
+		return fmt.Sprintf("VCState(%d)", uint8(s))
+	}
+}
+
+// NodeID identifies a tile (router + network interface) in the mesh.
+type NodeID int
+
+// Coord is a mesh coordinate; x grows eastward, y grows southward, so
+// node 0 is the upper-left tile as in the paper's figures.
+type Coord struct{ X, Y int }
+
+// NodeOf returns the node id of a coordinate in a width-w mesh.
+func (c Coord) NodeOf(w int) NodeID { return NodeID(c.Y*w + c.X) }
+
+// CoordOf returns the coordinate of node n in a width-w mesh.
+func CoordOf(n NodeID, w int) Coord { return Coord{X: int(n) % w, Y: int(n) / w} }

@@ -1,0 +1,298 @@
+package noc
+
+import (
+	"testing"
+
+	"nbtinoc/internal/rng"
+)
+
+// mkChannel builds a connected OutputUnit/InputUnit pair outside a full
+// network, for white-box protocol tests.
+func mkChannel(t *testing.T, cfg Config, factory PolicyFactory) (*OutputUnit, *InputUnit, *Network) {
+	t.Helper()
+	// A minimal network supplies consistent wiring helpers.
+	n := &Network{cfg: cfg}
+	ou := newOutputUnit(0, East, &n.cfg, cfg.BufferDepth, factory)
+	vth := make([]float64, cfg.TotalVCs())
+	for i := range vth {
+		vth[i] = 0.18
+	}
+	iu := newInputUnit(1, West, &n.cfg, cfg.BufferDepth, vth)
+	n.connect(ou, iu)
+	return ou, iu, n
+}
+
+// tick advances the channel's control links and delivers flits/credits,
+// mimicking the relevant phases of Network.Step for a single channel.
+func (n *Network) tickChannel(t *testing.T, ou *OutputUnit, iu *InputUnit, cycle uint64) []Flit {
+	t.Helper()
+	for _, l := range n.powerLinks {
+		l.Tick()
+	}
+	for _, l := range n.mdLinks {
+		l.Tick()
+	}
+	ou.creditTick()
+	arrived := append([]Flit(nil), n.flitPipes[0].Receive()...)
+	for _, f := range arrived {
+		iu.bufferWrite(f, cycle, Local)
+	}
+	iu.applyPower()
+	return arrived
+}
+
+func unitConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Width, cfg.Height = 2, 1
+	cfg.VCsPerVNet = 4
+	return cfg
+}
+
+func TestOutVCStateLifecycle(t *testing.T) {
+	cfg := unitConfig()
+	ou, iu, n := mkChannel(t, cfg, nil)
+	cycle := uint64(1)
+	n.tickChannel(t, ou, iu, cycle)
+
+	vc := ou.allocVC(0)
+	if vc < 0 {
+		t.Fatal("allocation failed on empty channel")
+	}
+	if ou.StateOf(vc) != VCActive {
+		t.Fatal("allocated VC not active in outVCstate")
+	}
+	// Send a 2-flit packet.
+	head := Flit{Type: HeadFlit, Len: 2, VC: vc}
+	tail := Flit{Type: TailFlit, Seq: 1, Len: 2, VC: vc}
+	ou.sendFlit(head, vc, cycle)
+	cycle++
+	n.tickChannel(t, ou, iu, cycle)
+	ou.sendFlit(tail, vc, cycle)
+	if ou.Credits(vc) != cfg.BufferDepth-2 {
+		t.Fatalf("credits = %d, want %d", ou.Credits(vc), cfg.BufferDepth-2)
+	}
+	cycle++
+	n.tickChannel(t, ou, iu, cycle)
+	if iu.Occupancy(vc) != 2 {
+		t.Fatalf("downstream occupancy = %d, want 2", iu.Occupancy(vc))
+	}
+	if iu.VCStateOf(vc) != VCActive {
+		t.Fatal("downstream VC not active after head arrival")
+	}
+	// VC stays active upstream until the tail drains and credits return.
+	if ou.StateOf(vc) != VCActive {
+		t.Fatal("outVCstate retired before drain")
+	}
+	iu.popFlit(vc)
+	iu.popFlit(vc)
+	if iu.VCStateOf(vc) != VCIdle {
+		t.Fatal("downstream VC not idle after tail pop")
+	}
+	// Credits flow back over the pipeline; after both arrive the
+	// upstream VC returns to idle.
+	cycle++
+	n.tickChannel(t, ou, iu, cycle)
+	if ou.StateOf(vc) != VCIdle {
+		t.Fatalf("outVCstate = %v after full drain, want idle", ou.StateOf(vc))
+	}
+	if ou.Credits(vc) != cfg.BufferDepth {
+		t.Fatalf("credits = %d after drain, want %d", ou.Credits(vc), cfg.BufferDepth)
+	}
+}
+
+func TestAllocRotates(t *testing.T) {
+	cfg := unitConfig()
+	ou, _, _ := mkChannel(t, cfg, nil)
+	a := ou.allocVC(0)
+	b := ou.allocVC(0)
+	c := ou.allocVC(0)
+	d := ou.allocVC(0)
+	if a == b || b == c || c == d {
+		t.Fatalf("allocation did not rotate: %d %d %d %d", a, b, c, d)
+	}
+	if e := ou.allocVC(0); e != -1 {
+		t.Fatalf("5th allocation on 4 VCs succeeded: %d", e)
+	}
+}
+
+func TestSendWithoutCreditPanics(t *testing.T) {
+	cfg := unitConfig()
+	cfg.BufferDepth = 1
+	ou, _, _ := mkChannel(t, cfg, nil)
+	vc := ou.allocVC(0)
+	ou.sendFlit(Flit{Type: HeadFlit, Len: 2}, vc, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send without credit did not panic")
+		}
+	}()
+	ou.sendFlit(Flit{Type: BodyFlit, Len: 2}, vc, 2)
+}
+
+func TestSendOnUnallocatedVCPanics(t *testing.T) {
+	ou, _, _ := mkChannel(t, unitConfig(), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send on idle VC did not panic")
+		}
+	}()
+	ou.sendFlit(Flit{Type: HeadFlit, Len: 1}, 0, 1)
+}
+
+func TestHeadIntoBusyVCPanics(t *testing.T) {
+	cfg := unitConfig()
+	_, iu, _ := mkChannel(t, cfg, nil)
+	iu.bufferWrite(Flit{Type: HeadFlit, Len: 2, VC: 0}, 1, Local)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("packet mixing did not panic")
+		}
+	}()
+	iu.bufferWrite(Flit{Type: HeadFlit, Len: 2, VC: 0}, 2, Local)
+}
+
+func TestBodyIntoIdleVCPanics(t *testing.T) {
+	_, iu, _ := mkChannel(t, unitConfig(), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("body flit into idle VC did not panic")
+		}
+	}()
+	iu.bufferWrite(Flit{Type: BodyFlit, Len: 2, VC: 0}, 1, Local)
+}
+
+func TestBufferOverflowPanics(t *testing.T) {
+	cfg := unitConfig()
+	cfg.BufferDepth = 2
+	_, iu, _ := mkChannel(t, cfg, nil)
+	iu.bufferWrite(Flit{Type: HeadFlit, Len: 4, VC: 0}, 1, Local)
+	iu.bufferWrite(Flit{Type: BodyFlit, Len: 4, VC: 0}, 2, Local)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("buffer overflow did not panic")
+		}
+	}()
+	iu.bufferWrite(Flit{Type: BodyFlit, Len: 4, VC: 0}, 3, Local)
+}
+
+func TestCreditOverflowPanics(t *testing.T) {
+	cfg := unitConfig()
+	ou, iu, n := mkChannel(t, cfg, nil)
+	// Returning a credit the upstream never spent must trip the check.
+	iu.creditOut.Send(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("credit overflow did not panic")
+		}
+	}()
+	n.tickChannel(t, ou, iu, 1)
+}
+
+// gateAll is a test policy gating every idle VC unconditionally.
+type gateAll struct{}
+
+func (gateAll) Name() string                             { return "test-gate-all" }
+func (gateAll) DesiredPower(in *PolicyInput, out []bool) {}
+
+func TestPowerMaskPropagationDelay(t *testing.T) {
+	cfg := unitConfig()
+	ou, iu, n := mkChannel(t, cfg, func() Policy { return gateAll{} })
+	cycle := uint64(1)
+	n.tickChannel(t, ou, iu, cycle)
+	if !iu.Powered(0) {
+		t.Fatal("VCs must start powered")
+	}
+	// The policy gates everything; the command reaches the downstream
+	// one cycle later.
+	ou.runPolicy([]bool{false}, cycle)
+	if !iu.Powered(0) {
+		t.Fatal("mask applied without link delay")
+	}
+	cycle++
+	n.tickChannel(t, ou, iu, cycle)
+	for vc := 0; vc < cfg.TotalVCs(); vc++ {
+		if iu.Powered(vc) {
+			t.Fatalf("VC %d still powered after gate command", vc)
+		}
+	}
+	// NBTI accounting sees the recovery.
+	iu.accountNBTI()
+	if iu.Device(0).Tracker.RecoveryCycles() != 1 {
+		t.Fatal("gated cycle not accounted as recovery")
+	}
+}
+
+func TestPolicyCannotGateActiveVC(t *testing.T) {
+	cfg := unitConfig()
+	ou, iu, n := mkChannel(t, cfg, func() Policy { return gateAll{} })
+	cycle := uint64(1)
+	n.tickChannel(t, ou, iu, cycle)
+	vc := ou.allocVC(0)
+	ou.runPolicy([]bool{false}, cycle) // gate-all policy, but vc is active
+	cycle++
+	n.tickChannel(t, ou, iu, cycle)
+	if !iu.Powered(vc) {
+		t.Fatal("active VC was gated")
+	}
+	if !ou.PoweredMirror(vc) {
+		t.Fatal("upstream mirror lost the active VC's power state")
+	}
+}
+
+func TestMDLinkPropagation(t *testing.T) {
+	cfg := unitConfig()
+	cfg.Sensor.SamplePeriod = 1
+	ou, iu, n := mkChannel(t, cfg, nil)
+	if err := iu.attachSensors(cfg.Sensor, func() *rng.Source { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Force distinct Vth0 values so the comparator has a clear winner.
+	iu.vcs[2].device.Vth0 = 0.25
+	cycle := uint64(1)
+	n.tickChannel(t, ou, iu, cycle)
+	iu.publishMostDegraded(cycle)
+	// The upstream still sees the initial value (one-cycle delay).
+	if got := ou.mdIn.Current(0); got != 0 {
+		t.Fatalf("md visible upstream without delay: %d", got)
+	}
+	cycle++
+	n.tickChannel(t, ou, iu, cycle)
+	if got := ou.mdIn.Current(0); got != 2 {
+		t.Fatalf("md upstream = %d, want 2", got)
+	}
+}
+
+func TestWakeupCountdownInMirror(t *testing.T) {
+	cfg := unitConfig()
+	cfg.WakeupLatency = 2
+	ou, iu, n := mkChannel(t, cfg, func() Policy { return gateAll{} })
+	cycle := uint64(1)
+	n.tickChannel(t, ou, iu, cycle)
+	// Gate everything.
+	ou.runPolicy([]bool{false}, cycle)
+	cycle++
+	n.tickChannel(t, ou, iu, cycle)
+	if ou.hasFreeVC(0) {
+		t.Fatal("gated VCs reported free")
+	}
+	// Wake VC 0 via a keep-one policy decision: emulate by sending an
+	// all-on mask through a baseline policy run.
+	ou.policies[0] = BaselinePolicy{}
+	ou.runPolicy([]bool{true}, cycle)
+	// Mirror: powered but ramping (wakeLeft = 2) — not yet allocatable.
+	if ou.hasFreeVC(0) {
+		t.Fatal("waking VC allocatable immediately")
+	}
+	cycle++
+	n.tickChannel(t, ou, iu, cycle)
+	ou.runPolicy([]bool{true}, cycle) // wakeLeft 2 -> 1
+	if ou.hasFreeVC(0) {
+		t.Fatal("waking VC allocatable after 1 of 2 ramp cycles")
+	}
+	cycle++
+	n.tickChannel(t, ou, iu, cycle)
+	ou.runPolicy([]bool{true}, cycle) // wakeLeft 1 -> 0
+	if !ou.hasFreeVC(0) {
+		t.Fatal("VC not allocatable after ramp completed")
+	}
+}

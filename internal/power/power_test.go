@@ -1,0 +1,178 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nbtinoc/internal/noc"
+)
+
+func sampleEvents() noc.EventCounts {
+	return noc.EventCounts{
+		BufferWrites:       1000,
+		BufferReads:        1000,
+		CrossbarTraversals: 900,
+		VAGrants:           200,
+		SAGrants:           900,
+		LinkFlits:          1100,
+		GateEvents:         50,
+		WakeEvents:         50,
+		StressCycles:       30_000,
+		RecoveryCycles:     70_000,
+	}
+}
+
+func TestDefaultsValidate(t *testing.T) {
+	if err := Default45nm().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	p := Default45nm()
+	p.LinkPJ = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero link energy accepted")
+	}
+	p = Default45nm()
+	p.GatedLeakFraction = 1
+	if err := p.Validate(); err == nil {
+		t.Error("GatedLeakFraction = 1 accepted")
+	}
+	p = Default45nm()
+	p.GatedLeakFraction = -0.1
+	if err := p.Validate(); err == nil {
+		t.Error("negative GatedLeakFraction accepted")
+	}
+	if _, err := Estimate(p, sampleEvents(), 16, 100_000); err == nil {
+		t.Error("Estimate accepted bad params")
+	}
+	if _, err := Estimate(Default45nm(), sampleEvents(), -1, 100_000); err == nil {
+		t.Error("negative sensor count accepted")
+	}
+}
+
+func TestComponentsAndTotals(t *testing.T) {
+	p := Default45nm()
+	r, err := Estimate(p, sampleEvents(), 16, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBuffer := (1000*p.BufferWritePJ + 1000*p.BufferReadPJ) / 1000
+	if math.Abs(r.BufferNJ-wantBuffer) > 1e-12 {
+		t.Errorf("buffer energy = %v, want %v", r.BufferNJ, wantBuffer)
+	}
+	dyn := r.BufferNJ + r.CrossbarNJ + r.AllocNJ + r.LinkNJ + r.GatingNJ
+	if math.Abs(r.DynamicNJ-dyn) > 1e-12 {
+		t.Errorf("dynamic total inconsistent")
+	}
+	leak := r.LeakPoweredNJ + r.LeakGatedNJ + r.SensorLeakNJ
+	if math.Abs(r.LeakageNJ-leak) > 1e-12 {
+		t.Errorf("leakage total inconsistent")
+	}
+	if math.Abs(r.TotalNJ-(r.DynamicNJ+r.LeakageNJ)) > 1e-12 {
+		t.Errorf("grand total inconsistent")
+	}
+}
+
+func TestLeakageSaving(t *testing.T) {
+	p := Default45nm()
+	ev := sampleEvents() // 30% stress, 70% recovery
+	r, err := Estimate(p, ev, 0, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Always-on leakage over 100k buffer-cycles vs 30k full + 70k at 8%:
+	// saving fraction = 0.7 * (1 - 0.08) = 64.4%.
+	want := 100 * 0.7 * (1 - p.GatedLeakFraction)
+	if math.Abs(r.LeakSavedPct-want) > 1e-9 {
+		t.Errorf("leak saved = %.3f%%, want %.3f%%", r.LeakSavedPct, want)
+	}
+	if r.LeakSavedNJ <= 0 {
+		t.Error("no absolute saving reported")
+	}
+}
+
+func TestAlwaysOnNetworkSavesNothing(t *testing.T) {
+	ev := sampleEvents()
+	ev.RecoveryCycles = 0
+	ev.StressCycles = 100_000
+	r, err := Estimate(Default45nm(), ev, 0, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.LeakSavedPct) > 1e-9 || math.Abs(r.LeakSavedNJ) > 1e-9 {
+		t.Errorf("always-on network reports saving: %v%% / %v nJ", r.LeakSavedPct, r.LeakSavedNJ)
+	}
+}
+
+func TestSensorLeakScales(t *testing.T) {
+	p := Default45nm()
+	r0, err := Estimate(p, sampleEvents(), 0, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r16, err := Estimate(p, sampleEvents(), 16, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.SensorLeakNJ != 0 {
+		t.Errorf("sensor leakage with 0 sensors = %v", r0.SensorLeakNJ)
+	}
+	want := 16 * 100_000 * p.SensorLeakMW * 1e6 / p.ClockHz
+	if math.Abs(r16.SensorLeakNJ-want) > 1e-9 {
+		t.Errorf("sensor leakage = %v, want %v", r16.SensorLeakNJ, want)
+	}
+}
+
+func TestGatingTransitionsCostEnergy(t *testing.T) {
+	base := sampleEvents()
+	busy := base
+	busy.GateEvents *= 10
+	busy.WakeEvents *= 10
+	rb, err := Estimate(Default45nm(), base, 0, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz, err := Estimate(Default45nm(), busy, 0, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rz.GatingNJ > rb.GatingNJ) {
+		t.Error("more transitions did not cost more energy")
+	}
+}
+
+func TestEmptyWindow(t *testing.T) {
+	r, err := Estimate(Default45nm(), noc.EventCounts{}, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalNJ != 0 || r.LeakSavedPct != 0 {
+		t.Errorf("empty window not zero: %+v", r)
+	}
+}
+
+// Property: totals are non-negative and monotone in the event counts.
+func TestQuickMonotone(t *testing.T) {
+	p := Default45nm()
+	f := func(w, rd, x uint16) bool {
+		a := noc.EventCounts{BufferWrites: uint64(w), BufferReads: uint64(rd),
+			CrossbarTraversals: uint64(x), StressCycles: 100, RecoveryCycles: 100}
+		b := a
+		b.BufferWrites += 10
+		ra, err := Estimate(p, a, 4, 200)
+		if err != nil {
+			return false
+		}
+		rb, err := Estimate(p, b, 4, 200)
+		if err != nil {
+			return false
+		}
+		return ra.TotalNJ >= 0 && rb.TotalNJ > ra.TotalNJ
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,249 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+
+	"nbtinoc/internal/nbti"
+	"nbtinoc/internal/rng"
+)
+
+func devices(vth0s ...float64) []*nbti.Device {
+	model := nbti.Default45nm()
+	out := make([]*nbti.Device, len(vth0s))
+	for i, v := range vth0s {
+		out[i] = nbti.NewDevice(v, model)
+	}
+	return out
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := IdealConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SamplePeriod: 0},
+		{SamplePeriod: 1, LSB: -1},
+		{SamplePeriod: 1, NoiseSigma: -1},
+		{SamplePeriod: 1, Horizon: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewRejectsNilDevice(t *testing.T) {
+	if _, err := New(nil, IdealConfig(), nil); err == nil {
+		t.Fatal("nil device accepted")
+	}
+}
+
+func TestNewRequiresRngForNoise(t *testing.T) {
+	d := devices(0.18)[0]
+	cfg := Config{SamplePeriod: 1, NoiseSigma: 1e-3}
+	if _, err := New(d, cfg, nil); err == nil {
+		t.Fatal("noisy sensor without rng accepted")
+	}
+}
+
+func TestIdealSensorReadsVth0(t *testing.T) {
+	d := devices(0.1834)[0]
+	s, err := New(d, IdealConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Read(0); got != 0.1834 {
+		t.Fatalf("Read = %v, want 0.1834", got)
+	}
+}
+
+func TestQuantisation(t *testing.T) {
+	d := devices(0.18037)[0]
+	cfg := Config{SamplePeriod: 1, LSB: 0.5e-3}
+	s, err := New(d, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Read(0)
+	want := math.Round(0.18037/0.5e-3) * 0.5e-3
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("quantised read = %v, want %v", got, want)
+	}
+	if rem := math.Mod(got, 0.5e-3); math.Abs(rem) > 1e-12 && math.Abs(rem-0.5e-3) > 1e-12 {
+		t.Fatalf("read %v not on LSB grid", got)
+	}
+}
+
+func TestSamplePeriodHoldsValue(t *testing.T) {
+	d := devices(0.18)[0]
+	cfg := Config{SamplePeriod: 100, NoiseSigma: 2e-3}
+	s, err := New(d, cfg, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s.Read(0)
+	for c := uint64(1); c < 100; c++ {
+		if v := s.Read(c); v != first {
+			t.Fatalf("held value changed at cycle %d: %v != %v", c, v, first)
+		}
+	}
+	// At the sample period a fresh (noisy) measurement is taken; with
+	// σ = 2 mV the chance of exact equality is negligible.
+	if v := s.Read(100); v == first {
+		t.Error("no fresh measurement at sample period")
+	}
+}
+
+func TestHorizonProjectsStressHistory(t *testing.T) {
+	model := nbti.Default45nm()
+	d := nbti.NewDevice(0.180, model)
+	d.Tracker.Stress(90, 45)
+	d.Tracker.Recover(10)
+	cfg := Config{SamplePeriod: 1, Horizon: 3 * nbti.SecondsPerYear}
+	s, err := New(d, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Read(0)
+	want := 0.180 + model.DeltaVth(0.9, 3*nbti.SecondsPerYear)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("horizon read = %v, want %v", got, want)
+	}
+}
+
+func TestBankMostDegradedStatic(t *testing.T) {
+	devs := devices(0.178, 0.186, 0.181, 0.179)
+	b, err := NewBank(devs, IdealConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.MostDegraded(0); got != 1 {
+		t.Fatalf("MostDegraded = %d, want 1", got)
+	}
+	if b.Size() != 4 {
+		t.Fatalf("Size = %d", b.Size())
+	}
+}
+
+func TestBankTieResolvesToLowestIndex(t *testing.T) {
+	devs := devices(0.186, 0.186, 0.181)
+	b, err := NewBank(devs, IdealConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.MostDegraded(0); got != 0 {
+		t.Fatalf("tie resolved to %d, want 0", got)
+	}
+}
+
+func TestBankEmptyRejected(t *testing.T) {
+	if _, err := NewBank(nil, IdealConfig(), nil); err == nil {
+		t.Fatal("empty bank accepted")
+	}
+}
+
+func TestBankCachesBetweenPeriods(t *testing.T) {
+	devs := devices(0.180, 0.185)
+	cfg := Config{SamplePeriod: 1000, Horizon: 3 * nbti.SecondsPerYear}
+	b, err := NewBank(devs, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.MostDegraded(0); got != 1 {
+		t.Fatalf("initial MD = %d, want 1", got)
+	}
+	// Pile stress onto VC0 so its projected Vth overtakes VC1.
+	devs[0].Tracker.Stress(1000000, 0)
+	devs[1].Tracker.Recover(1000000)
+	// Within the sampling period the cached answer must hold.
+	if got := b.MostDegraded(500); got != 1 {
+		t.Fatalf("cached MD = %d, want 1", got)
+	}
+	// After the period, the comparator sees the new ranking.
+	if got := b.MostDegraded(1000); got != 0 {
+		t.Fatalf("refreshed MD = %d, want 0", got)
+	}
+}
+
+func TestBankDynamicRankingFollowsDutyCycle(t *testing.T) {
+	// With equal Vth0, the device with higher duty-cycle must become the
+	// most degraded under a non-zero horizon.
+	devs := devices(0.180, 0.180, 0.180)
+	cfg := Config{SamplePeriod: 1, Horizon: nbti.SecondsPerYear}
+	b, err := NewBank(devs, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs[2].Tracker.Stress(900, 0)
+	devs[2].Tracker.Recover(100)
+	devs[0].Tracker.Stress(100, 0)
+	devs[0].Tracker.Recover(900)
+	devs[1].Tracker.Stress(500, 0)
+	devs[1].Tracker.Recover(500)
+	if got := b.MostDegraded(0); got != 2 {
+		t.Fatalf("dynamic MD = %d, want 2", got)
+	}
+}
+
+func TestNoiseIsReproducible(t *testing.T) {
+	mk := func() *Bank {
+		devs := devices(0.180, 0.181)
+		b, err := NewBank(devs, DefaultConfig(), rng.New(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := mk(), mk()
+	for c := uint64(0); c < 5000; c += 500 {
+		if a.MostDegraded(c) != b.MostDegraded(c) {
+			t.Fatalf("noisy comparator diverged at cycle %d", c)
+		}
+	}
+}
+
+func TestBankLeastDegraded(t *testing.T) {
+	devs := devices(0.182, 0.176, 0.185, 0.179)
+	b, err := NewBank(devs, IdealConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.LeastDegraded(0); got != 1 {
+		t.Fatalf("LeastDegraded = %d, want 1", got)
+	}
+	if got := b.MostDegraded(0); got != 2 {
+		t.Fatalf("MostDegraded = %d, want 2", got)
+	}
+	// Accessors.
+	if b.Sensor(0).Device() != devs[0] {
+		t.Error("Sensor/Device accessors wrong")
+	}
+}
+
+func TestBankLDTracksStress(t *testing.T) {
+	devs := devices(0.180, 0.180)
+	cfg := Config{SamplePeriod: 1, Horizon: nbti.SecondsPerYear}
+	b, err := NewBank(devs, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs[0].Tracker.Stress(900, 0)
+	devs[0].Tracker.Recover(100)
+	devs[1].Tracker.Stress(100, 0)
+	devs[1].Tracker.Recover(900)
+	if got := b.LeastDegraded(0); got != 1 {
+		t.Fatalf("dynamic LD = %d, want 1", got)
+	}
+}
+
+func TestNewBankRejectsBadConfig(t *testing.T) {
+	devs := devices(0.18)
+	if _, err := NewBank(devs, Config{SamplePeriod: 0}, nil); err == nil {
+		t.Fatal("bad config accepted by NewBank")
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV renders the synthetic table as machine-readable CSV, one row per
+// (scenario, policy, VC).
+func (t *SyntheticTable) CSV() string {
+	var b strings.Builder
+	b.WriteString("scenario,cores,rate,policy,vc,duty_pct,is_md,gap_pts\n")
+	for _, row := range t.Rows {
+		for _, policy := range t.Policies {
+			for vc, d := range row.Duty[policy] {
+				isMD := 0
+				if vc == row.MDVC {
+					isMD = 1
+				}
+				fmt.Fprintf(&b, "%s,%d,%.2f,%s,%d,%.4f,%d,%.4f\n",
+					row.Scenario, row.Cores, row.Rate, policy, vc, d, isMD, row.Gap)
+			}
+		}
+	}
+	return b.String()
+}
+
+// CSV renders Table IV as CSV, one row per (scenario, policy, VC).
+func (t *RealTable) CSV() string {
+	var b strings.Builder
+	b.WriteString("scenario,cores,policy,vc,avg_duty_pct,std_duty_pct,is_md,gap_pts\n")
+	for _, row := range t.Rows {
+		emit := func(policy string, avg, std []float64) {
+			for vc := range avg {
+				isMD := 0
+				if vc == row.MDVC {
+					isMD = 1
+				}
+				fmt.Fprintf(&b, "%s,%d,%s,%d,%.4f,%.4f,%d,%.4f\n",
+					row.Scenario, row.Cores, policy, vc, avg[vc], std[vc], isMD, row.Gap)
+			}
+		}
+		emit("rr-no-sensor", row.AvgRR, row.StdRR)
+		emit("sensor-wise", row.AvgSW, row.StdSW)
+	}
+	return b.String()
+}
+
+// CSV renders the ΔVth analysis as CSV.
+func (t *VthTable) CSV() string {
+	var b strings.Builder
+	b.WriteString("scenario,md_vc,alpha_md,dvth_baseline_mv,dvth_sensorwise_mv,saving_pct\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%s,%d,%.6f,%.4f,%.4f,%.4f\n",
+			r.Scenario, r.MDVC, r.AlphaMD,
+			1000*r.DeltaVthBaseline, 1000*r.DeltaVthSensorWise, r.SavingPct)
+	}
+	return b.String()
+}
+
+// CSV renders the cooperation ablation as CSV.
+func (t *CoopTable) CSV() string {
+	var b strings.Builder
+	b.WriteString("scenario,md_vc,policy,duty_md_pct\n")
+	for _, r := range t.Rows {
+		for _, p := range CoopPolicies {
+			fmt.Fprintf(&b, "%s,%d,%s,%.4f\n", r.Scenario, r.MDVC, p, r.DutyMD[p])
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the performance sweep as CSV.
+func (t *PerfTable) CSV() string {
+	var b strings.Builder
+	b.WriteString("rate,policy,avg_latency_cy,throughput_fpcn,duty_md_pct,wakeup_cycles\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%.3f,%s,%.4f,%.6f,%.4f,%d\n",
+			r.Rate, r.Policy, r.AvgLatency, r.Throughput, r.DutyMD, t.WakeupLatency)
+	}
+	return b.String()
+}
+
+// CSV renders the design-space exploration as CSV.
+func (t *DSETable) CSV() string {
+	var b strings.Builder
+	b.WriteString("vcs,depth,duty_md_pct,gap_pts,avg_latency_cy,router_um2,overhead_pct\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%d,%d,%.4f,%.4f,%.4f,%.2f,%.4f\n",
+			r.VCs, r.Depth, r.DutyMD, r.GapVsRR, r.AvgLatency, r.RouterUm2, r.OverheadPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,345 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPerfImpact(t *testing.T) {
+	opt := shortTableOptions()
+	tbl, err := RunPerfImpact(4, 2, 0, []float64{0.05, 0.2}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2*len(PerfPolicies) {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	byKey := map[string]PerfRow{}
+	for _, r := range tbl.Rows {
+		byKey[r.Policy+"@"+formatRate(r.Rate)] = r
+		if r.AvgLatency <= 0 || r.Throughput <= 0 {
+			t.Errorf("%s@%.2f: empty perf stats", r.Policy, r.Rate)
+		}
+	}
+	// Gating must be nearly performance-neutral: throughput identical
+	// (same accepted traffic) and latency within a few cycles.
+	for _, rate := range []string{"0.05", "0.20"} {
+		base := byKey["baseline@"+rate]
+		sw := byKey["sensor-wise@"+rate]
+		if sw.Throughput != base.Throughput {
+			t.Errorf("rate %s: throughput differs: %v vs %v", rate, sw.Throughput, base.Throughput)
+		}
+		if sw.AvgLatency > base.AvgLatency+5 {
+			t.Errorf("rate %s: sensor-wise latency %v >> baseline %v",
+				rate, sw.AvgLatency, base.AvgLatency)
+		}
+		if !(sw.DutyMD < base.DutyMD) {
+			t.Errorf("rate %s: no duty reduction", rate)
+		}
+	}
+	if !strings.Contains(tbl.Render(), "trade-off") {
+		t.Error("render missing header")
+	}
+}
+
+func formatRate(r float64) string {
+	if r == 0.05 {
+		return "0.05"
+	}
+	return "0.20"
+}
+
+func TestPerfImpactWakeupCostsLatency(t *testing.T) {
+	opt := shortTableOptions()
+	fast, err := RunPerfImpact(4, 2, 0, []float64{0.1}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := RunPerfImpact(4, 2, 6, []float64{0.1}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(t2 *PerfTable, policy string) PerfRow {
+		for _, r := range t2.Rows {
+			if r.Policy == policy {
+				return r
+			}
+		}
+		t.Fatalf("missing %s", policy)
+		return PerfRow{}
+	}
+	// Baseline is unaffected by wake-up latency (nothing ever gates).
+	if get(fast, "baseline").AvgLatency != get(slow, "baseline").AvgLatency {
+		t.Error("baseline latency changed with wakeup latency")
+	}
+	// The gating policy pays for the ramp.
+	if !(get(slow, "sensor-wise").AvgLatency > get(fast, "sensor-wise").AvgLatency) {
+		t.Errorf("wakeup latency did not cost the gating policy: %v vs %v",
+			get(slow, "sensor-wise").AvgLatency, get(fast, "sensor-wise").AvgLatency)
+	}
+}
+
+func TestRunEnergy(t *testing.T) {
+	opt := shortTableOptions()
+	tbl, err := RunEnergy(4, 2, 0.1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 policies", len(tbl.Rows))
+	}
+	byPolicy := map[string]EnergyRow{}
+	for _, r := range tbl.Rows {
+		byPolicy[r.Policy] = r
+		if r.Report.TotalNJ <= 0 {
+			t.Errorf("%s: zero energy", r.Policy)
+		}
+	}
+	base := byPolicy["baseline"]
+	sw := byPolicy["sensor-wise"]
+	if base.Report.LeakSavedPct != 0 {
+		t.Errorf("baseline leak saving = %v", base.Report.LeakSavedPct)
+	}
+	if !(sw.Report.LeakSavedPct > 30) {
+		t.Errorf("sensor-wise leak saving = %.1f%%, want substantial", sw.Report.LeakSavedPct)
+	}
+	if !(sw.Report.LeakageNJ < base.Report.LeakageNJ) {
+		t.Error("gating did not reduce leakage energy")
+	}
+	// Sensors are charged only to the sensor-wise designs.
+	if base.Sensors != 0 || byPolicy["rr-no-sensor"].Sensors != 0 {
+		t.Error("sensor-less designs charged for sensors")
+	}
+	if sw.Sensors == 0 || byPolicy["sensor-wise-no-traffic"].Sensors == 0 {
+		t.Error("sensor-wise designs not charged for sensors")
+	}
+	if !strings.Contains(tbl.Render(), "leak saved") {
+		t.Error("render missing header")
+	}
+}
+
+func TestSensorStudy(t *testing.T) {
+	tbl, err := RunSensorStudy(4, 4, 0.1, shortTableOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(SensorVariants()) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), len(SensorVariants()))
+	}
+	byName := map[string]SensorRow{}
+	for _, r := range tbl.Rows {
+		byName[r.Variant] = r
+		if r.TrueMD < 0 || r.TrueMD >= 4 {
+			t.Errorf("%s: bad true MD %d", r.Variant, r.TrueMD)
+		}
+	}
+	ideal := byName["ideal"]
+	if !ideal.Identified {
+		t.Error("ideal sensors misidentified the MD VC")
+	}
+	if ideal.GapVsRR <= 0 {
+		t.Errorf("ideal sensors show no gain over rr: %v", ideal.GapVsRR)
+	}
+	// The reference 45 nm sensor (0.5 mV LSB, 0.25 mV noise) must rank a
+	// 5 mV-σ PV spread correctly.
+	if ref := byName["reference"]; !ref.Identified {
+		t.Error("reference sensor misidentified the MD VC")
+	}
+	// Ideal and reference protect the true MD at least as well as the
+	// heavily degraded variant.
+	if vn := byName["very-noisy"]; vn.DutyTrueMD < ideal.DutyTrueMD-1e-9 {
+		t.Errorf("very-noisy (%.2f%%) protects better than ideal (%.2f%%)",
+			vn.DutyTrueMD, ideal.DutyTrueMD)
+	}
+	if out := tbl.Render(); out == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestSensorVariantsValid(t *testing.T) {
+	for _, v := range SensorVariants() {
+		if err := v.Cfg.Validate(); err != nil {
+			t.Errorf("variant %s invalid: %v", v.Name, err)
+		}
+	}
+}
+
+func TestRunCorners(t *testing.T) {
+	opt := shortTableOptions()
+	tbl, err := RunCorners(4, 2, 0.1, 0.050, []float64{325, 375}, []float64{1.0, 1.2}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	if tbl.AlphaMD["baseline"] != 1.0 {
+		t.Errorf("baseline alpha = %v, want 1", tbl.AlphaMD["baseline"])
+	}
+	if !(tbl.AlphaMD["sensor-wise"] < tbl.AlphaMD["rr-no-sensor"]) {
+		t.Error("sensor-wise alpha not below rr")
+	}
+	find := func(temp, vdd float64) CornerRow {
+		for _, r := range tbl.Rows {
+			if r.TempK == temp && r.Vdd == vdd {
+				return r
+			}
+		}
+		t.Fatalf("corner %v/%v missing", temp, vdd)
+		return CornerRow{}
+	}
+	cool := find(325, 1.0)
+	hot := find(375, 1.2)
+	// Heat and field accelerate aging: lifetimes shrink.
+	if !(hot.LifetimeYears["baseline"] < cool.LifetimeYears["baseline"]) {
+		t.Error("hot corner does not shorten baseline lifetime")
+	}
+	// The methodology extends lifetime at every corner.
+	for _, r := range tbl.Rows {
+		if !(r.LifetimeYears["sensor-wise"] >= r.LifetimeYears["baseline"]) {
+			t.Errorf("corner %v/%v: no extension", r.TempK, r.Vdd)
+		}
+		if r.ExtensionX < 1 {
+			t.Errorf("corner %v/%v: extension %.2fx < 1", r.TempK, r.Vdd, r.ExtensionX)
+		}
+	}
+	if out := tbl.Render(); !strings.Contains(out, "extension") {
+		t.Error("render missing header")
+	}
+	// Validation paths.
+	if _, err := RunCorners(4, 2, 0.1, 0, []float64{350}, []float64{1.2}, opt); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := RunCorners(4, 2, 0.1, 0.05, nil, []float64{1.2}, opt); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}
+
+func TestRunDSE(t *testing.T) {
+	opt := shortTableOptions()
+	tbl, err := RunDSE(4, 0.1, []int{2, 4}, []int{2, 4}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	find := func(vcs, depth int) DSERow {
+		for _, r := range tbl.Rows {
+			if r.VCs == vcs && r.Depth == depth {
+				return r
+			}
+		}
+		t.Fatalf("point %d/%d missing", vcs, depth)
+		return DSERow{}
+	}
+	for _, r := range tbl.Rows {
+		if r.DutyMD < 0 || r.DutyMD > 100 || r.AvgLatency <= 0 {
+			t.Errorf("point %d/%d degenerate: %+v", r.VCs, r.Depth, r)
+		}
+		if r.RouterUm2 <= 0 || r.OverheadPct <= 0 {
+			t.Errorf("point %d/%d: missing area data", r.VCs, r.Depth)
+		}
+	}
+	// Area monotonicity: more VCs and deeper buffers grow the router.
+	if !(find(4, 2).RouterUm2 > find(2, 2).RouterUm2) {
+		t.Error("router area did not grow with VCs")
+	}
+	if !(find(2, 4).RouterUm2 > find(2, 2).RouterUm2) {
+		t.Error("router area did not grow with depth")
+	}
+	if out := tbl.Render(); !strings.Contains(out, "Design-space") {
+		t.Error("render missing header")
+	}
+	if _, err := RunDSE(4, 0.1, nil, []int{2}, opt); err == nil {
+		t.Error("empty space accepted")
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	opt := shortTableOptions()
+	syn, err := RunSyntheticTable(2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := syn.CSV()
+	if !strings.HasPrefix(csv, "scenario,cores,rate,policy,vc,duty_pct,is_md,gap_pts\n") {
+		t.Error("synthetic CSV header wrong")
+	}
+	// rows = scenarios x policies x VCs + header
+	wantLines := len(syn.Rows)*len(syn.Policies)*2 + 1
+	if got := strings.Count(csv, "\n"); got != wantLines {
+		t.Errorf("synthetic CSV lines = %d, want %d", got, wantLines)
+	}
+
+	coop, err := RunCooperation(2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(coop.CSV(), "rr-no-sensor-no-traffic") {
+		t.Error("coop CSV missing policies")
+	}
+
+	vth, err := RunVthSaving(2, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(vth.CSV(), "\n"); got != len(vth.Rows)+1 {
+		t.Errorf("vth CSV lines = %d, want %d", got, len(vth.Rows)+1)
+	}
+
+	perf, err := RunPerfImpact(4, 2, 0, []float64{0.1}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(perf.CSV(), "avg_latency_cy") {
+		t.Error("perf CSV header wrong")
+	}
+
+	dse, err := RunDSE(4, 0.1, []int{2}, []int{4}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(dse.CSV(), "\n"); got != 2 {
+		t.Errorf("dse CSV lines = %d, want 2", got)
+	}
+
+	ropt := RealOptions{Iterations: 1, VCs: 2, Warmup: 500, Measure: 8000, SeedBase: 1}
+	real4, err := RunRealTable(ropt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(real4.CSV(), "\n"); got != len(real4.Rows)*2*2+1 {
+		t.Errorf("table4 CSV lines = %d", got)
+	}
+}
+
+func TestRRPeriodStudy(t *testing.T) {
+	opt := shortTableOptions()
+	opt.Measure = 60_000
+	tbl, err := RunRRPeriodStudy(4, 4, 0.1, []uint64{1, 64, 1024}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	byPeriod := map[uint64]RRPeriodRow{}
+	for _, r := range tbl.Rows {
+		byPeriod[r.Period] = r
+		if r.DutyMD < 0 || r.DutyMD > 100 || r.DutySpread < 0 {
+			t.Errorf("period %d degenerate: %+v", r.Period, r)
+		}
+	}
+	// The paper's rationale: fast rotation spreads stress most evenly.
+	if !(byPeriod[1].DutySpread <= byPeriod[1024].DutySpread+0.5) {
+		t.Errorf("period 1 spread %.2f not at or near the minimum (period 1024: %.2f)",
+			byPeriod[1].DutySpread, byPeriod[1024].DutySpread)
+	}
+	if out := tbl.Render(); !strings.Contains(out, "rotation-period") {
+		t.Error("render missing header")
+	}
+	if _, err := RunRRPeriodStudy(4, 4, 0.1, nil, opt); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}

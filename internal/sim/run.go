@@ -1,0 +1,225 @@
+// Package sim is the experiment harness: it builds networks from
+// scenario descriptions, drives traffic generators through warm-up and
+// measurement windows, and aggregates the per-VC NBTI statistics into
+// the tables of the paper's evaluation (Tables II, III, IV), the ΔVth
+// saving analysis and the cooperation ablation.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"nbtinoc/internal/core"
+	"nbtinoc/internal/noc"
+	"nbtinoc/internal/traffic"
+)
+
+// RunConfig describes one simulation run.
+type RunConfig struct {
+	// Net is the network configuration. Its Policy field is overridden
+	// from PolicyName when that is non-empty.
+	Net noc.Config
+	// PolicyName selects the recovery policy from the core registry.
+	PolicyName string
+	// Warmup is the number of cycles simulated before statistics are
+	// reset (the paper lets the network reach steady state first).
+	Warmup uint64
+	// Measure is the measured window length in cycles.
+	Measure uint64
+	// Gen produces the workload.
+	Gen traffic.Generator
+	// RestoreAging, when non-nil, loads an aging snapshot into the
+	// network before the run — note that warm-up still resets the NBTI
+	// trackers, so multi-epoch campaigns restore with Warmup = 0 and
+	// compose epochs through nbti.History instead when a warm-up is
+	// needed.
+	RestoreAging *noc.AgingState
+	// Tracer, when non-nil, receives flit-level pipeline events.
+	Tracer noc.Tracer
+}
+
+// PortProbe identifies one observed input port, as in the paper's
+// per-router/port rows.
+type PortProbe struct {
+	Node noc.NodeID
+	Port noc.Port
+	VNet int
+}
+
+// Label renders the probe in the paper's row style, e.g. "r0-E".
+func (p PortProbe) Label() string { return fmt.Sprintf("r%d-%v", p.Node, p.Port) }
+
+// PortReading is the measured state of one probed port.
+type PortReading struct {
+	Probe PortProbe
+	// Duty holds the NBTI-duty-cycle (percent) of each VC in the vnet
+	// slice.
+	Duty []float64
+	// Busy holds the flit-occupancy fraction (percent) of each VC —
+	// diagnostic, not part of the paper's metric.
+	Busy []float64
+	// Vth0 holds the sampled initial threshold voltages.
+	Vth0 []float64
+	// MostDegraded is the VC the port's sensor bank designates.
+	MostDegraded int
+}
+
+// RunResult is the outcome of one simulation run.
+type RunResult struct {
+	Policy   string
+	Workload string
+	Cycles   uint64
+	// Ports holds one reading per requested probe.
+	Ports []PortReading
+	// AvgLatency is the mean packet latency over all NIs (cycles).
+	AvgLatency float64
+	// Throughput is ejected flits per cycle per node.
+	Throughput float64
+	// InjectedPackets / EjectedPackets over the measured window.
+	InjectedPackets, EjectedPackets uint64
+	// Net is the final network, for further inspection.
+	Net *noc.Network
+}
+
+// Run executes one simulation: warm-up, statistics reset, measurement.
+func Run(rc RunConfig, probes []PortProbe) (*RunResult, error) {
+	if rc.Gen == nil {
+		return nil, errors.New("sim: nil traffic generator")
+	}
+	if rc.Measure == 0 {
+		return nil, errors.New("sim: zero measurement window")
+	}
+	cfg := rc.Net
+	policy := rc.PolicyName
+	if policy != "" {
+		f, err := core.Lookup(policy)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Policy = f
+	} else if cfg.Policy == nil {
+		policy = "baseline"
+	}
+	net, err := noc.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if rc.RestoreAging != nil {
+		if err := net.RestoreAging(*rc.RestoreAging); err != nil {
+			return nil, err
+		}
+	}
+	if rc.Tracer != nil {
+		net.SetTracer(rc.Tracer)
+	}
+	// Closed-loop generators observe packet deliveries.
+	if listener, ok := rc.Gen.(traffic.DeliveryListener); ok {
+		net.SetDeliveryHook(func(f noc.Flit, cycle uint64) {
+			listener.OnDeliver(f.Src, f.Dst, f.VNet, cycle)
+		})
+	}
+
+	var injectErr error
+	emit := func(src, dst noc.NodeID, vnet, length int) {
+		if err := net.Inject(src, dst, vnet, length); err != nil && injectErr == nil {
+			injectErr = err
+		}
+	}
+	total := rc.Warmup + rc.Measure
+	for c := uint64(0); c < total; c++ {
+		rc.Gen.Tick(c, emit)
+		net.Step()
+		if injectErr != nil {
+			return nil, injectErr
+		}
+		if c+1 == rc.Warmup {
+			net.ResetNBTIStats()
+			net.ResetTrafficStats()
+			net.ResetEventCounters()
+		}
+	}
+
+	res := &RunResult{
+		Policy:   policy,
+		Workload: rc.Gen.Name(),
+		Cycles:   rc.Measure,
+		Net:      net,
+	}
+	for _, p := range probes {
+		r, err := ReadPort(net, p)
+		if err != nil {
+			return nil, err
+		}
+		res.Ports = append(res.Ports, r)
+	}
+	var latSum float64
+	var latCnt int
+	var ejFlits uint64
+	for id := 0; id < net.Nodes(); id++ {
+		st := net.NI(noc.NodeID(id)).Stats()
+		res.InjectedPackets += st.InjectedPackets
+		res.EjectedPackets += st.EjectedPackets
+		ejFlits += st.EjectedFlits
+		if st.EjectedPackets > 0 {
+			latSum += st.AvgLatency()
+			latCnt++
+		}
+	}
+	if latCnt > 0 {
+		res.AvgLatency = latSum / float64(latCnt)
+	}
+	res.Throughput = float64(ejFlits) / float64(rc.Measure) / float64(net.Nodes())
+	return res, nil
+}
+
+// ReadPort extracts a port reading from a network.
+func ReadPort(net *noc.Network, p PortProbe) (PortReading, error) {
+	r := net.Router(p.Node)
+	iu := r.Input(p.Port)
+	if iu == nil {
+		return PortReading{}, fmt.Errorf("sim: node %d has no %v input port", p.Node, p.Port)
+	}
+	cfg := net.Config()
+	if p.VNet < 0 || p.VNet >= cfg.VNets {
+		return PortReading{}, fmt.Errorf("sim: vnet %d out of range", p.VNet)
+	}
+	reading := PortReading{Probe: p, MostDegraded: net.MostDegradedVC(p.Node, p.Port, p.VNet)}
+	for i := 0; i < cfg.VCsPerVNet; i++ {
+		vc := p.VNet*cfg.VCsPerVNet + i
+		tr := &iu.Device(vc).Tracker
+		reading.Duty = append(reading.Duty, tr.DutyCycle())
+		busy := 0.0
+		if tot := tr.TotalCycles(); tot > 0 {
+			busy = 100 * float64(tr.BusyCycles()) / float64(tot)
+		}
+		reading.Busy = append(reading.Busy, busy)
+		reading.Vth0 = append(reading.Vth0, net.Vth0(p.Node, p.Port, vc))
+	}
+	return reading, nil
+}
+
+// MeshSide returns the square mesh side for a core count, rejecting
+// non-square values.
+func MeshSide(cores int) (int, error) {
+	side := 1
+	for side*side < cores {
+		side++
+	}
+	if side*side != cores {
+		return 0, fmt.Errorf("sim: %d cores is not a square mesh", cores)
+	}
+	return side, nil
+}
+
+// BaseConfig returns the paper's router/technology configuration for a
+// square mesh with the given core count and VC count.
+func BaseConfig(cores, vcsPerVNet int) (noc.Config, error) {
+	side, err := MeshSide(cores)
+	if err != nil {
+		return noc.Config{}, err
+	}
+	cfg := noc.DefaultConfig()
+	cfg.Width, cfg.Height = side, side
+	cfg.VCsPerVNet = vcsPerVNet
+	return cfg, nil
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"nbtinoc/internal/nbti"
+	"nbtinoc/internal/noc"
+	"nbtinoc/internal/pv"
+	"nbtinoc/internal/traffic"
+)
+
+// Scenario is a fully serialisable experiment description: everything a
+// run needs, in one JSON file, so published results can name the exact
+// scenario that produced them.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name"`
+	// Cores is the tile count of the square mesh.
+	Cores int `json:"cores"`
+	// VCs is the VC count per vnet per input port.
+	VCs int `json:"vcs"`
+	// VNets is the virtual-network count (default 1).
+	VNets int `json:"vnets,omitempty"`
+	// Policy is the recovery policy name (default "baseline").
+	Policy string `json:"policy"`
+	// TechNode selects the technology corner: 45 (default) or 32 nm,
+	// setting the paper's Vth0 of 0.180 V or 0.160 V respectively.
+	TechNode int `json:"tech_nm,omitempty"`
+	// Workload is a synthetic pattern name, "app" (random benchmark
+	// mix), or "req-resp" (closed-loop coherence-like traffic).
+	Workload string `json:"workload"`
+	// Rate is the injection rate for synthetic/req-resp workloads.
+	Rate float64 `json:"rate,omitempty"`
+	// PacketLen is the synthetic packet length in flits (default 4).
+	PacketLen int `json:"packet_len,omitempty"`
+	// Phits is the link serialization factor (default 1).
+	Phits int `json:"phits,omitempty"`
+	// WakeupLatency is the sleep-transistor ramp in cycles (default 0).
+	WakeupLatency int `json:"wakeup_latency,omitempty"`
+	// Warmup and Measure are the window lengths in cycles.
+	Warmup  uint64 `json:"warmup"`
+	Measure uint64 `json:"measure"`
+	// Seed drives the workload; PVSeed the silicon.
+	Seed   uint64 `json:"seed"`
+	PVSeed uint64 `json:"pv_seed"`
+}
+
+// Validate normalises defaults and reports structural problems.
+func (s *Scenario) Validate() error {
+	if s.Cores == 0 {
+		return fmt.Errorf("sim: scenario %q missing cores", s.Name)
+	}
+	if _, err := MeshSide(s.Cores); err != nil {
+		return err
+	}
+	if s.VCs < 1 {
+		return fmt.Errorf("sim: scenario %q needs vcs >= 1", s.Name)
+	}
+	if s.Measure == 0 {
+		return fmt.Errorf("sim: scenario %q has no measurement window", s.Name)
+	}
+	if s.VNets == 0 {
+		s.VNets = 1
+	}
+	if s.Policy == "" {
+		s.Policy = "baseline"
+	}
+	if s.TechNode == 0 {
+		s.TechNode = 45
+	}
+	if s.TechNode != 45 && s.TechNode != 32 {
+		return fmt.Errorf("sim: scenario %q: tech node %d nm not modelled (45 or 32)",
+			s.Name, s.TechNode)
+	}
+	if s.PacketLen == 0 {
+		s.PacketLen = 4
+	}
+	if s.Phits == 0 {
+		s.Phits = 1
+	}
+	if s.Workload == "" {
+		s.Workload = "uniform"
+	}
+	if s.Workload == "req-resp" && s.VNets < 2 {
+		return fmt.Errorf("sim: scenario %q: req-resp needs at least 2 vnets", s.Name)
+	}
+	return nil
+}
+
+// BuildConfig materialises the network configuration.
+func (s *Scenario) BuildConfig() (noc.Config, error) {
+	if err := s.Validate(); err != nil {
+		return noc.Config{}, err
+	}
+	cfg, err := BaseConfig(s.Cores, s.VCs)
+	if err != nil {
+		return noc.Config{}, err
+	}
+	cfg.VNets = s.VNets
+	cfg.PVSeed = s.PVSeed
+	cfg.PhitsPerFlit = s.Phits
+	cfg.WakeupLatency = s.WakeupLatency
+	if s.TechNode == 32 {
+		cfg.NBTI = nbti.Default32nm()
+		cfg.PV = pv.Default32nm()
+	}
+	return cfg, nil
+}
+
+// BuildGenerator materialises the workload.
+func (s *Scenario) BuildGenerator() (traffic.Generator, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	side, err := MeshSide(s.Cores)
+	if err != nil {
+		return nil, err
+	}
+	switch s.Workload {
+	case "app":
+		return traffic.NewRandomAppMix(side, side, 0, s.Seed)
+	case "req-resp":
+		cfg := traffic.DefaultReqResp(side, side, s.Rate, s.Seed)
+		return traffic.NewReqResp(cfg)
+	default:
+		pat, err := traffic.ParsePattern(s.Workload)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.NewSynthetic(traffic.SyntheticConfig{
+			Pattern:         pat,
+			Width:           side,
+			Height:          side,
+			Rate:            s.Rate,
+			PacketLen:       s.PacketLen,
+			Seed:            s.Seed,
+			HotspotNode:     0,
+			HotspotFraction: 0.3,
+		})
+	}
+}
+
+// Execute runs the scenario against the given probes.
+func (s *Scenario) Execute(probes []PortProbe) (*RunResult, error) {
+	cfg, err := s.BuildConfig()
+	if err != nil {
+		return nil, err
+	}
+	gen, err := s.BuildGenerator()
+	if err != nil {
+		return nil, err
+	}
+	return Run(RunConfig{
+		Net:        cfg,
+		PolicyName: s.Policy,
+		Warmup:     s.Warmup,
+		Measure:    s.Measure,
+		Gen:        gen,
+	}, probes)
+}
+
+// LoadScenario parses a scenario from JSON.
+func LoadScenario(r io.Reader) (*Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("sim: parsing scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadScenarioFile parses a scenario from a JSON file.
+func LoadScenarioFile(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadScenario(f)
+}
+
+// Save serialises the scenario as indented JSON.
+func (s *Scenario) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

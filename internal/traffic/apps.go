@@ -1,0 +1,331 @@
+package traffic
+
+import (
+	"fmt"
+	"sort"
+
+	"nbtinoc/internal/noc"
+	"nbtinoc/internal/rng"
+)
+
+// DestKind is the spatial communication structure of one application
+// phase.
+type DestKind int
+
+// Phase destination structures, chosen to mirror the dominant
+// communication pattern of each benchmark class.
+const (
+	// DestUniformKind spreads traffic uniformly (sharing-heavy phases).
+	DestUniformKind DestKind = iota
+	// DestNeighborKind sends to mesh-adjacent tiles (stencil/pipeline).
+	DestNeighborKind
+	// DestButterflyKind sends to src XOR 2^k partners, rotating k per
+	// phase repetition (FFT/radix exchange steps).
+	DestButterflyKind
+	// DestRingKind sends around a ring (systolic/water-style exchange).
+	DestRingKind
+	// DestMasterKind converges on node 0 (barrier/master phases and
+	// directory-home hotspots).
+	DestMasterKind
+	// DestTransposeKind sends to the mesh-transposed tile (blocked
+	// linear algebra).
+	DestTransposeKind
+)
+
+// Phase is one communication phase of an application model.
+type Phase struct {
+	// Cycles is the phase duration.
+	Cycles uint64
+	// Rate is the average injection rate in flits/cycle/node while ON.
+	Rate float64
+	// Kind is the spatial pattern.
+	Kind DestKind
+	// ShortFrac is the fraction of packets that are short control
+	// packets (1 flit, request-like); the rest are DataLen data packets
+	// (response-like).
+	ShortFrac float64
+	// POnOff and POffOn are the per-cycle transition probabilities of
+	// the ON/OFF burstiness modulation; both zero disables modulation
+	// (always ON).
+	POnOff, POffOn float64
+}
+
+// AppProfile is a named sequence of phases, cycled indefinitely.
+type AppProfile struct {
+	Name   string
+	Phases []Phase
+	// DataLen is the long-packet length in flits (coherence data
+	// response: head + address + 64B line on a 64-bit flit ≈ 5 flits).
+	DataLen int
+}
+
+// profiles returns the built-in benchmark substitutes. Rates and phase
+// structures are chosen per the benchmarks' published communication
+// behaviour; WCET kernels are compute-bound and nearly silent.
+func profiles() []AppProfile {
+	return []AppProfile{
+		{Name: "fft", DataLen: 5, Phases: []Phase{
+			{Cycles: 3000, Rate: 0.02, Kind: DestUniformKind, ShortFrac: 0.6, POnOff: 0.01, POffOn: 0.05},
+			{Cycles: 2000, Rate: 0.22, Kind: DestButterflyKind, ShortFrac: 0.3, POnOff: 0.02, POffOn: 0.2},
+			{Cycles: 1000, Rate: 0.05, Kind: DestMasterKind, ShortFrac: 0.8, POnOff: 0.05, POffOn: 0.1},
+		}},
+		{Name: "lu", DataLen: 5, Phases: []Phase{
+			{Cycles: 4000, Rate: 0.10, Kind: DestNeighborKind, ShortFrac: 0.4, POnOff: 0.01, POffOn: 0.1},
+			{Cycles: 1500, Rate: 0.04, Kind: DestTransposeKind, ShortFrac: 0.5, POnOff: 0.02, POffOn: 0.1},
+		}},
+		{Name: "radix", DataLen: 5, Phases: []Phase{
+			{Cycles: 2500, Rate: 0.03, Kind: DestUniformKind, ShortFrac: 0.7, POnOff: 0.02, POffOn: 0.05},
+			{Cycles: 1500, Rate: 0.28, Kind: DestButterflyKind, ShortFrac: 0.2, POnOff: 0.03, POffOn: 0.3},
+		}},
+		{Name: "barnes", DataLen: 5, Phases: []Phase{
+			{Cycles: 3500, Rate: 0.08, Kind: DestNeighborKind, ShortFrac: 0.5, POnOff: 0.02, POffOn: 0.08},
+			{Cycles: 1500, Rate: 0.12, Kind: DestMasterKind, ShortFrac: 0.6, POnOff: 0.03, POffOn: 0.1},
+		}},
+		{Name: "ocean", DataLen: 5, Phases: []Phase{
+			{Cycles: 5000, Rate: 0.14, Kind: DestNeighborKind, ShortFrac: 0.35, POnOff: 0.01, POffOn: 0.15},
+			{Cycles: 1000, Rate: 0.05, Kind: DestUniformKind, ShortFrac: 0.5, POnOff: 0.02, POffOn: 0.1},
+		}},
+		{Name: "water", DataLen: 5, Phases: []Phase{
+			{Cycles: 4000, Rate: 0.07, Kind: DestRingKind, ShortFrac: 0.45, POnOff: 0.015, POffOn: 0.1},
+			{Cycles: 1200, Rate: 0.03, Kind: DestMasterKind, ShortFrac: 0.7, POnOff: 0.03, POffOn: 0.08},
+		}},
+		{Name: "cholesky", DataLen: 5, Phases: []Phase{
+			{Cycles: 3000, Rate: 0.09, Kind: DestTransposeKind, ShortFrac: 0.4, POnOff: 0.02, POffOn: 0.1},
+			{Cycles: 2000, Rate: 0.04, Kind: DestUniformKind, ShortFrac: 0.6, POnOff: 0.02, POffOn: 0.06},
+		}},
+		{Name: "raytrace", DataLen: 5, Phases: []Phase{
+			{Cycles: 6000, Rate: 0.05, Kind: DestUniformKind, ShortFrac: 0.55, POnOff: 0.01, POffOn: 0.04},
+		}},
+		{Name: "fmm", DataLen: 5, Phases: []Phase{
+			{Cycles: 2500, Rate: 0.06, Kind: DestNeighborKind, ShortFrac: 0.5, POnOff: 0.02, POffOn: 0.08},
+			{Cycles: 1500, Rate: 0.11, Kind: DestUniformKind, ShortFrac: 0.4, POnOff: 0.02, POffOn: 0.12},
+			{Cycles: 800, Rate: 0.04, Kind: DestMasterKind, ShortFrac: 0.7, POnOff: 0.04, POffOn: 0.08},
+		}},
+		{Name: "radiosity", DataLen: 5, Phases: []Phase{
+			{Cycles: 4500, Rate: 0.07, Kind: DestUniformKind, ShortFrac: 0.5, POnOff: 0.015, POffOn: 0.06},
+			{Cycles: 1000, Rate: 0.13, Kind: DestMasterKind, ShortFrac: 0.55, POnOff: 0.03, POffOn: 0.15},
+		}},
+		{Name: "volrend", DataLen: 5, Phases: []Phase{
+			{Cycles: 3500, Rate: 0.04, Kind: DestUniformKind, ShortFrac: 0.6, POnOff: 0.01, POffOn: 0.05},
+			{Cycles: 1200, Rate: 0.09, Kind: DestNeighborKind, ShortFrac: 0.45, POnOff: 0.02, POffOn: 0.1},
+		}},
+		{Name: "water-spatial", DataLen: 5, Phases: []Phase{
+			{Cycles: 3800, Rate: 0.06, Kind: DestNeighborKind, ShortFrac: 0.5, POnOff: 0.015, POffOn: 0.09},
+			{Cycles: 1000, Rate: 0.03, Kind: DestRingKind, ShortFrac: 0.65, POnOff: 0.03, POffOn: 0.07},
+		}},
+		// WCET kernels: single-core compute loops; only sporadic memory
+		// traffic to the directory home.
+		{Name: "wcet-crc", DataLen: 5, Phases: []Phase{
+			{Cycles: 5000, Rate: 0.008, Kind: DestMasterKind, ShortFrac: 0.8, POnOff: 0.05, POffOn: 0.02},
+		}},
+		{Name: "wcet-fir", DataLen: 5, Phases: []Phase{
+			{Cycles: 5000, Rate: 0.012, Kind: DestMasterKind, ShortFrac: 0.75, POnOff: 0.04, POffOn: 0.03},
+		}},
+		{Name: "wcet-matmult", DataLen: 5, Phases: []Phase{
+			{Cycles: 5000, Rate: 0.02, Kind: DestNeighborKind, ShortFrac: 0.6, POnOff: 0.03, POffOn: 0.05},
+		}},
+		{Name: "wcet-bsort", DataLen: 5, Phases: []Phase{
+			{Cycles: 5000, Rate: 0.006, Kind: DestMasterKind, ShortFrac: 0.85, POnOff: 0.06, POffOn: 0.02},
+		}},
+		{Name: "wcet-qsort", DataLen: 5, Phases: []Phase{
+			{Cycles: 4000, Rate: 0.01, Kind: DestMasterKind, ShortFrac: 0.8, POnOff: 0.05, POffOn: 0.03},
+			{Cycles: 1000, Rate: 0.03, Kind: DestUniformKind, ShortFrac: 0.6, POnOff: 0.04, POffOn: 0.05},
+		}},
+		{Name: "wcet-adpcm", DataLen: 5, Phases: []Phase{
+			{Cycles: 6000, Rate: 0.015, Kind: DestNeighborKind, ShortFrac: 0.7, POnOff: 0.03, POffOn: 0.04},
+		}},
+	}
+}
+
+// ProfileNames returns the built-in benchmark names, sorted.
+func ProfileNames() []string {
+	ps := profiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProfileByName returns the built-in profile with the given name.
+func ProfileByName(name string) (AppProfile, error) {
+	for _, p := range profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return AppProfile{}, fmt.Errorf("traffic: unknown benchmark %q", name)
+}
+
+// nodeState is the per-core generator state of an application mix.
+type nodeState struct {
+	profile   AppProfile
+	phaseIdx  int
+	phaseLeft uint64
+	phaseRep  int // total phases entered, drives butterfly stage rotation
+	on        bool
+}
+
+// AppMix drives one benchmark per core, mimicking the paper's Table IV
+// methodology: a random benchmark is assigned to each core of the
+// architecture and each runs its own phase schedule.
+type AppMix struct {
+	width, height int
+	vnet          int
+	nodes         []nodeState
+	src           *rng.Source
+	name          string
+}
+
+// NewAppMix assigns benchmarks[i] to core i (len must equal width*height)
+// and seeds the stochastic parts of the generators.
+func NewAppMix(width, height int, benchmarks []string, vnet int, seed uint64) (*AppMix, error) {
+	n := width * height
+	if len(benchmarks) != n {
+		return nil, fmt.Errorf("traffic: %d benchmarks for %d cores", len(benchmarks), n)
+	}
+	m := &AppMix{
+		width:  width,
+		height: height,
+		vnet:   vnet,
+		nodes:  make([]nodeState, n),
+		src:    rng.New(seed),
+		name:   "app-mix",
+	}
+	for i, b := range benchmarks {
+		p, err := ProfileByName(b)
+		if err != nil {
+			return nil, err
+		}
+		m.nodes[i] = nodeState{
+			profile:   p,
+			phaseLeft: p.Phases[0].Cycles,
+			on:        true,
+		}
+	}
+	return m, nil
+}
+
+// NewRandomAppMix draws one benchmark per core uniformly from the
+// built-in profiles — the paper's "randomly picked set of benchmarks,
+// one for each core".
+func NewRandomAppMix(width, height, vnet int, seed uint64) (*AppMix, error) {
+	names := ProfileNames()
+	src := rng.New(seed)
+	bench := make([]string, width*height)
+	for i := range bench {
+		bench[i] = names[src.Intn(len(names))]
+	}
+	return NewAppMix(width, height, bench, vnet, src.Uint64())
+}
+
+// Name implements Generator.
+func (m *AppMix) Name() string { return m.name }
+
+// Benchmarks returns the per-core benchmark assignment.
+func (m *AppMix) Benchmarks() []string {
+	out := make([]string, len(m.nodes))
+	for i := range m.nodes {
+		out[i] = m.nodes[i].profile.Name
+	}
+	return out
+}
+
+// Tick implements Generator.
+func (m *AppMix) Tick(cycle uint64, emit Emit) {
+	for i := range m.nodes {
+		m.tickNode(noc.NodeID(i), &m.nodes[i], emit)
+	}
+}
+
+func (m *AppMix) tickNode(id noc.NodeID, st *nodeState, emit Emit) {
+	ph := &st.profile.Phases[st.phaseIdx]
+	// Phase scheduling.
+	if st.phaseLeft == 0 {
+		st.phaseIdx = (st.phaseIdx + 1) % len(st.profile.Phases)
+		st.phaseRep++
+		ph = &st.profile.Phases[st.phaseIdx]
+		st.phaseLeft = ph.Cycles
+	}
+	st.phaseLeft--
+	// ON/OFF burst modulation.
+	if ph.POnOff > 0 || ph.POffOn > 0 {
+		if st.on {
+			if m.src.Bool(ph.POnOff) {
+				st.on = false
+			}
+		} else if m.src.Bool(ph.POffOn) {
+			st.on = true
+		}
+	} else {
+		st.on = true
+	}
+	if !st.on {
+		return
+	}
+	// Injection: rate is in flits/cycle; convert using the expected
+	// packet length of the short/long mix.
+	expLen := ph.ShortFrac*1 + (1-ph.ShortFrac)*float64(st.profile.DataLen)
+	if !m.src.Bool(ph.Rate / expLen) {
+		return
+	}
+	dst := m.destination(id, st, ph.Kind)
+	if dst == id {
+		return
+	}
+	length := st.profile.DataLen
+	if m.src.Bool(ph.ShortFrac) {
+		length = 1
+	}
+	emit(id, dst, m.vnet, length)
+}
+
+func (m *AppMix) destination(src noc.NodeID, st *nodeState, kind DestKind) noc.NodeID {
+	n := m.width * m.height
+	switch kind {
+	case DestNeighborKind:
+		c := noc.CoordOf(src, m.width)
+		// Pick one of the existing mesh neighbours uniformly.
+		var opts []noc.Coord
+		if c.X > 0 {
+			opts = append(opts, noc.Coord{X: c.X - 1, Y: c.Y})
+		}
+		if c.X < m.width-1 {
+			opts = append(opts, noc.Coord{X: c.X + 1, Y: c.Y})
+		}
+		if c.Y > 0 {
+			opts = append(opts, noc.Coord{X: c.X, Y: c.Y - 1})
+		}
+		if c.Y < m.height-1 {
+			opts = append(opts, noc.Coord{X: c.X, Y: c.Y + 1})
+		}
+		return opts[m.src.Intn(len(opts))].NodeOf(m.width)
+	case DestButterflyKind:
+		if n&(n-1) != 0 || n < 2 {
+			return m.uniform(src, n)
+		}
+		bit := st.phaseRep % log2(n)
+		return noc.NodeID(int(src) ^ (1 << uint(bit)))
+	case DestRingKind:
+		return noc.NodeID((int(src) + 1) % n)
+	case DestMasterKind:
+		return 0
+	case DestTransposeKind:
+		if m.width != m.height {
+			return m.uniform(src, n)
+		}
+		c := noc.CoordOf(src, m.width)
+		return noc.Coord{X: c.Y, Y: c.X}.NodeOf(m.width)
+	default:
+		return m.uniform(src, n)
+	}
+}
+
+func (m *AppMix) uniform(src noc.NodeID, n int) noc.NodeID {
+	d := m.src.Intn(n - 1)
+	if d >= int(src) {
+		d++
+	}
+	return noc.NodeID(d)
+}

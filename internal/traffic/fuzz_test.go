@@ -1,0 +1,41 @@
+package traffic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace checks the trace parser never panics and that anything
+// it accepts survives a write/read round trip unchanged.
+func FuzzReadTrace(f *testing.F) {
+	f.Add("# nbtinoc trace v1\n1 0 1 0 4\n2 1 0 0 1\n")
+	f.Add("")
+	f.Add("1 2 3\n")
+	f.Add("9999999999999999999999 0 1 0 4\n")
+	f.Add("1 -5 1 0 4\n")
+	f.Add("5 0 1 0 4\n3 1 0 0 4\n") // out of order
+	f.Add(strings.Repeat("1 0 1 0 4\n", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := ReadTrace(strings.NewReader(input))
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, events); err != nil {
+			t.Fatalf("accepted trace failed to serialise: %v", err)
+		}
+		back, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if len(back) != len(events) {
+			t.Fatalf("round trip changed length: %d -> %d", len(events), len(back))
+		}
+		for i := range events {
+			if back[i] != events[i] {
+				t.Fatalf("round trip changed event %d: %+v -> %+v", i, events[i], back[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package traffic
+
+import (
+	"errors"
+	"fmt"
+
+	"nbtinoc/internal/noc"
+	"nbtinoc/internal/rng"
+)
+
+// DeliveryListener is implemented by closed-loop generators that react
+// to packet deliveries (the harness wires it to noc's delivery hook).
+type DeliveryListener interface {
+	// OnDeliver is called once per delivered packet.
+	OnDeliver(src, dst noc.NodeID, vnet int, cycle uint64)
+}
+
+// ReqRespConfig parameterises the closed-loop request/response
+// generator, which mimics the structure of the paper's MOESI-token
+// coherence traffic: short request packets on one vnet trigger long
+// data responses on another after a service latency, with the two
+// message classes segregated to avoid protocol deadlock.
+type ReqRespConfig struct {
+	// Width and Height are the mesh dimensions.
+	Width, Height int
+	// Rate is the request injection rate in requests/cycle/node.
+	Rate float64
+	// Pattern selects the spatial distribution of request targets.
+	Pattern Pattern
+	// ReqVNet and RespVNet are the vnets of the two message classes;
+	// they must differ.
+	ReqVNet, RespVNet int
+	// ReqLen and RespLen are the packet lengths (flits); a coherence
+	// request is typically a single flit, the response a cache line.
+	ReqLen, RespLen int
+	// ServiceLatency is the cycles between a request's delivery and the
+	// emission of its response (directory/cache lookup time).
+	ServiceLatency uint64
+	// Seed drives the Bernoulli request process.
+	Seed uint64
+}
+
+// DefaultReqResp returns a coherence-like setup: 1-flit requests,
+// 5-flit responses (head + 64-byte line on 64-bit flits), 20-cycle
+// service latency.
+func DefaultReqResp(width, height int, rate float64, seed uint64) ReqRespConfig {
+	return ReqRespConfig{
+		Width: width, Height: height,
+		Rate:    rate,
+		Pattern: Uniform,
+		ReqVNet: 0, RespVNet: 1,
+		ReqLen: 1, RespLen: 5,
+		ServiceLatency: 20,
+		Seed:           seed,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c ReqRespConfig) Validate() error {
+	switch {
+	case c.Width < 1 || c.Height < 1 || c.Width*c.Height < 2:
+		return fmt.Errorf("traffic: bad mesh %dx%d", c.Width, c.Height)
+	case c.Rate < 0 || c.Rate > 1:
+		return errors.New("traffic: request rate outside [0, 1]")
+	case c.ReqVNet == c.RespVNet:
+		return errors.New("traffic: request and response vnets must differ (protocol deadlock)")
+	case c.ReqVNet < 0 || c.RespVNet < 0:
+		return errors.New("traffic: negative vnet")
+	case c.ReqLen < 1 || c.RespLen < 1:
+		return errors.New("traffic: packet lengths must be >= 1")
+	}
+	return nil
+}
+
+// pendingResp is a response awaiting its emission cycle.
+type pendingResp struct {
+	due      uint64
+	src, dst noc.NodeID
+}
+
+// ReqResp is the closed-loop request/response generator. It implements
+// both Generator (open-loop request side plus due-response emission)
+// and DeliveryListener (requests arriving at their destination schedule
+// responses).
+type ReqResp struct {
+	cfg ReqRespConfig
+	src *rng.Source
+	// pending is a FIFO of scheduled responses; ServiceLatency is
+	// constant so due times are naturally ordered.
+	pending []pendingResp
+	// counters for tests and reports.
+	requests, responses uint64
+}
+
+// NewReqResp builds the generator.
+func NewReqResp(cfg ReqRespConfig) (*ReqResp, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &ReqResp{cfg: cfg, src: rng.New(cfg.Seed)}, nil
+}
+
+// Name implements Generator.
+func (g *ReqResp) Name() string {
+	return fmt.Sprintf("req-resp-%v-inj%.2f", g.cfg.Pattern, g.cfg.Rate)
+}
+
+// Requests returns the number of requests emitted so far.
+func (g *ReqResp) Requests() uint64 { return g.requests }
+
+// Responses returns the number of responses emitted so far.
+func (g *ReqResp) Responses() uint64 { return g.responses }
+
+// PendingResponses returns the number of scheduled, un-emitted
+// responses.
+func (g *ReqResp) PendingResponses() int { return len(g.pending) }
+
+// Tick implements Generator: emit due responses first, then new
+// requests.
+func (g *ReqResp) Tick(cycle uint64, emit Emit) {
+	for len(g.pending) > 0 && g.pending[0].due <= cycle {
+		p := g.pending[0]
+		copy(g.pending, g.pending[1:])
+		g.pending = g.pending[:len(g.pending)-1]
+		emit(p.src, p.dst, g.cfg.RespVNet, g.cfg.RespLen)
+		g.responses++
+	}
+	nodes := g.cfg.Width * g.cfg.Height
+	for node := 0; node < nodes; node++ {
+		if !g.src.Bool(g.cfg.Rate) {
+			continue
+		}
+		dst := g.dest(noc.NodeID(node))
+		if dst == noc.NodeID(node) {
+			continue
+		}
+		emit(noc.NodeID(node), dst, g.cfg.ReqVNet, g.cfg.ReqLen)
+		g.requests++
+	}
+}
+
+// OnDeliver implements DeliveryListener: a delivered request schedules
+// its response from the serving node back to the requester.
+func (g *ReqResp) OnDeliver(src, dst noc.NodeID, vnet int, cycle uint64) {
+	if vnet != g.cfg.ReqVNet {
+		return // responses complete the transaction
+	}
+	g.pending = append(g.pending, pendingResp{
+		due: cycle + g.cfg.ServiceLatency,
+		src: dst, // the server replies
+		dst: src,
+	})
+}
+
+// dest picks a request target using the configured pattern.
+func (g *ReqResp) dest(src noc.NodeID) noc.NodeID {
+	n := g.cfg.Width * g.cfg.Height
+	switch g.cfg.Pattern {
+	case Neighbor:
+		c := noc.CoordOf(src, g.cfg.Width)
+		c.X = (c.X + 1) % g.cfg.Width
+		return c.NodeOf(g.cfg.Width)
+	case Hotspot:
+		return 0
+	default:
+		d := g.src.Intn(n - 1)
+		if d >= int(src) {
+			d++
+		}
+		return noc.NodeID(d)
+	}
+}

@@ -1,0 +1,140 @@
+package traffic
+
+import (
+	"testing"
+
+	"nbtinoc/internal/noc"
+)
+
+func TestReqRespValidate(t *testing.T) {
+	if err := DefaultReqResp(4, 4, 0.05, 1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*ReqRespConfig){
+		func(c *ReqRespConfig) { c.Width = 0 },
+		func(c *ReqRespConfig) { c.Rate = -1 },
+		func(c *ReqRespConfig) { c.Rate = 2 },
+		func(c *ReqRespConfig) { c.RespVNet = c.ReqVNet },
+		func(c *ReqRespConfig) { c.ReqVNet = -1 },
+		func(c *ReqRespConfig) { c.ReqLen = 0 },
+		func(c *ReqRespConfig) { c.RespLen = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultReqResp(4, 4, 0.05, 1)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewReqResp(ReqRespConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestReqRespOpenLoopOnly(t *testing.T) {
+	g, err := NewReqResp(DefaultReqResp(2, 2, 0.2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := collect(g, 5000)
+	if len(events) == 0 {
+		t.Fatal("no requests emitted")
+	}
+	for _, e := range events {
+		if e.VNet != 0 || e.Len != 1 {
+			t.Fatalf("unexpected open-loop packet: %+v", e)
+		}
+	}
+	if g.Responses() != 0 || g.PendingResponses() != 0 {
+		t.Error("responses without deliveries")
+	}
+}
+
+func TestReqRespClosedLoop(t *testing.T) {
+	cfg := DefaultReqResp(2, 2, 0.2, 3)
+	cfg.ServiceLatency = 5
+	g, err := NewReqResp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emitted []Event
+	deliverAll := func(c uint64) Emit {
+		return func(src, dst noc.NodeID, vnet, l int) {
+			emitted = append(emitted, Event{Cycle: c, Src: src, Dst: dst, VNet: vnet, Len: l})
+			// Simulate instant delivery of every request.
+			if vnet == cfg.ReqVNet {
+				g.OnDeliver(src, dst, vnet, c)
+			}
+		}
+	}
+	for c := uint64(0); c < 200; c++ {
+		g.Tick(c, deliverAll(c))
+	}
+	if g.Requests() == 0 {
+		t.Fatal("no requests")
+	}
+	// Transaction conservation: every delivered request is either
+	// answered or pending.
+	if g.Responses()+uint64(g.PendingResponses()) != g.Requests() {
+		t.Fatalf("responses %d + pending %d != requests %d",
+			g.Responses(), g.PendingResponses(), g.Requests())
+	}
+	if g.Responses() == 0 {
+		t.Fatal("no responses emitted")
+	}
+	// Each response reverses its request's direction, uses the response
+	// vnet and the data length, and respects the service latency.
+	reqs := map[[2]noc.NodeID][]uint64{}
+	for _, e := range emitted {
+		if e.VNet == cfg.ReqVNet {
+			reqs[[2]noc.NodeID{e.Src, e.Dst}] = append(reqs[[2]noc.NodeID{e.Src, e.Dst}], e.Cycle)
+		}
+	}
+	for _, e := range emitted {
+		if e.VNet != cfg.RespVNet {
+			continue
+		}
+		if e.Len != cfg.RespLen {
+			t.Fatalf("response length %d, want %d", e.Len, cfg.RespLen)
+		}
+		key := [2]noc.NodeID{e.Dst, e.Src} // original request direction
+		times := reqs[key]
+		if len(times) == 0 {
+			t.Fatalf("orphan response %+v", e)
+		}
+		if e.Cycle < times[0]+cfg.ServiceLatency {
+			t.Fatalf("response before service latency: %+v vs request @%d", e, times[0])
+		}
+		reqs[key] = times[1:]
+	}
+}
+
+func TestReqRespIgnoresResponseDeliveries(t *testing.T) {
+	g, err := NewReqResp(DefaultReqResp(2, 2, 0.2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.OnDeliver(0, 1, 1, 10) // a response arriving must not spawn traffic
+	if g.PendingResponses() != 0 {
+		t.Fatal("response delivery scheduled another response")
+	}
+}
+
+func TestReqRespPatterns(t *testing.T) {
+	for _, pat := range []Pattern{Uniform, Neighbor, Hotspot} {
+		cfg := DefaultReqResp(4, 4, 0.3, 7)
+		cfg.Pattern = pat
+		g, err := NewReqResp(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range collect(g, 500) {
+			if e.Src == e.Dst || int(e.Dst) < 0 || int(e.Dst) >= 16 {
+				t.Fatalf("%v: bad destination %+v", pat, e)
+			}
+			if pat == Hotspot && e.Dst != 0 && e.Src != 0 {
+				t.Fatalf("hotspot request missed node 0: %+v", e)
+			}
+		}
+	}
+}
