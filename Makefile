@@ -2,15 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench tables tables-quick examples fuzz cover clean
+.PHONY: all build test test-race vet bench tables tables-quick examples fuzz cover clean
 
-all: build test
+all: build vet test test-race
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# The scenario drivers fan out across a worker pool; the race detector
+# guards the no-shared-state invariant the parallel harness relies on.
+test-race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...

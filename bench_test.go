@@ -20,11 +20,14 @@ import (
 )
 
 // benchTableOptions keeps per-iteration cost low so -bench=. terminates
-// quickly while still producing meaningful duty-cycles.
+// quickly while still producing meaningful duty-cycles. Parallelism 1 is
+// the sequential reference; BenchmarkTableII_Parallel measures the
+// worker-pool speedup against it.
 func benchTableOptions() sim.TableOptions {
 	opt := sim.DefaultTableOptions()
 	opt.Warmup = 2_000
 	opt.Measure = 20_000
+	opt.Parallelism = 1
 	return opt
 }
 
@@ -33,6 +36,27 @@ func benchTableOptions() sim.TableOptions {
 func BenchmarkTableII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tbl, err := sim.RunSyntheticTable(4, benchTableOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var gap float64
+		for _, row := range tbl.Rows {
+			gap += row.Gap
+		}
+		b.ReportMetric(gap/float64(len(tbl.Rows)), "gap_pts")
+	}
+}
+
+// BenchmarkTableII_Parallel is BenchmarkTableII with the scenario grid
+// fanned out across one worker per core (Parallelism 0); the ratio to
+// BenchmarkTableII is the wall-clock speedup of the pool on this
+// machine, bounded by GOMAXPROCS. The output is identical by
+// construction (TestParallelMatchesSequential pins that).
+func BenchmarkTableII_Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchTableOptions()
+		opt.Parallelism = 0
+		tbl, err := sim.RunSyntheticTable(4, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -65,6 +89,7 @@ func BenchmarkTableIV(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		opt := sim.RealOptions{
 			Iterations: 3, VCs: 2, Warmup: 1_000, Measure: 12_000, SeedBase: 1,
+			Parallelism: 1,
 		}
 		tbl, err := sim.RunRealTable(opt)
 		if err != nil {
@@ -180,11 +205,13 @@ func benchNetwork(b *testing.B, policy noc.PolicyFactory) (*noc.Network, traffic
 // microarchitecture of Fig. 1A (16-core mesh under load).
 func BenchmarkFigure1Baseline(b *testing.B) {
 	n, gen := benchNetwork(b, nil)
+	emit := func(src, dst noc.NodeID, vnet, l int) {
+		_ = n.Inject(src, dst, vnet, l)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		gen.Tick(uint64(i), func(src, dst noc.NodeID, vnet, l int) {
-			_ = n.Inject(src, dst, vnet, l)
-		})
+		gen.Tick(uint64(i), emit)
 		n.Step()
 	}
 }
@@ -194,11 +221,13 @@ func BenchmarkFigure1Baseline(b *testing.B) {
 // links, pre-VA policy) under the same load.
 func BenchmarkFigure1SensorWise(b *testing.B) {
 	n, gen := benchNetwork(b, core.NewSensorWise)
+	emit := func(src, dst noc.NodeID, vnet, l int) {
+		_ = n.Inject(src, dst, vnet, l)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		gen.Tick(uint64(i), func(src, dst noc.NodeID, vnet, l int) {
-			_ = n.Inject(src, dst, vnet, l)
-		})
+		gen.Tick(uint64(i), emit)
 		n.Step()
 	}
 }
@@ -223,6 +252,7 @@ func BenchmarkPolicyDecide(b *testing.B) {
 				NewTraffic:   true,
 			}
 			out := make([]bool, 4)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				in.Cycle = uint64(i)
@@ -245,9 +275,11 @@ func BenchmarkSyntheticTick(b *testing.B) {
 		b.Fatal(err)
 	}
 	sink := 0
+	emit := func(src, dst noc.NodeID, vnet, l int) { sink++ }
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		gen.Tick(uint64(i), func(src, dst noc.NodeID, vnet, l int) { sink++ })
+		gen.Tick(uint64(i), emit)
 	}
 	_ = sink
 }
@@ -259,9 +291,11 @@ func BenchmarkAppMixTick(b *testing.B) {
 		b.Fatal(err)
 	}
 	sink := 0
+	emit := func(src, dst noc.NodeID, vnet, l int) { sink++ }
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		gen.Tick(uint64(i), func(src, dst noc.NodeID, vnet, l int) { sink++ })
+		gen.Tick(uint64(i), emit)
 	}
 	_ = sink
 }

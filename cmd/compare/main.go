@@ -52,6 +52,7 @@ func run(args []string, out io.Writer) error {
 		pvSeed   = fs.Uint64("pv-seed", 1, "process-variation seed")
 		phits    = fs.Int("phits", 1, "link serialization factor")
 		worst    = fs.Int("top", 8, "show only the N ports with the largest |gap| (0 = all)")
+		jobs     = fs.Int("j", 0, "parallel workers for the two runs: 0 = one per core, 1 = sequential")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,14 +74,21 @@ func run(args []string, out io.Writer) error {
 		}
 		return scen.Execute(nil)
 	}
-	resA, err := runOne(*polA)
-	if err != nil {
+	// The two runs are independent (each owns its network), so they go
+	// through the scenario pool like the table drivers.
+	policies := []string{*polA, *polB}
+	results := make([]*sim.RunResult, len(policies))
+	if err := (sim.Pool{Workers: *jobs}).Run(len(policies), func(i int) error {
+		res, err := runOne(policies[i])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	}); err != nil {
 		return err
 	}
-	resB, err := runOne(*polB)
-	if err != nil {
-		return err
-	}
+	resA, resB := results[0], results[1]
 
 	ports, err := collect(resA, resB)
 	if err != nil {

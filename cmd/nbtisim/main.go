@@ -7,6 +7,14 @@
 //	nbtisim -cores 16 -vcs 4 -policy sensor-wise -rate 0.2
 //	nbtisim -cores 4 -vcs 2 -policy rr-no-sensor -workload app -seed 3
 //	nbtisim -trace my.trace -policy sensor-wise -format json
+//	nbtisim -config a.json,b.json,c.json -j 0
+//
+// -config accepts a comma-separated list of scenario files; the
+// scenarios run concurrently on a bounded worker pool (-j caps the
+// workers, 1 forces sequential) and are reported in input order, so the
+// output never depends on the worker count. The aging-snapshot and
+// flit-trace flags write per-run files and therefore require a single
+// scenario.
 package main
 
 import (
@@ -53,25 +61,36 @@ func run(args []string, out io.Writer) error {
 		phits    = fs.Int("phits", 1, "link serialization factor (phits per flit)")
 		wakeup   = fs.Int("wakeup", 0, "sleep-transistor wake-up latency in cycles")
 		tech     = fs.Int("tech", 45, "technology node: 45 or 32 nm")
-		cfgPath  = fs.String("config", "", "JSON scenario file (overrides the scenario flags)")
+		cfgPath  = fs.String("config", "", "JSON scenario file(s), comma-separated (overrides the scenario flags)")
 		allPorts = fs.Bool("all-ports", false, "dump every router input port as CSV instead of one probe")
 		heatmap  = fs.Bool("heatmap", false, "print an ASCII mesh heatmap of per-router worst duty-cycles")
 		agingIn  = fs.String("aging-in", "", "restore a JSON aging snapshot before the run (multi-epoch campaigns)")
 		agingOut = fs.String("aging-out", "", "write a JSON aging snapshot after the run")
 		flitLog  = fs.String("flit-trace", "", "write a flit-level pipeline event trace to this file (large!)")
+		jobs     = fs.Int("j", 0, "parallel workers for multi-scenario -config runs: 0 = one per core, 1 = sequential")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var scen *sim.Scenario
+	var scens []*sim.Scenario
 	if *cfgPath != "" {
-		var err error
-		if scen, err = sim.LoadScenarioFile(*cfgPath); err != nil {
-			return err
+		for _, path := range strings.Split(*cfgPath, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			scen, err := sim.LoadScenarioFile(path)
+			if err != nil {
+				return err
+			}
+			scens = append(scens, scen)
+		}
+		if len(scens) == 0 {
+			return fmt.Errorf("-config %q names no scenario files", *cfgPath)
 		}
 	} else {
-		scen = &sim.Scenario{
+		scens = []*sim.Scenario{{
 			Name:          "cli",
 			Cores:         *cores,
 			VCs:           *vcs,
@@ -87,70 +106,102 @@ func run(args []string, out io.Writer) error {
 			Measure:       *measure,
 			Seed:          *seed,
 			PVSeed:        *pvSeed,
-		}
+		}}
 	}
-	cfg, err := scen.BuildConfig()
-	if err != nil {
-		return err
-	}
-	if cfg.Routing, err = noc.ParseRouting(*routing); err != nil {
-		return err
-	}
-
-	var gen traffic.Generator
-	if *traceIn != "" {
-		gen, err = loadTrace(*traceIn)
-	} else {
-		gen, err = scen.BuildGenerator()
-	}
-	if err != nil {
-		return err
+	multi := len(scens) > 1
+	if multi && (*agingIn != "" || *agingOut != "" || *flitLog != "") {
+		return fmt.Errorf("-aging-in, -aging-out and -flit-trace write per-run files and require a single -config scenario")
 	}
 	probe, err := parseProbe(*probeStr)
 	if err != nil {
 		return err
 	}
 
-	rc := sim.RunConfig{
-		Net:        cfg,
-		PolicyName: scen.Policy,
-		Warmup:     scen.Warmup,
-		Measure:    scen.Measure,
-		Gen:        gen,
+	runScenario := func(scen *sim.Scenario) (*sim.RunResult, error) {
+		cfg, err := scen.BuildConfig()
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Routing, err = noc.ParseRouting(*routing); err != nil {
+			return nil, err
+		}
+		var gen traffic.Generator
+		if *traceIn != "" {
+			gen, err = loadTrace(*traceIn)
+		} else {
+			gen, err = scen.BuildGenerator()
+		}
+		if err != nil {
+			return nil, err
+		}
+		rc := sim.RunConfig{
+			Net:        cfg,
+			PolicyName: scen.Policy,
+			Warmup:     scen.Warmup,
+			Measure:    scen.Measure,
+			Gen:        gen,
+		}
+		if *agingIn != "" {
+			snap, err := loadAging(*agingIn)
+			if err != nil {
+				return nil, err
+			}
+			rc.RestoreAging = &snap
+		}
+		if *flitLog != "" {
+			f, err := os.Create(*flitLog)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			bw := bufio.NewWriter(f)
+			defer bw.Flush()
+			rc.Tracer = &noc.WriterTracer{W: bw}
+		}
+		res, err := sim.Run(rc, []sim.PortProbe{probe})
+		if err != nil {
+			return nil, err
+		}
+		if *agingOut != "" {
+			if err := saveAging(*agingOut, res.Net.AgingSnapshot()); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
 	}
-	if *agingIn != "" {
-		snap, err := loadAging(*agingIn)
+
+	// Scenarios execute through the same bounded pool as the table
+	// drivers and are rendered sequentially in input order afterwards.
+	results := make([]*sim.RunResult, len(scens))
+	if err := (sim.Pool{Workers: *jobs}).Run(len(scens), func(i int) error {
+		res, err := runScenario(scens[i])
 		if err != nil {
 			return err
 		}
-		rc.RestoreAging = &snap
-	}
-	if *flitLog != "" {
-		f, err := os.Create(*flitLog)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		bw := bufio.NewWriter(f)
-		defer bw.Flush()
-		rc.Tracer = &noc.WriterTracer{W: bw}
-	}
-	res, err := sim.Run(rc, []sim.PortProbe{probe})
-	if err != nil {
+		results[i] = res
+		return nil
+	}); err != nil {
 		return err
 	}
-	if *agingOut != "" {
-		if err := saveAging(*agingOut, res.Net.AgingSnapshot()); err != nil {
+
+	for i, res := range results {
+		if multi {
+			fmt.Fprintf(out, "=== scenario %s ===\n", scens[i].Name)
+		}
+		var err error
+		switch {
+		case *allPorts:
+			err = renderAllPorts(out, res)
+		case *heatmap:
+			err = renderHeatmap(out, res)
+		default:
+			err = render(out, *format, res)
+		}
+		if err != nil {
 			return err
 		}
 	}
-	if *allPorts {
-		return renderAllPorts(out, res)
-	}
-	if *heatmap {
-		return renderHeatmap(out, res)
-	}
-	return render(out, *format, res)
+	return nil
 }
 
 // renderHeatmap prints the mesh as a grid; each tile shows the worst

@@ -168,6 +168,46 @@ func TestScenarioConfigFile(t *testing.T) {
 	}
 }
 
+func TestMultiScenarioConfig(t *testing.T) {
+	dir := t.TempDir()
+	mkScen := func(name, policy string) string {
+		path := filepath.Join(dir, name+".json")
+		content := `{"name":"` + name + `","cores":4,"vcs":2,"policy":"` + policy + `",
+			"workload":"uniform","rate":0.1,"warmup":500,"measure":5000,
+			"seed":1,"pv_seed":2}`
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	a := mkScen("first", "rr-no-sensor")
+	b := mkScen("second", "sensor-wise")
+
+	out := runCLI(t, "-config", a+","+b, "-j", "2")
+	// Headers appear in input order regardless of completion order.
+	iA := strings.Index(out, "=== scenario first ===")
+	iB := strings.Index(out, "=== scenario second ===")
+	if iA < 0 || iB < 0 || iA > iB {
+		t.Fatalf("scenario headers missing or out of order:\n%s", out)
+	}
+	if !strings.Contains(out, "rr-no-sensor") || !strings.Contains(out, "sensor-wise") {
+		t.Errorf("per-scenario policies not reported:\n%s", out)
+	}
+
+	// Output must not depend on the worker count.
+	if seq := runCLI(t, "-config", a+","+b, "-j", "1"); seq != out {
+		t.Errorf("-j 1 and -j 2 outputs differ:\n--- j=2\n%s\n--- j=1\n%s", out, seq)
+	}
+
+	// Per-run file flags are single-scenario only.
+	for _, extra := range []string{"-aging-out", "-aging-in", "-flit-trace"} {
+		args := []string{"-config", a + "," + b, extra, filepath.Join(dir, "x")}
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("%s accepted with multiple scenarios", extra)
+		}
+	}
+}
+
 func TestTechFlag(t *testing.T) {
 	out45 := runCLI(t, shortArgs("-tech", "45", "-format", "json")...)
 	out32 := runCLI(t, shortArgs("-tech", "32", "-format", "json")...)

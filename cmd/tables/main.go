@@ -18,6 +18,11 @@
 //
 // The -quick flag shortens the simulation windows for smoke runs; -full
 // uses the paper's 30e6-cycle windows (slow).
+//
+// Independent scenarios within a table run concurrently on a bounded
+// worker pool; -j caps the workers (0 = one per core, 1 = sequential).
+// The output is identical for every -j value. With -table all, each
+// table additionally reports its wall-clock time.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"nbtinoc/internal/area"
 	"nbtinoc/internal/sim"
@@ -52,6 +58,7 @@ func run(args []string, out io.Writer) error {
 		full    = fs.Bool("full", false, "paper-length 30e6-cycle windows (slow)")
 		phits   = fs.Int("phits", 2, "link serialization (64-bit flits over 32-bit links = 2)")
 		csvDir  = fs.String("csv", "", "also write machine-readable CSV files into this directory")
+		jobs    = fs.Int("j", 0, "parallel scenario workers: 0 = one per core, 1 = sequential (output is identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,9 +72,8 @@ func run(args []string, out io.Writer) error {
 	opt := sim.DefaultTableOptions()
 	opt.Warmup, opt.Measure, opt.SeedBase = *warmup, *measure, *seed
 	opt.Phits = *phits
+	opt.Parallelism = *jobs
 
-	emit := func(id string) bool { return *table == "all" || *table == id }
-	ran := false
 	writeCSV := func(name, content string) error {
 		if *csvDir == "" {
 			return nil
@@ -77,145 +83,94 @@ func run(args []string, out io.Writer) error {
 		}
 		return os.WriteFile(filepath.Join(*csvDir, name), []byte(content), 0o644)
 	}
+	render := func(tbl interface{ Render() string }, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, tbl.Render())
+		return nil
+	}
+	renderCSV := func(csvName string) func(tbl interface {
+		Render() string
+		CSV() string
+	}, err error) error {
+		return func(tbl interface {
+			Render() string
+			CSV() string
+		}, err error) error {
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, tbl.Render())
+			return writeCSV(csvName, tbl.CSV())
+		}
+	}
 
-	if emit("1") {
-		ran = true
-		fmt.Fprintln(out, "=== Table I: experimental setup (as realised by this model) ===")
-		renderSetup(out, *phits)
+	sections := []struct {
+		id, title string
+		run       func() error
+	}{
+		{"1", "=== Table I: experimental setup (as realised by this model) ===",
+			func() error { renderSetup(out, *phits); return nil }},
+		{"2", "=== Table II: synthetic traffic, 4 VCs ===",
+			func() error { return renderCSV("table2.csv")(sim.RunSyntheticTable(4, opt)) }},
+		{"3", "=== Table III: synthetic traffic, 2 VCs ===",
+			func() error { return renderCSV("table3.csv")(sim.RunSyntheticTable(2, opt)) }},
+		{"4", "=== Table IV: SPLASH2/WCET benchmark mixes, 2 VCs ===",
+			func() error {
+				ropt := sim.DefaultRealOptions()
+				ropt.Iterations = *iters
+				ropt.Warmup, ropt.Measure, ropt.SeedBase = *warmup, *measure, *seed
+				ropt.Phits = *phits
+				ropt.Parallelism = *jobs
+				return renderCSV("table4.csv")(sim.RunRealTable(ropt))
+			}},
+		{"area", "=== Section III-D: area overhead (45 nm, ORION-style model) ===",
+			func() error { return renderArea(out) }},
+		{"vth", "=== Conclusion: net NBTI ΔVth saving vs non-gated baseline ===",
+			func() error { return renderCSV("vth.csv")(sim.RunVthSaving(2, *years, opt)) }},
+		{"coop", "=== Conclusion: cooperation (traffic information) ablation ===",
+			func() error { return renderCSV("coop.csv")(sim.RunCooperation(2, opt)) }},
+		{"perf", "=== Extension: NBTI/performance trade-off (16 cores, 4 VCs) ===",
+			func() error {
+				return renderCSV("perf.csv")(sim.RunPerfImpact(16, 4, *wakeup,
+					[]float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3}, opt))
+			}},
+		{"power", "=== Extension: router energy and leakage saving (16 cores, 2 VCs) ===",
+			func() error { return render(sim.RunEnergy(16, 2, 0.1, opt)) }},
+		{"sensors", "=== Extension: sensor non-ideality robustness (16 cores, 4 VCs) ===",
+			func() error { return render(sim.RunSensorStudy(16, 4, 0.1, opt)) }},
+		{"corners", "=== Extension: lifetime across operating corners (16 cores, 2 VCs) ===",
+			func() error {
+				return render(sim.RunCorners(16, 2, 0.1, 0.050,
+					[]float64{300, 325, 350, 375, 400}, []float64{1.0, 1.1, 1.2}, opt))
+			}},
+		{"dse", "=== Extension: design-space exploration (16 cores) ===",
+			func() error {
+				return renderCSV("dse.csv")(sim.RunDSE(16, 0.1, []int{2, 4, 8}, []int{2, 4, 8}, opt))
+			}},
+		{"rr", "=== Extension: rr-no-sensor rotation-period study (16 cores, 4 VCs) ===",
+			func() error {
+				return render(sim.RunRRPeriodStudy(16, 4, 0.1,
+					[]uint64{1, 4, 16, 64, 256, 1024}, opt))
+			}},
 	}
-	if emit("2") {
+
+	all := *table == "all"
+	ran := false
+	for _, s := range sections {
+		if !all && *table != s.id {
+			continue
+		}
 		ran = true
-		fmt.Fprintln(out, "=== Table II: synthetic traffic, 4 VCs ===")
-		tbl, err := sim.RunSyntheticTable(4, opt)
-		if err != nil {
+		fmt.Fprintln(out, s.title)
+		start := time.Now()
+		if err := s.run(); err != nil {
 			return err
 		}
-		fmt.Fprintln(out, tbl.Render())
-		if err := writeCSV("table2.csv", tbl.CSV()); err != nil {
-			return err
+		if all {
+			fmt.Fprintf(out, "[table %s: %.2fs]\n\n", s.id, time.Since(start).Seconds())
 		}
-	}
-	if emit("3") {
-		ran = true
-		fmt.Fprintln(out, "=== Table III: synthetic traffic, 2 VCs ===")
-		tbl, err := sim.RunSyntheticTable(2, opt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, tbl.Render())
-		if err := writeCSV("table3.csv", tbl.CSV()); err != nil {
-			return err
-		}
-	}
-	if emit("4") {
-		ran = true
-		fmt.Fprintln(out, "=== Table IV: SPLASH2/WCET benchmark mixes, 2 VCs ===")
-		ropt := sim.DefaultRealOptions()
-		ropt.Iterations = *iters
-		ropt.Warmup, ropt.Measure, ropt.SeedBase = *warmup, *measure, *seed
-		ropt.Phits = *phits
-		tbl, err := sim.RunRealTable(ropt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, tbl.Render())
-		if err := writeCSV("table4.csv", tbl.CSV()); err != nil {
-			return err
-		}
-	}
-	if emit("area") {
-		ran = true
-		fmt.Fprintln(out, "=== Section III-D: area overhead (45 nm, ORION-style model) ===")
-		if err := renderArea(out); err != nil {
-			return err
-		}
-	}
-	if emit("vth") {
-		ran = true
-		fmt.Fprintln(out, "=== Conclusion: net NBTI ΔVth saving vs non-gated baseline ===")
-		tbl, err := sim.RunVthSaving(2, *years, opt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, tbl.Render())
-		if err := writeCSV("vth.csv", tbl.CSV()); err != nil {
-			return err
-		}
-	}
-	if emit("coop") {
-		ran = true
-		fmt.Fprintln(out, "=== Conclusion: cooperation (traffic information) ablation ===")
-		tbl, err := sim.RunCooperation(2, opt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, tbl.Render())
-		if err := writeCSV("coop.csv", tbl.CSV()); err != nil {
-			return err
-		}
-	}
-	if emit("perf") {
-		ran = true
-		fmt.Fprintln(out, "=== Extension: NBTI/performance trade-off (16 cores, 4 VCs) ===")
-		tbl, err := sim.RunPerfImpact(16, 4, *wakeup,
-			[]float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3}, opt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, tbl.Render())
-		if err := writeCSV("perf.csv", tbl.CSV()); err != nil {
-			return err
-		}
-	}
-	if emit("power") {
-		ran = true
-		fmt.Fprintln(out, "=== Extension: router energy and leakage saving (16 cores, 2 VCs) ===")
-		tbl, err := sim.RunEnergy(16, 2, 0.1, opt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, tbl.Render())
-	}
-	if emit("sensors") {
-		ran = true
-		fmt.Fprintln(out, "=== Extension: sensor non-ideality robustness (16 cores, 4 VCs) ===")
-		tbl, err := sim.RunSensorStudy(16, 4, 0.1, opt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, tbl.Render())
-	}
-	if emit("corners") {
-		ran = true
-		fmt.Fprintln(out, "=== Extension: lifetime across operating corners (16 cores, 2 VCs) ===")
-		tbl, err := sim.RunCorners(16, 2, 0.1, 0.050,
-			[]float64{300, 325, 350, 375, 400}, []float64{1.0, 1.1, 1.2}, opt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, tbl.Render())
-	}
-	if emit("dse") {
-		ran = true
-		fmt.Fprintln(out, "=== Extension: design-space exploration (16 cores) ===")
-		tbl, err := sim.RunDSE(16, 0.1, []int{2, 4, 8}, []int{2, 4, 8}, opt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, tbl.Render())
-		if err := writeCSV("dse.csv", tbl.CSV()); err != nil {
-			return err
-		}
-	}
-	if emit("rr") {
-		ran = true
-		fmt.Fprintln(out, "=== Extension: rr-no-sensor rotation-period study (16 cores, 4 VCs) ===")
-		tbl, err := sim.RunRRPeriodStudy(16, 4, 0.1,
-			[]uint64{1, 4, 16, 64, 256, 1024}, opt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, tbl.Render())
 	}
 	if !ran {
 		return fmt.Errorf("unknown table %q", *table)

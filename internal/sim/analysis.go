@@ -45,93 +45,86 @@ func RunVthSaving(vcs int, years float64, opt TableOptions) (*VthTable, error) {
 	model := nbti.Default45nm()
 	out := &VthTable{Years: years}
 	wall := years * nbti.SecondsPerYear
+
+	// Job grid: one synthetic run per (cores, rate), then one
+	// application-mix run per architecture (rate < 0 marks the latter).
+	// The app-mix scenarios matter because the paper's headline 54.2%
+	// saving comes from ports whose most degraded VC is almost never
+	// exercised, which the bursty benchmark workloads produce (Table IV
+	// shows MD-VC duty-cycles below 1%).
+	type job struct {
+		cores int
+		rate  float64
+	}
+	var jobs []job
 	for _, cores := range opt.Cores {
-		side, err := MeshSide(cores)
-		if err != nil {
+		if _, err := MeshSide(cores); err != nil {
 			return nil, err
 		}
 		for _, rate := range opt.Rates {
-			cfg, err := BaseConfig(cores, vcs)
-			if err != nil {
-				return nil, err
+			jobs = append(jobs, job{cores, rate})
+		}
+	}
+	for _, cores := range opt.Cores {
+		if _, err := realProbes(cores); err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, job{cores, -1})
+	}
+	ports := make([][]PortReading, len(jobs))
+	if err := opt.pool().Run(len(jobs), func(i int) error {
+		j := jobs[i]
+		var res *RunResult
+		var err error
+		if j.rate >= 0 {
+			res, err = opt.runSynthetic(j.cores, vcs, j.rate, "sensor-wise",
+				[]PortProbe{{Node: 0, Port: noc.East}}, nil)
+		} else {
+			var side int
+			var probes []PortProbe
+			var cfg noc.Config
+			var gen traffic.Generator
+			if side, err = MeshSide(j.cores); err != nil {
+				return err
 			}
-			cfg.PVSeed = scenarioSeed(opt.SeedBase, cores, rate, 11)
+			if probes, err = realProbes(j.cores); err != nil {
+				return err
+			}
+			if cfg, err = BaseConfig(j.cores, vcs); err != nil {
+				return err
+			}
+			cfg.PVSeed = scenarioSeed(opt.SeedBase, j.cores, 0.99, 17)
 			opt.apply(&cfg)
-			gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
-				Pattern:   traffic.Uniform,
-				Width:     side,
-				Height:    side,
-				Rate:      rate,
-				PacketLen: opt.PacketLen,
-				Seed:      scenarioSeed(opt.SeedBase, cores, rate, 13),
-			})
-			if err != nil {
-				return nil, err
+			if gen, err = traffic.NewRandomAppMix(side, side, 0,
+				scenarioSeed(opt.SeedBase, j.cores, 0, 23)); err != nil {
+				return err
 			}
-			probe := PortProbe{Node: 0, Port: noc.East}
-			res, err := Run(RunConfig{
+			res, err = Run(RunConfig{
 				Net:        cfg,
 				PolicyName: "sensor-wise",
 				Warmup:     opt.Warmup,
 				Measure:    opt.Measure,
 				Gen:        gen,
-			}, []PortProbe{probe})
-			if err != nil {
-				return nil, err
-			}
-			reading := res.Ports[0]
-			alpha := reading.Duty[reading.MostDegraded] / 100
-			row := VthRow{
-				Scenario:           fmt.Sprintf("%dcore-inj%.2f", cores, rate),
-				MDVC:               reading.MostDegraded,
-				AlphaMD:            alpha,
-				DeltaVthBaseline:   model.DeltaVth(1, wall),
-				DeltaVthSensorWise: model.DeltaVth(alpha, wall),
-			}
-			row.SavingPct = 100 * model.Saving(alpha, 1, wall)
-			if row.SavingPct > out.MaxSavingPct {
-				out.MaxSavingPct = row.SavingPct
-			}
-			out.Rows = append(out.Rows, row)
+			}, probes)
 		}
+		if err != nil {
+			return err
+		}
+		ports[i] = res.Ports
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	// Application-mix scenarios: the paper's headline 54.2% saving comes
-	// from ports whose most degraded VC is almost never exercised, which
-	// the bursty benchmark workloads produce (Table IV shows MD-VC
-	// duty-cycles below 1%).
-	for _, cores := range opt.Cores {
-		side, err := MeshSide(cores)
-		if err != nil {
-			return nil, err
-		}
-		probes, err := realProbes(cores)
-		if err != nil {
-			return nil, err
-		}
-		cfg, err := BaseConfig(cores, vcs)
-		if err != nil {
-			return nil, err
-		}
-		cfg.PVSeed = scenarioSeed(opt.SeedBase, cores, 0.99, 17)
-		opt.apply(&cfg)
-		gen, err := traffic.NewRandomAppMix(side, side, 0, scenarioSeed(opt.SeedBase, cores, 0, 23))
-		if err != nil {
-			return nil, err
-		}
-		res, err := Run(RunConfig{
-			Net:        cfg,
-			PolicyName: "sensor-wise",
-			Warmup:     opt.Warmup,
-			Measure:    opt.Measure,
-			Gen:        gen,
-		}, probes)
-		if err != nil {
-			return nil, err
-		}
-		for _, reading := range res.Ports {
+
+	for i, j := range jobs {
+		for _, reading := range ports[i] {
+			scenario := fmt.Sprintf("%dcore-inj%.2f", j.cores, j.rate)
+			if j.rate < 0 {
+				scenario = fmt.Sprintf("%dc-app-%s", j.cores, reading.Probe.Label())
+			}
 			alpha := reading.Duty[reading.MostDegraded] / 100
 			row := VthRow{
-				Scenario:           fmt.Sprintf("%dc-app-%s", cores, reading.Probe.Label()),
+				Scenario:           scenario,
 				MDVC:               reading.MostDegraded,
 				AlphaMD:            alpha,
 				DeltaVthBaseline:   model.DeltaVth(1, wall),
@@ -196,47 +189,47 @@ var CoopPolicies = []string{
 // on identical scenarios.
 func RunCooperation(vcs int, opt TableOptions) (*CoopTable, error) {
 	out := &CoopTable{VCs: vcs}
+	type job struct {
+		cores  int
+		rate   float64
+		policy string
+	}
+	var jobs []job
 	for _, cores := range opt.Cores {
-		side, err := MeshSide(cores)
-		if err != nil {
+		if _, err := MeshSide(cores); err != nil {
 			return nil, err
 		}
+		for _, rate := range opt.Rates {
+			for _, policy := range CoopPolicies {
+				jobs = append(jobs, job{cores, rate, policy})
+			}
+		}
+	}
+	probe := PortProbe{Node: 0, Port: noc.East}
+	readings := make([]PortReading, len(jobs))
+	if err := opt.pool().Run(len(jobs), func(i int) error {
+		j := jobs[i]
+		res, err := opt.runSynthetic(j.cores, vcs, j.rate, j.policy,
+			[]PortProbe{probe}, nil)
+		if err != nil {
+			return err
+		}
+		readings[i] = res.Ports[0]
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	next := 0
+	for _, cores := range opt.Cores {
 		for _, rate := range opt.Rates {
 			row := CoopRow{
 				Scenario: fmt.Sprintf("%dcore-inj%.2f", cores, rate),
 				DutyMD:   make(map[string]float64, len(CoopPolicies)),
 				MDVC:     -1,
 			}
-			probe := PortProbe{Node: 0, Port: noc.East}
 			for _, policy := range CoopPolicies {
-				cfg, err := BaseConfig(cores, vcs)
-				if err != nil {
-					return nil, err
-				}
-				cfg.PVSeed = scenarioSeed(opt.SeedBase, cores, rate, 11)
-				opt.apply(&cfg)
-				gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
-					Pattern:   traffic.Uniform,
-					Width:     side,
-					Height:    side,
-					Rate:      rate,
-					PacketLen: opt.PacketLen,
-					Seed:      scenarioSeed(opt.SeedBase, cores, rate, 13),
-				})
-				if err != nil {
-					return nil, err
-				}
-				res, err := Run(RunConfig{
-					Net:        cfg,
-					PolicyName: policy,
-					Warmup:     opt.Warmup,
-					Measure:    opt.Measure,
-					Gen:        gen,
-				}, []PortProbe{probe})
-				if err != nil {
-					return nil, err
-				}
-				reading := res.Ports[0]
+				reading := readings[next]
+				next++
 				if row.MDVC == -1 {
 					row.MDVC = reading.MostDegraded
 				}

@@ -7,7 +7,6 @@ import (
 
 	"nbtinoc/internal/nbti"
 	"nbtinoc/internal/noc"
-	"nbtinoc/internal/traffic"
 )
 
 // CornerRow is one (temperature, Vdd) operating corner of the lifetime
@@ -51,8 +50,7 @@ func RunCorners(cores, vcs int, rate, budgetV float64,
 	if len(temps) == 0 || len(vdds) == 0 {
 		return nil, fmt.Errorf("sim: empty corner sweep")
 	}
-	side, err := MeshSide(cores)
-	if err != nil {
+	if _, err := MeshSide(cores); err != nil {
 		return nil, err
 	}
 	out := &CornerTable{
@@ -61,33 +59,21 @@ func RunCorners(cores, vcs int, rate, budgetV float64,
 		AlphaMD:  make(map[string]float64, len(CornerPolicies)),
 	}
 	probe := PortProbe{Node: 0, Port: noc.East}
-	for _, policy := range CornerPolicies {
-		cfg, err := BaseConfig(cores, vcs)
+	alphas := make([]float64, len(CornerPolicies))
+	if err := opt.pool().Run(len(CornerPolicies), func(i int) error {
+		res, err := opt.runSynthetic(cores, vcs, rate, CornerPolicies[i],
+			[]PortProbe{probe}, nil)
 		if err != nil {
-			return nil, err
-		}
-		cfg.PVSeed = scenarioSeed(opt.SeedBase, cores, rate, 11)
-		opt.apply(&cfg)
-		gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
-			Pattern:   traffic.Uniform,
-			Width:     side,
-			Height:    side,
-			Rate:      rate,
-			PacketLen: opt.PacketLen,
-			Seed:      scenarioSeed(opt.SeedBase, cores, rate, 13),
-		})
-		if err != nil {
-			return nil, err
-		}
-		res, err := Run(RunConfig{
-			Net: cfg, PolicyName: policy,
-			Warmup: opt.Warmup, Measure: opt.Measure, Gen: gen,
-		}, []PortProbe{probe})
-		if err != nil {
-			return nil, err
+			return err
 		}
 		r := res.Ports[0]
-		out.AlphaMD[policy] = r.Duty[r.MostDegraded] / 100
+		alphas[i] = r.Duty[r.MostDegraded] / 100
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, policy := range CornerPolicies {
+		out.AlphaMD[policy] = alphas[i]
 	}
 
 	for _, tK := range temps {

@@ -6,7 +6,6 @@ import (
 
 	"nbtinoc/internal/area"
 	"nbtinoc/internal/noc"
-	"nbtinoc/internal/traffic"
 )
 
 // DSERow is one (VCs, buffer depth) design point of the exploration.
@@ -40,50 +39,56 @@ func RunDSE(cores int, rate float64, vcsList, depths []int, opt TableOptions) (*
 	if len(vcsList) == 0 || len(depths) == 0 {
 		return nil, fmt.Errorf("sim: empty design space")
 	}
-	side, err := MeshSide(cores)
-	if err != nil {
+	if _, err := MeshSide(cores); err != nil {
 		return nil, err
 	}
 	out := &DSETable{Cores: cores, Rate: rate}
+	dsePolicies := []string{"rr-no-sensor", "sensor-wise"}
+	type job struct {
+		vcs, depth int
+		policy     string
+	}
+	var jobs []job
+	for _, vcs := range vcsList {
+		for _, depth := range depths {
+			for _, policy := range dsePolicies {
+				jobs = append(jobs, job{vcs, depth, policy})
+			}
+		}
+	}
 	probe := PortProbe{Node: 0, Port: noc.East}
+	type outcome struct {
+		reading PortReading
+		lat     float64
+	}
+	results := make([]outcome, len(jobs))
+	if err := opt.pool().Run(len(jobs), func(i int) error {
+		j := jobs[i]
+		res, err := opt.runSynthetic(cores, j.vcs, rate, j.policy,
+			[]PortProbe{probe}, func(cfg *noc.Config) { cfg.BufferDepth = j.depth })
+		if err != nil {
+			return err
+		}
+		results[i] = outcome{reading: res.Ports[0], lat: res.AvgLatency}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	next := 0
 	for _, vcs := range vcsList {
 		for _, depth := range depths {
 			duty := map[string]float64{}
 			var lat float64
 			md := -1
-			for _, policy := range []string{"rr-no-sensor", "sensor-wise"} {
-				cfg, err := BaseConfig(cores, vcs)
-				if err != nil {
-					return nil, err
-				}
-				cfg.BufferDepth = depth
-				cfg.PVSeed = scenarioSeed(opt.SeedBase, cores, rate, 11)
-				opt.apply(&cfg)
-				gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
-					Pattern:   traffic.Uniform,
-					Width:     side,
-					Height:    side,
-					Rate:      rate,
-					PacketLen: opt.PacketLen,
-					Seed:      scenarioSeed(opt.SeedBase, cores, rate, 13),
-				})
-				if err != nil {
-					return nil, err
-				}
-				res, err := Run(RunConfig{
-					Net: cfg, PolicyName: policy,
-					Warmup: opt.Warmup, Measure: opt.Measure, Gen: gen,
-				}, []PortProbe{probe})
-				if err != nil {
-					return nil, err
-				}
-				r := res.Ports[0]
+			for _, policy := range dsePolicies {
+				r := results[next]
+				next++
 				if md == -1 {
-					md = r.MostDegraded
+					md = r.reading.MostDegraded
 				}
-				duty[policy] = r.Duty[md]
+				duty[policy] = r.reading.Duty[md]
 				if policy == "sensor-wise" {
-					lat = res.AvgLatency
+					lat = r.lat
 				}
 			}
 			spec := area.RouterSpec{

@@ -6,7 +6,6 @@ import (
 
 	"nbtinoc/internal/noc"
 	"nbtinoc/internal/power"
-	"nbtinoc/internal/traffic"
 )
 
 // PerfRow is one point of the NBTI/performance trade-off analysis: the
@@ -39,52 +38,42 @@ var PerfPolicies = []string{"baseline", "rr-no-sensor", "sensor-wise"}
 // demonstrating that the NBTI recovery is (nearly) performance-neutral —
 // and what a non-zero sleep-transistor wake-up latency costs.
 func RunPerfImpact(cores, vcs, wakeup int, rates []float64, opt TableOptions) (*PerfTable, error) {
-	side, err := MeshSide(cores)
-	if err != nil {
+	if _, err := MeshSide(cores); err != nil {
 		return nil, err
 	}
 	out := &PerfTable{Cores: cores, VCs: vcs, WakeupLatency: wakeup}
-	probe := PortProbe{Node: 0, Port: noc.East}
+	type job struct {
+		rate   float64
+		policy string
+	}
+	var jobs []job
 	for _, rate := range rates {
 		for _, policy := range PerfPolicies {
-			cfg, err := BaseConfig(cores, vcs)
-			if err != nil {
-				return nil, err
-			}
-			cfg.PVSeed = scenarioSeed(opt.SeedBase, cores, rate, 11)
-			cfg.WakeupLatency = wakeup
-			opt.apply(&cfg)
-			gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
-				Pattern:   traffic.Uniform,
-				Width:     side,
-				Height:    side,
-				Rate:      rate,
-				PacketLen: opt.PacketLen,
-				Seed:      scenarioSeed(opt.SeedBase, cores, rate, 13),
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := Run(RunConfig{
-				Net:        cfg,
-				PolicyName: policy,
-				Warmup:     opt.Warmup,
-				Measure:    opt.Measure,
-				Gen:        gen,
-			}, []PortProbe{probe})
-			if err != nil {
-				return nil, err
-			}
-			r := res.Ports[0]
-			out.Rows = append(out.Rows, PerfRow{
-				Policy:     policy,
-				Rate:       rate,
-				AvgLatency: res.AvgLatency,
-				Throughput: res.Throughput,
-				DutyMD:     r.Duty[r.MostDegraded],
-			})
+			jobs = append(jobs, job{rate, policy})
 		}
 	}
+	probe := PortProbe{Node: 0, Port: noc.East}
+	rows := make([]PerfRow, len(jobs))
+	if err := opt.pool().Run(len(jobs), func(i int) error {
+		j := jobs[i]
+		res, err := opt.runSynthetic(cores, vcs, j.rate, j.policy,
+			[]PortProbe{probe}, func(cfg *noc.Config) { cfg.WakeupLatency = wakeup })
+		if err != nil {
+			return err
+		}
+		r := res.Ports[0]
+		rows[i] = PerfRow{
+			Policy:     j.policy,
+			Rate:       j.rate,
+			AvgLatency: res.AvgLatency,
+			Throughput: res.Throughput,
+			DutyMD:     r.Duty[r.MostDegraded],
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out.Rows = rows
 	return out, nil
 }
 
@@ -123,52 +112,35 @@ type EnergyTable struct {
 // the cost of the always-on sensors — the side-benefit analysis of the
 // power-gating mechanism the paper builds on.
 func RunEnergy(cores, vcs int, rate float64, opt TableOptions) (*EnergyTable, error) {
-	side, err := MeshSide(cores)
-	if err != nil {
+	if _, err := MeshSide(cores); err != nil {
 		return nil, err
 	}
 	out := &EnergyTable{Cores: cores, VCs: vcs, Rate: rate, Cycles: opt.Measure}
 	params := power.Default45nm()
-	for _, policy := range []string{"baseline", "rr-no-sensor", "rr-no-sensor-no-traffic",
-		"sensor-wise-no-traffic", "sensor-wise"} {
-		cfg, err := BaseConfig(cores, vcs)
+	policies := []string{"baseline", "rr-no-sensor", "rr-no-sensor-no-traffic",
+		"sensor-wise-no-traffic", "sensor-wise"}
+	rows := make([]EnergyRow, len(policies))
+	if err := opt.pool().Run(len(policies), func(i int) error {
+		policy := policies[i]
+		res, err := opt.runSynthetic(cores, vcs, rate, policy, nil, nil)
 		if err != nil {
-			return nil, err
-		}
-		cfg.PVSeed = scenarioSeed(opt.SeedBase, cores, rate, 11)
-		opt.apply(&cfg)
-		gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
-			Pattern:   traffic.Uniform,
-			Width:     side,
-			Height:    side,
-			Rate:      rate,
-			PacketLen: opt.PacketLen,
-			Seed:      scenarioSeed(opt.SeedBase, cores, rate, 13),
-		})
-		if err != nil {
-			return nil, err
-		}
-		res, err := Run(RunConfig{
-			Net:        cfg,
-			PolicyName: policy,
-			Warmup:     opt.Warmup,
-			Measure:    opt.Measure,
-			Gen:        gen,
-		}, nil)
-		if err != nil {
-			return nil, err
+			return err
 		}
 		sensors := 0
 		if strings.HasPrefix(policy, "sensor-wise") {
 			// One sensor per router input VC buffer.
-			sensors = res.Net.Nodes() * int(noc.NumPorts) * cfg.TotalVCs()
+			sensors = res.Net.Nodes() * int(noc.NumPorts) * res.Net.Config().TotalVCs()
 		}
 		rep, err := power.Estimate(params, res.Net.Events(), sensors, opt.Measure)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.Rows = append(out.Rows, EnergyRow{Policy: policy, Report: rep, Sensors: sensors})
+		rows[i] = EnergyRow{Policy: policy, Report: rep, Sensors: sensors}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	out.Rows = rows
 	return out, nil
 }
 

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is the bounded worker-pool scheduler behind every table and
+// sweep driver in this package. A driver enumerates its full scenario
+// grid up front, pre-allocates one result slot per job index, and then
+// executes the jobs through the pool; because each job writes only to
+// its own slot and derives all randomness from per-scenario seeds, the
+// assembled output is byte-identical to a sequential run regardless of
+// completion order or worker count.
+type Pool struct {
+	// Workers caps the number of concurrently executing jobs.
+	// 0 (or negative) uses one worker per available core
+	// (runtime.GOMAXPROCS); 1 selects the legacy sequential path,
+	// where jobs run inline on the caller's goroutine in index order.
+	Workers int
+}
+
+// workers resolves the effective worker count for n jobs.
+func (p Pool) workers(n int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// Run executes job(0) … job(n-1) across the pool's workers and blocks
+// until all scheduled jobs finish. Jobs are dispatched in index order.
+// The first failure cancels the batch context-style: already-running
+// jobs complete, queued jobs are never started, and Run returns the
+// error of the lowest-indexed failed job — the same error a sequential
+// execution would surface first, since a job's index is only dispatched
+// after every lower index has been.
+//
+// Each job must confine its writes to state it exclusively owns
+// (typically the result slot at its index): the pool provides no
+// synchronisation beyond the happens-before edge between Run returning
+// and all job effects being visible.
+func (p Pool) Run(n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if p.workers(n) <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	errs := make([]error, n)
+	for w := p.workers(n); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() {
+					return
+				}
+				if err := job(i); err != nil {
+					errs[i] = err
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

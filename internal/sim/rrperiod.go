@@ -6,7 +6,6 @@ import (
 
 	"nbtinoc/internal/core"
 	"nbtinoc/internal/noc"
-	"nbtinoc/internal/traffic"
 )
 
 // RRPeriodRow is one rotation-period point of the rr-no-sensor study.
@@ -38,42 +37,28 @@ func RunRRPeriodStudy(cores, vcs int, rate float64, periods []uint64, opt TableO
 	if len(periods) == 0 {
 		return nil, fmt.Errorf("sim: empty period sweep")
 	}
-	side, err := MeshSide(cores)
-	if err != nil {
+	if _, err := MeshSide(cores); err != nil {
 		return nil, err
 	}
 	out := &RRPeriodTable{Cores: cores, VCs: vcs, Rate: rate}
 	probe := PortProbe{Node: 0, Port: noc.East}
-	for _, period := range periods {
-		period := period
-		cfg, err := BaseConfig(cores, vcs)
+	readings := make([]PortReading, len(periods))
+	if err := opt.pool().Run(len(periods), func(i int) error {
+		period := periods[i]
+		res, err := opt.runSynthetic(cores, vcs, rate, "", []PortProbe{probe},
+			func(cfg *noc.Config) {
+				cfg.Policy = func() noc.Policy { return &core.RRNoSensor{RotatePeriod: period} }
+			})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		cfg.PVSeed = scenarioSeed(opt.SeedBase, cores, rate, 11)
-		cfg.Policy = func() noc.Policy { return &core.RRNoSensor{RotatePeriod: period} }
-		opt.apply(&cfg)
-		gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
-			Pattern:   traffic.Uniform,
-			Width:     side,
-			Height:    side,
-			Rate:      rate,
-			PacketLen: opt.PacketLen,
-			Seed:      scenarioSeed(opt.SeedBase, cores, rate, 13),
-		})
-		if err != nil {
-			return nil, err
-		}
-		res, err := Run(RunConfig{
-			Net:     cfg,
-			Warmup:  opt.Warmup,
-			Measure: opt.Measure,
-			Gen:     gen,
-		}, []PortProbe{probe})
-		if err != nil {
-			return nil, err
-		}
-		r := res.Ports[0]
+		readings[i] = res.Ports[0]
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, period := range periods {
+		r := readings[i]
 		min, max := 100.0, 0.0
 		for _, d := range r.Duty {
 			if d < min {

@@ -81,6 +81,21 @@ type RunResult struct {
 	Net *noc.Network
 }
 
+// injectSink adapts noc.Network.Inject to the traffic.Emit signature
+// while latching the first injection error. A single sink serves a whole
+// run, so the hot cycle loop carries one method value instead of
+// allocating a fresh capturing closure per Run invocation.
+type injectSink struct {
+	net *noc.Network
+	err error
+}
+
+func (s *injectSink) emit(src, dst noc.NodeID, vnet, length int) {
+	if err := s.net.Inject(src, dst, vnet, length); err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
 // Run executes one simulation: warm-up, statistics reset, measurement.
 func Run(rc RunConfig, probes []PortProbe) (*RunResult, error) {
 	if rc.Gen == nil {
@@ -119,18 +134,14 @@ func Run(rc RunConfig, probes []PortProbe) (*RunResult, error) {
 		})
 	}
 
-	var injectErr error
-	emit := func(src, dst noc.NodeID, vnet, length int) {
-		if err := net.Inject(src, dst, vnet, length); err != nil && injectErr == nil {
-			injectErr = err
-		}
-	}
+	sink := injectSink{net: net}
+	emit := sink.emit // bound once; no per-cycle or per-capture closure
 	total := rc.Warmup + rc.Measure
 	for c := uint64(0); c < total; c++ {
 		rc.Gen.Tick(c, emit)
 		net.Step()
-		if injectErr != nil {
-			return nil, injectErr
+		if sink.err != nil {
+			return nil, sink.err
 		}
 		if c+1 == rc.Warmup {
 			net.ResetNBTIStats()

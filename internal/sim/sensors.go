@@ -7,7 +7,6 @@ import (
 	"nbtinoc/internal/nbti"
 	"nbtinoc/internal/noc"
 	"nbtinoc/internal/sensor"
-	"nbtinoc/internal/traffic"
 )
 
 // SensorVariant names one sensor configuration of the robustness study.
@@ -63,71 +62,46 @@ type SensorTable struct {
 // non-idealities — the feasibility question behind Section III-D's
 // choice of the [20] sensor.
 func RunSensorStudy(cores, vcs int, rate float64, opt TableOptions) (*SensorTable, error) {
-	side, err := MeshSide(cores)
-	if err != nil {
+	if _, err := MeshSide(cores); err != nil {
 		return nil, err
 	}
 	out := &SensorTable{Cores: cores, VCs: vcs, Rate: rate}
 	probe := PortProbe{Node: 0, Port: noc.East}
 
-	mkGen := func() (traffic.Generator, error) {
-		return traffic.NewSynthetic(traffic.SyntheticConfig{
-			Pattern:   traffic.Uniform,
-			Width:     side,
-			Height:    side,
-			Rate:      rate,
-			PacketLen: opt.PacketLen,
-			Seed:      scenarioSeed(opt.SeedBase, cores, rate, 13),
-		})
-	}
-	mkCfg := func() (noc.Config, error) {
-		cfg, err := BaseConfig(cores, vcs)
-		if err != nil {
-			return noc.Config{}, err
+	sensorSeed := scenarioSeed(opt.SeedBase, cores, rate, 29)
+	variants := SensorVariants()
+
+	// Job 0 is the rr-no-sensor reference (sensor configuration
+	// irrelevant); jobs 1..N are the sensor-wise runs, one per variant.
+	// The true MD VC falls out of the reference run, so the rows are
+	// assembled in a sequential pass after the pool drains.
+	readings := make([]PortReading, 1+len(variants))
+	if err := opt.pool().Run(len(readings), func(i int) error {
+		policy := "rr-no-sensor"
+		mutate := func(cfg *noc.Config) { cfg.SensorSeed = sensorSeed }
+		if i > 0 {
+			policy = "sensor-wise"
+			v := variants[i-1]
+			mutate = func(cfg *noc.Config) {
+				cfg.SensorSeed = sensorSeed
+				cfg.Sensor = v.Cfg
+			}
 		}
-		cfg.PVSeed = scenarioSeed(opt.SeedBase, cores, rate, 11)
-		cfg.SensorSeed = scenarioSeed(opt.SeedBase, cores, rate, 29)
-		opt.apply(&cfg)
-		return cfg, nil
+		res, err := opt.runSynthetic(cores, vcs, rate, policy,
+			[]PortProbe{probe}, mutate)
+		if err != nil {
+			return err
+		}
+		readings[i] = res.Ports[0]
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
-	// Reference run: rr-no-sensor (sensor configuration irrelevant).
-	refCfg, err := mkCfg()
-	if err != nil {
-		return nil, err
-	}
-	gen, err := mkGen()
-	if err != nil {
-		return nil, err
-	}
-	ref, err := Run(RunConfig{
-		Net: refCfg, PolicyName: "rr-no-sensor",
-		Warmup: opt.Warmup, Measure: opt.Measure, Gen: gen,
-	}, []PortProbe{probe})
-	if err != nil {
-		return nil, err
-	}
-	trueMD := argmax(ref.Ports[0].Vth0)
-	rrDuty := ref.Ports[0].Duty[trueMD]
-
-	for _, v := range SensorVariants() {
-		cfg, err := mkCfg()
-		if err != nil {
-			return nil, err
-		}
-		cfg.Sensor = v.Cfg
-		gen, err := mkGen()
-		if err != nil {
-			return nil, err
-		}
-		res, err := Run(RunConfig{
-			Net: cfg, PolicyName: "sensor-wise",
-			Warmup: opt.Warmup, Measure: opt.Measure, Gen: gen,
-		}, []PortProbe{probe})
-		if err != nil {
-			return nil, err
-		}
-		r := res.Ports[0]
+	trueMD := argmax(readings[0].Vth0)
+	rrDuty := readings[0].Duty[trueMD]
+	for i, v := range variants {
+		r := readings[1+i]
 		row := SensorRow{
 			Variant:    v.Name,
 			TrueMD:     trueMD,

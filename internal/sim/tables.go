@@ -29,6 +29,12 @@ type TableOptions struct {
 	// Phits is the link serialization factor (PhitsPerFlit). The paper's
 	// Table I pairs 64-bit flits with 32-bit links, i.e. 2 phits.
 	Phits int
+	// Parallelism caps the number of scenario simulations executed
+	// concurrently: 0 runs one worker per core, 1 selects the legacy
+	// sequential path. The produced tables are identical for every
+	// setting — each scenario derives its seeds deterministically and
+	// owns its network, so no state is shared across workers.
+	Parallelism int
 }
 
 // DefaultTableOptions mirrors the paper's sweep at a laptop-scale
@@ -51,6 +57,53 @@ func (o TableOptions) apply(cfg *noc.Config) {
 	if o.Phits > 0 {
 		cfg.PhitsPerFlit = o.Phits
 	}
+}
+
+// pool returns the scheduler configured by the Parallelism knob.
+func (o TableOptions) pool() Pool { return Pool{Workers: o.Parallelism} }
+
+// runSynthetic executes one simulation of the common synthetic scenario
+// shape shared by the table and sweep drivers: uniform traffic on a
+// square mesh, with the PV and traffic seeds derived deterministically
+// from (SeedBase, cores, rate) so every policy evaluated on a scenario
+// sees the same silicon and the same offered load. mutate, when
+// non-nil, adjusts the config after the common knobs are applied
+// (extra seeds, buffer depth, wake-up latency, a custom policy, ...).
+// Each call builds its own network and generator, so concurrent calls
+// never share mutable state.
+func (o TableOptions) runSynthetic(cores, vcs int, rate float64, policy string,
+	probes []PortProbe, mutate func(*noc.Config)) (*RunResult, error) {
+	side, err := MeshSide(cores)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := BaseConfig(cores, vcs)
+	if err != nil {
+		return nil, err
+	}
+	cfg.PVSeed = scenarioSeed(o.SeedBase, cores, rate, 11)
+	o.apply(&cfg)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
+		Pattern:   traffic.Uniform,
+		Width:     side,
+		Height:    side,
+		Rate:      rate,
+		PacketLen: o.PacketLen,
+		Seed:      scenarioSeed(o.SeedBase, cores, rate, 13),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return Run(RunConfig{
+		Net:        cfg,
+		PolicyName: policy,
+		Warmup:     o.Warmup,
+		Measure:    o.Measure,
+		Gen:        gen,
+	}, probes)
 }
 
 // SyntheticRow is one scenario row of Table II/III.
@@ -84,11 +137,38 @@ func scenarioSeed(base uint64, cores int, rate float64, salt uint64) uint64 {
 // observed at the east input port of the upper-left router.
 func RunSyntheticTable(vcs int, opt TableOptions) (*SyntheticTable, error) {
 	tbl := &SyntheticTable{VCs: vcs, Policies: append([]string(nil), SyntheticPolicies...)}
+	type job struct {
+		cores  int
+		rate   float64
+		policy string
+	}
+	var jobs []job
 	for _, cores := range opt.Cores {
-		side, err := MeshSide(cores)
-		if err != nil {
+		if _, err := MeshSide(cores); err != nil {
 			return nil, err
 		}
+		for _, rate := range opt.Rates {
+			for _, policy := range tbl.Policies {
+				jobs = append(jobs, job{cores, rate, policy})
+			}
+		}
+	}
+	probe := PortProbe{Node: 0, Port: noc.East}
+	readings := make([]PortReading, len(jobs))
+	if err := opt.pool().Run(len(jobs), func(i int) error {
+		j := jobs[i]
+		res, err := opt.runSynthetic(j.cores, vcs, j.rate, j.policy,
+			[]PortProbe{probe}, nil)
+		if err != nil {
+			return err
+		}
+		readings[i] = res.Ports[0]
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	next := 0
+	for _, cores := range opt.Cores {
 		for _, rate := range opt.Rates {
 			row := SyntheticRow{
 				Scenario: fmt.Sprintf("%dcore-inj%.2f", cores, rate),
@@ -97,38 +177,9 @@ func RunSyntheticTable(vcs int, opt TableOptions) (*SyntheticTable, error) {
 				Duty:     make(map[string][]float64, len(tbl.Policies)),
 				MDVC:     -1,
 			}
-			pvSeed := scenarioSeed(opt.SeedBase, cores, rate, 11)
-			trafficSeed := scenarioSeed(opt.SeedBase, cores, rate, 13)
-			probe := PortProbe{Node: 0, Port: noc.East}
 			for _, policy := range tbl.Policies {
-				cfg, err := BaseConfig(cores, vcs)
-				if err != nil {
-					return nil, err
-				}
-				cfg.PVSeed = pvSeed
-				opt.apply(&cfg)
-				gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
-					Pattern:   traffic.Uniform,
-					Width:     side,
-					Height:    side,
-					Rate:      rate,
-					PacketLen: opt.PacketLen,
-					Seed:      trafficSeed,
-				})
-				if err != nil {
-					return nil, err
-				}
-				res, err := Run(RunConfig{
-					Net:        cfg,
-					PolicyName: policy,
-					Warmup:     opt.Warmup,
-					Measure:    opt.Measure,
-					Gen:        gen,
-				}, []PortProbe{probe})
-				if err != nil {
-					return nil, err
-				}
-				reading := res.Ports[0]
+				reading := readings[next]
+				next++
 				row.Duty[policy] = reading.Duty
 				if row.MDVC == -1 {
 					row.MDVC = reading.MostDegraded
@@ -179,6 +230,10 @@ type RealOptions struct {
 	SeedBase uint64
 	// Phits is the link serialization factor (see TableOptions.Phits).
 	Phits int
+	// Parallelism caps concurrent scenario simulations (see
+	// TableOptions.Parallelism): 0 = one worker per core, 1 = the
+	// legacy sequential path. Output is identical for every setting.
+	Parallelism int
 }
 
 // DefaultRealOptions mirrors the paper's methodology at reduced length.
@@ -249,16 +304,77 @@ func RunRealTable(opt RealOptions) (*RealTable, error) {
 		return nil, fmt.Errorf("sim: %d iterations", opt.Iterations)
 	}
 	tbl := &RealTable{Iterations: opt.Iterations, VCs: opt.VCs}
-	for _, cores := range []int{4, 16} {
-		side, err := MeshSide(cores)
-		if err != nil {
+	archs := []int{4, 16}
+
+	// Enumerate the full (architecture, iteration, policy) grid up
+	// front; each job owns its network and generator and fills its own
+	// result slot, so the Welford reduction below — which runs
+	// sequentially in enumeration order — is bit-identical to the
+	// legacy sequential loop.
+	type job struct {
+		cores  int
+		it     int
+		policy string
+		probes []PortProbe
+	}
+	var jobs []job
+	for _, cores := range archs {
+		if _, err := MeshSide(cores); err != nil {
 			return nil, err
 		}
 		probes, err := realProbes(cores)
 		if err != nil {
 			return nil, err
 		}
-		pvSeed := scenarioSeed(opt.SeedBase, cores, 0.99, 17)
+		for it := 0; it < opt.Iterations; it++ {
+			for _, policy := range []string{"rr-no-sensor", "sensor-wise"} {
+				jobs = append(jobs, job{cores, it, policy, probes})
+			}
+		}
+	}
+	ports := make([][]PortReading, len(jobs))
+	pool := Pool{Workers: opt.Parallelism}
+	if err := pool.Run(len(jobs), func(i int) error {
+		j := jobs[i]
+		side, err := MeshSide(j.cores)
+		if err != nil {
+			return err
+		}
+		cfg, err := BaseConfig(j.cores, opt.VCs)
+		if err != nil {
+			return err
+		}
+		cfg.PVSeed = scenarioSeed(opt.SeedBase, j.cores, 0.99, 17)
+		if opt.Phits > 0 {
+			cfg.PhitsPerFlit = opt.Phits
+		}
+		gen, err := traffic.NewRandomAppMix(side, side, 0,
+			scenarioSeed(opt.SeedBase, j.cores, float64(j.it), 23))
+		if err != nil {
+			return err
+		}
+		res, err := Run(RunConfig{
+			Net:        cfg,
+			PolicyName: j.policy,
+			Warmup:     opt.Warmup,
+			Measure:    opt.Measure,
+			Gen:        gen,
+		}, j.probes)
+		if err != nil {
+			return err
+		}
+		ports[i] = res.Ports
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	next := 0
+	for _, cores := range archs {
+		probes, err := realProbes(cores)
+		if err != nil {
+			return nil, err
+		}
 
 		type acc struct{ rr, sw []Welford }
 		accs := make([]acc, len(probes))
@@ -271,31 +387,8 @@ func RunRealTable(opt RealOptions) (*RealTable, error) {
 		}
 
 		for it := 0; it < opt.Iterations; it++ {
-			mixSeed := scenarioSeed(opt.SeedBase, cores, float64(it), 23)
 			for _, policy := range []string{"rr-no-sensor", "sensor-wise"} {
-				cfg, err := BaseConfig(cores, opt.VCs)
-				if err != nil {
-					return nil, err
-				}
-				cfg.PVSeed = pvSeed
-				if opt.Phits > 0 {
-					cfg.PhitsPerFlit = opt.Phits
-				}
-				gen, err := traffic.NewRandomAppMix(side, side, 0, mixSeed)
-				if err != nil {
-					return nil, err
-				}
-				res, err := Run(RunConfig{
-					Net:        cfg,
-					PolicyName: policy,
-					Warmup:     opt.Warmup,
-					Measure:    opt.Measure,
-					Gen:        gen,
-				}, probes)
-				if err != nil {
-					return nil, err
-				}
-				for pi, reading := range res.Ports {
+				for pi, reading := range ports[next] {
 					if mds[pi] == -1 {
 						mds[pi] = reading.MostDegraded
 					} else if mds[pi] != reading.MostDegraded {
@@ -310,6 +403,7 @@ func RunRealTable(opt RealOptions) (*RealTable, error) {
 						}
 					}
 				}
+				next++
 			}
 		}
 
