@@ -2,12 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench tables tables-quick examples fuzz cover clean
+.PHONY: all build test test-race vet lint bench tables tables-quick examples fuzz cover clean
 
-all: build vet test test-race
+all: build vet lint test test-race
 
 build:
 	$(GO) build ./...
+
+# nbtilint: custom determinism analyzers (internal/lint) run through
+# go vet's -vettool protocol, so the build system handles package
+# loading. The tree must stay at zero diagnostics; waivers need an
+# //nbtilint:allow <analyzer> <reason> directive.
+lint:
+	$(GO) build -o bin/nbtilint ./cmd/nbtilint
+	$(GO) vet -vettool=$(abspath bin/nbtilint) ./...
 
 test:
 	$(GO) test ./...
@@ -47,3 +55,4 @@ cover:
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt
+	rm -rf bin

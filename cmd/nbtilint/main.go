@@ -1,0 +1,220 @@
+// Command nbtilint is the multichecker for the repository's custom
+// static analyzers (internal/lint): detmap, wallclock, rngsource and
+// floatcmp — the machine-checked form of the determinism invariants
+// documented in DESIGN.md.
+//
+// It runs in two modes:
+//
+//   - As a vet tool, speaking the go vet unitchecker protocol
+//     (-V=full, -flags, and a *.cfg unit description):
+//
+//     go vet -vettool=$(pwd)/bin/nbtilint ./...
+//
+//   - Standalone, where it re-executes itself through "go vet" so the
+//     build system handles package loading and export data:
+//
+//     go run ./cmd/nbtilint ./...
+//
+// `make lint` builds the binary and runs it over ./...; the target is
+// chained into `make all`, so the whole tree stays at zero diagnostics.
+//
+// Exit status: 0 for a clean tree, non-zero when diagnostics were
+// reported (via go vet) or the tool itself failed.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"nbtinoc/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		printVersion()
+	case len(args) == 1 && args[0] == "-flags":
+		// The go command probes a vet tool for extra flags; nbtilint
+		// deliberately has none — the suite always runs whole.
+		fmt.Println("[]")
+	case len(args) == 1 && (args[0] == "-list" || args[0] == "--list"):
+		printAnalyzers(os.Stdout)
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(runUnit(args[0]))
+	default:
+		os.Exit(standalone(args))
+	}
+}
+
+// printVersion implements -V=full in the exact shape cmd/go's buildID
+// parser expects ("<name> version devel buildID=<hex>"). Hashing the
+// executable makes go vet's result cache invalidate whenever the
+// analyzers change.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fatalf("cannot locate own executable: %v", err)
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		fatalf("cannot read own executable: %v", err)
+	}
+	sum := sha256.Sum256(data)
+	fmt.Printf("%s version devel buildID=%02x\n", filepath.Base(exe), sum)
+}
+
+func printAnalyzers(w io.Writer) {
+	fmt.Fprintln(w, "nbtilint analyzers:")
+	for _, a := range lint.All() {
+		fmt.Fprintf(w, "\n  %s\n      %s\n", a.Name, a.Doc)
+	}
+}
+
+// standalone re-executes nbtilint through "go vet -vettool", which
+// loads packages, produces export data for dependencies, and calls this
+// same binary back in unitchecker mode once per package.
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fatalf("cannot locate own executable: %v", err)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fatalf("go vet: %v", err)
+	}
+	return 0
+}
+
+// unitConfig mirrors the JSON unit description cmd/go writes for vet
+// tools (the x/tools unitchecker Config). Fields nbtilint does not
+// consume are listed anyway so the decode is self-documenting.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one package unit and returns the process exit code
+// (0 clean, 1 tool failure, 2 diagnostics reported — the same contract
+// as x/tools' unitchecker).
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("reading unit config: %v", err)
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing unit config %s: %v", cfgPath, err)
+	}
+	// nbtilint's analyzers export no facts, so the vetx output is
+	// always an empty placeholder, and fact-only runs for dependencies
+	// can skip analysis entirely.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fatalf("writing facts placeholder: %v", err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fatalf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies are imported from the export data the build system
+	// already produced, exactly as the compiler itself would see them.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tconf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(error) {}, // collect as many files as possible; Check returns the first error
+	}
+	if cfg.GoVersion != "" {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fatalf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	diags, err := lint.RunSuite(lint.All(), fset, files, pkg, info, cfg.ImportPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	writeVetx()
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	return 2
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nbtilint: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nbtinoc/internal/lint"
+)
+
+func TestPrintAnalyzersListsWholeSuite(t *testing.T) {
+	var buf bytes.Buffer
+	printAnalyzers(&buf)
+	out := buf.String()
+	for _, a := range lint.All() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", a.Name, out)
+		}
+	}
+}
+
+// writeUnit creates a self-contained unit config for a dependency-free
+// fixture source file and returns the cfg path and the vetx output path.
+func writeUnit(t *testing.T, src string, vetxOnly bool) (cfgPath, vetxPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetxPath = filepath.Join(dir, "p.vetx")
+	cfg := unitConfig{
+		ID:         "tmplint/p",
+		Compiler:   "gc",
+		Dir:        dir,
+		ImportPath: "tmplint/p",
+		GoFiles:    []string{goFile},
+		VetxOnly:   vetxOnly,
+		VetxOutput: vetxPath,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath = filepath.Join(dir, "p.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath, vetxPath
+}
+
+func TestRunUnitReportsDiagnostics(t *testing.T) {
+	// A dependency-free package with a detmap violation: the unit run
+	// must exit 2 (diagnostics found) and still write the facts file.
+	cfgPath, vetxPath := writeUnit(t, `package p
+
+func keys(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+`, false)
+	if code := runUnit(cfgPath); code != 2 {
+		t.Errorf("runUnit on violating package = exit %d, want 2", code)
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Errorf("facts placeholder not written: %v", err)
+	}
+}
+
+func TestRunUnitCleanPackage(t *testing.T) {
+	cfgPath, vetxPath := writeUnit(t, `package p
+
+func sum(xs []float64) float64 {
+	var total float64
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+`, false)
+	if code := runUnit(cfgPath); code != 0 {
+		t.Errorf("runUnit on clean package = exit %d, want 0", code)
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Errorf("facts placeholder not written: %v", err)
+	}
+}
+
+func TestRunUnitVetxOnlySkipsAnalysis(t *testing.T) {
+	// Fact-only dependency runs must not report diagnostics even for a
+	// violating package — and must be cheap: no parse, no typecheck.
+	cfgPath, vetxPath := writeUnit(t, `package p
+
+func keys(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+`, true)
+	if code := runUnit(cfgPath); code != 0 {
+		t.Errorf("runUnit VetxOnly = exit %d, want 0", code)
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Errorf("facts placeholder not written: %v", err)
+	}
+}
+
+func TestRunUnitRespectsAllowDirective(t *testing.T) {
+	cfgPath, _ := writeUnit(t, `package p
+
+func keys(m map[string]int) string {
+	//nbtilint:allow detmap any key serves equally in this fixture
+	for k := range m {
+		return k
+	}
+	return ""
+}
+`, false)
+	if code := runUnit(cfgPath); code != 0 {
+		t.Errorf("runUnit on allow-annotated package = exit %d, want 0", code)
+	}
+}

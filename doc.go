@@ -8,7 +8,8 @@
 //
 // The implementation lives under internal/; see README.md for the
 // public entry points (cmd/nbtisim, cmd/tables, cmd/tracegen,
-// cmd/compare and the runnable examples), DESIGN.md for the system
-// inventory and per-experiment index, and EXPERIMENTS.md for the
+// cmd/compare, the cmd/nbtilint determinism analyzers and the runnable
+// examples), DESIGN.md for the system inventory, per-experiment index
+// and static-analysis contract, and EXPERIMENTS.md for the
 // paper-vs-measured record.
 package nbtinoc

@@ -66,17 +66,28 @@ func Default45nm() Params {
 	}
 }
 
-// Validate reports whether the constants are usable.
+// Validate reports whether the constants are usable. The fields are
+// checked in declaration order — not via a map, whose randomized
+// iteration order would make the reported error depend on the run when
+// several fields are invalid.
 func (p Params) Validate() error {
-	for name, v := range map[string]float64{
-		"SRAMCellUm2": p.SRAMCellUm2, "SRAMPeriphery": p.SRAMPeriphery,
-		"FlopUm2": p.FlopUm2, "GateUm2": p.GateUm2,
-		"WirePitchUm": p.WirePitchUm, "CtrlPitchFactor": p.CtrlPitchFactor,
-		"LinkLengthUm": p.LinkLengthUm, "SensorUm2": p.SensorUm2,
-		"ArbGatesPerReq": p.ArbGatesPerReq, "PolicyGatesPerPort": p.PolicyGatesPerPort,
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"SRAMCellUm2", p.SRAMCellUm2},
+		{"SRAMPeriphery", p.SRAMPeriphery},
+		{"FlopUm2", p.FlopUm2},
+		{"GateUm2", p.GateUm2},
+		{"WirePitchUm", p.WirePitchUm},
+		{"CtrlPitchFactor", p.CtrlPitchFactor},
+		{"LinkLengthUm", p.LinkLengthUm},
+		{"SensorUm2", p.SensorUm2},
+		{"ArbGatesPerReq", p.ArbGatesPerReq},
+		{"PolicyGatesPerPort", p.PolicyGatesPerPort},
 	} {
-		if v <= 0 {
-			return fmt.Errorf("area: %s must be positive", name)
+		if c.v <= 0 {
+			return fmt.Errorf("area: %s must be positive", c.name)
 		}
 	}
 	return nil

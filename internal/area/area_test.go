@@ -189,3 +189,25 @@ func TestQuickEstimateSane(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestValidateErrorDeterministic guards the fix for the map-range
+// validation hazard flagged by nbtilint's detmap analyzer: with several
+// fields invalid at once, the reported error must name the same field —
+// the first in declaration order — on every invocation, not whichever
+// key a randomized map iteration visited first.
+func TestValidateErrorDeterministic(t *testing.T) {
+	p := Default45nm()
+	p.SRAMPeriphery = 0 // second field in declaration order
+	p.GateUm2 = -1      // fourth
+	p.SensorUm2 = 0     // eighth
+	const want = "area: SRAMPeriphery must be positive"
+	for i := 0; i < 100; i++ {
+		err := p.Validate()
+		if err == nil {
+			t.Fatal("Validate accepted invalid params")
+		}
+		if err.Error() != want {
+			t.Fatalf("invocation %d: error %q, want %q", i, err, want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Package floats holds the repository's float-comparison helpers.
+//
+// The simulator's aging, duty-cycle and energy paths accumulate float64
+// values whose low bits depend on evaluation order, so exact `==`/`!=`
+// on computed floats is forbidden in library code by the floatcmp
+// analyzer (internal/lint). This package provides the two sanctioned
+// alternatives: tolerance comparison for computed values, and an
+// explicitly named exact-zero test for sentinel fields where zero means
+// "unset"/"empty" by construction rather than by arithmetic.
+package floats
+
+import "math"
+
+// DefaultTol is a forgiving tolerance for comparing table-level
+// aggregates (duty-cycle percentages, energy totals) that may have been
+// accumulated in different but mathematically equivalent orders.
+const DefaultTol = 1e-9
+
+// AlmostEqual reports whether a and b agree to within tol, absolutely
+// for small magnitudes and relatively for large ones:
+//
+//	|a-b| <= tol * max(1, |a|, |b|)
+//
+// NaN compares unequal to everything, matching IEEE semantics; equal
+// infinities compare equal.
+func AlmostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	//nbtilint:allow floatcmp equal infinities (and bit-identical finites) short-circuit exactly
+	if a == b {
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		// An infinity only matches itself; |a-b| would be +Inf and the
+		// relative-scale test below would degenerate to Inf <= Inf.
+		return false
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// ExactZero reports whether x is exactly 0 (of either sign). Use it
+// only for sentinel tests where zero is assigned, never computed: an
+// unset config field, an empty accumulator that no sample has touched,
+// a model constant documented as "0 disables". Naming the intent keeps
+// such tests out of the floatcmp analyzer's way without scattering
+// waiver comments across call sites.
+func ExactZero(x float64) bool {
+	//nbtilint:allow floatcmp sentinel zero test is the documented purpose of this helper
+	return x == 0
+}

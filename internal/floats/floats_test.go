@@ -1,0 +1,59 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+//go:noinline
+func runtimeSum(a, b float64) float64 { return a + b }
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b, tol float64
+		want bool
+	}{
+		{"identical", 1.5, 1.5, 1e-12, true},
+		{"within-abs", 1e-12, 0, 1e-9, true},
+		{"outside-abs", 2e-9, 0, 1e-9, false},
+		{"within-rel", 1e12, 1e12 * (1 + 1e-10), 1e-9, true},
+		{"outside-rel", 1e12, 1e12 * (1 + 1e-8), 1e-9, false},
+		// runtimeSum forces runtime float arithmetic: the literal
+		// 0.1 + 0.2 would be folded exactly (constants are arbitrary
+		// precision) and compare equal to 0.3.
+		{"accumulation-order", runtimeSum(0.1, 0.2), 0.3, 1e-9, true},
+		{"exact-differs", runtimeSum(0.1, 0.2), 0.3, 0, false},
+		{"nan-left", math.NaN(), 1, 1e-9, false},
+		{"nan-right", 1, math.NaN(), 1e-9, false},
+		{"nan-both", math.NaN(), math.NaN(), 1e-9, false},
+		{"inf-equal", math.Inf(1), math.Inf(1), 1e-9, true},
+		{"inf-opposite", math.Inf(1), math.Inf(-1), 1e-9, false},
+		{"inf-vs-finite", math.Inf(1), 1e300, 1e-9, false},
+		{"signed-zero", math.Copysign(0, -1), 0, 0, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := AlmostEqual(c.a, c.b, c.tol); got != c.want {
+				t.Errorf("AlmostEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+			}
+			if got := AlmostEqual(c.b, c.a, c.tol); got != c.want {
+				t.Errorf("AlmostEqual(%v, %v, %v) = %v, want %v (not symmetric)", c.b, c.a, c.tol, got, c.want)
+			}
+		})
+	}
+}
+
+func TestExactZero(t *testing.T) {
+	if !ExactZero(0) {
+		t.Error("ExactZero(0) = false")
+	}
+	if !ExactZero(math.Copysign(0, -1)) {
+		t.Error("ExactZero(-0) = false")
+	}
+	for _, x := range []float64{1e-300, -1e-300, 1, math.Inf(1), math.NaN()} {
+		if ExactZero(x) {
+			t.Errorf("ExactZero(%v) = true", x)
+		}
+	}
+}

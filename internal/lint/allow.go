@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression directive. The full syntax is
+//
+//	//nbtilint:allow <analyzer> <reason...>
+//
+// attached either at the end of the offending line or as a comment on
+// the line immediately above it. The reason is mandatory.
+const allowPrefix = "//nbtilint:allow"
+
+// knownAnalyzers lists the valid directive targets as plain strings so
+// directive parsing does not reference the Analyzer values themselves
+// (which would create an initialization cycle through Pass.Reportf).
+// TestKnownAnalyzersMatchesAll pins this set to All().
+var knownAnalyzers = map[string]bool{
+	"detmap":    true,
+	"wallclock": true,
+	"rngsource": true,
+	"floatcmp":  true,
+}
+
+// KnownAnalyzerName reports whether //nbtilint:allow accepts name as a
+// directive target.
+func KnownAnalyzerName(name string) bool { return knownAnalyzers[name] }
+
+// allowSet records, per analyzer, the set of source lines covered by a
+// well-formed allow directive, plus the positions of malformed ones.
+type allowSet struct {
+	// lines maps analyzer name -> line numbers the directive covers.
+	lines map[string]map[int]bool
+	// malformed lists directives missing an analyzer name or a reason.
+	malformed []malformedAllow
+}
+
+type malformedAllow struct {
+	pos token.Pos
+	msg string
+}
+
+// parseAllows scans a file's comments for directives.
+func parseAllows(fset *token.FileSet, f *ast.File) *allowSet {
+	as := &allowSet{lines: map[string]map[int]bool{}}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, allowPrefix) {
+				continue
+			}
+			if i := strings.Index(text, "// want"); i > 0 {
+				// Comments run to end of line, so a linttest fixture
+				// expectation written after a directive would otherwise
+				// be swallowed into the reason; cut it off.
+				text = strings.TrimRight(text[:i], " \t")
+			}
+			rest := strings.TrimPrefix(text, allowPrefix)
+			// Require the prefix to be the whole token: reject
+			// "//nbtilint:allowx".
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue
+			}
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0:
+				as.malformed = append(as.malformed, malformedAllow{
+					pos: c.Pos(),
+					msg: "directive needs an analyzer name and a reason: //nbtilint:allow <analyzer> <reason...>",
+				})
+				continue
+			case len(fields) == 1:
+				as.malformed = append(as.malformed, malformedAllow{
+					pos: c.Pos(),
+					msg: "directive needs a reason: //nbtilint:allow " + fields[0] + " <reason...>",
+				})
+				continue
+			}
+			name := fields[0]
+			if !knownAnalyzers[name] {
+				as.malformed = append(as.malformed, malformedAllow{
+					pos: c.Pos(),
+					msg: "directive names unknown analyzer " + name,
+				})
+				continue
+			}
+			if as.lines[name] == nil {
+				as.lines[name] = map[int]bool{}
+			}
+			// The directive covers its own line and the next one, so it
+			// works both as an end-of-line comment and as a standalone
+			// comment above the offending statement.
+			line := fset.Position(c.Pos()).Line
+			as.lines[name][line] = true
+			as.lines[name][line+1] = true
+		}
+	}
+	return as
+}
+
+// suppressed reports whether an //nbtilint:allow directive for the
+// current analyzer covers the diagnostic's line.
+func (p *Pass) suppressed(pos token.Pos, position token.Position) bool {
+	f := p.fileContaining(pos)
+	if f == nil {
+		return false
+	}
+	if p.allows == nil {
+		p.allows = map[*ast.File]*allowSet{}
+	}
+	as, ok := p.allows[f]
+	if !ok {
+		as = parseAllows(p.Fset, f)
+		p.allows[f] = as
+	}
+	return as.lines[p.Analyzer.Name][position.Line]
+}
+
+func (p *Pass) fileContaining(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// malformedAllowDiagnostics reports every syntactically broken allow
+// directive in the given files as a diagnostic of the pseudo-analyzer
+// "allow". A waiver that cannot say what it waives, or why, must not
+// silently rot in the tree.
+func malformedAllowDiagnostics(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range files {
+		if strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go") {
+			continue
+		}
+		for _, m := range parseAllows(fset, f).malformed {
+			diags = append(diags, Diagnostic{
+				Pos:      fset.Position(m.pos),
+				Analyzer: "allow",
+				Message:  m.msg,
+			})
+		}
+	}
+	return diags
+}

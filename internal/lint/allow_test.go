@@ -1,0 +1,51 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nbtinoc/internal/lint"
+	"nbtinoc/internal/lint/linttest"
+)
+
+// TestAllowDirectives runs the full suite over the directive-grammar
+// fixture: malformed waivers (no analyzer, no reason, unknown analyzer)
+// are reported and suppress nothing, wrong-analyzer and out-of-range
+// directives suppress nothing, and a well-formed directive suppresses
+// exactly its line and the next.
+func TestAllowDirectives(t *testing.T) {
+	linttest.RunSuite(t, lint.All(), "allowdir")
+}
+
+// TestMainScope runs the full suite over a package-main fixture:
+// detmap and floatcmp stand down in display code, while wallclock and
+// rngsource still fire.
+func TestMainScope(t *testing.T) {
+	linttest.RunSuite(t, lint.All(), "mainscope")
+}
+
+// TestKnownAnalyzersMatchesAll pins the allow-directive name table to
+// the registered analyzer suite, so adding an analyzer without teaching
+// the directive parser its name fails fast.
+func TestKnownAnalyzersMatchesAll(t *testing.T) {
+	for _, a := range lint.All() {
+		if !lint.KnownAnalyzerName(a.Name) {
+			t.Errorf("analyzer %q is not accepted by //nbtilint:allow directives", a.Name)
+		}
+	}
+	for _, name := range []string{"", "allow", "clockwall", "detmapx"} {
+		if lint.KnownAnalyzerName(name) {
+			t.Errorf("KnownAnalyzerName(%q) = true, want false", name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, a := range lint.All() {
+		if lint.Lookup(a.Name) != a {
+			t.Errorf("Lookup(%q) did not return the registered analyzer", a.Name)
+		}
+	}
+	if lint.Lookup("nope") != nil {
+		t.Error("Lookup of unknown name should return nil")
+	}
+}

@@ -1,0 +1,182 @@
+// Package lint implements nbtilint, a suite of static analyzers that
+// machine-check the determinism invariants the reproduction's results
+// depend on (see DESIGN.md "Static analysis"): no unordered map
+// iteration feeding output, no wall-clock time inside the engine, all
+// randomness through seeded internal/rng streams, and no exact
+// floating-point equality on computed values.
+//
+// The package is a deliberately small, dependency-free re-implementation
+// of the golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass,
+// Diagnostic) built only on the standard library's go/ast and go/types,
+// because the build environment vendors no external modules. Analyzers
+// written against it are fact-free and side-effect-free, so a driver may
+// run them in any order over independently type-checked packages.
+//
+// Diagnostics can be suppressed at the offending line (or the line
+// directly above it) with a directive comment carrying a mandatory
+// justification:
+//
+//	//nbtilint:allow <analyzer> <reason...>
+//
+// A directive with no reason does not suppress anything — it is itself
+// reported, so stale or lazy waivers cannot accumulate silently.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //nbtilint:allow directives. It must be a single lower-case word.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces
+	// and which determinism invariant it guards.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's syntax trees, parsed with comments.
+	Files []*ast.File
+	// Pkg and TypesInfo carry the go/types results for Files.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// ImportPath is the package's import path as the build system knows
+	// it (e.g. "nbtinoc/internal/noc"). Analyzers use it for scoping.
+	ImportPath string
+
+	// report receives every diagnostic that survives suppression.
+	report func(Diagnostic)
+	// allows caches the parsed //nbtilint:allow directives per file.
+	allows map[*ast.File]*allowSet
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless an //nbtilint:allow directive
+// for this analyzer covers the line (or the line above it).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(pos, position) {
+		return
+	}
+	p.report(Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// All nbtilint analyzers exempt tests: tests may freely use wall-clock
+// timeouts, throwaway randomness, and map iteration.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// NonTestFiles returns the package files that are not _test.go files.
+func (p *Pass) NonTestFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Files {
+		if !strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go") {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// All returns every nbtilint analyzer, sorted by name. This is the suite
+// cmd/nbtilint runs and the one the Makefile's lint target enforces.
+func All() []*Analyzer {
+	as := []*Analyzer{DetMap, WallClock, RNGSource, FloatCmp}
+	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+	return as
+}
+
+// Lookup returns the analyzer with the given name, or nil.
+func Lookup(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunAnalyzer type-checks nothing itself: the caller supplies parsed
+// files plus types info, and RunAnalyzer drives one analyzer over them,
+// returning the surviving diagnostics sorted by position. Malformed
+// //nbtilint:allow directives in the package are appended as diagnostics
+// of the pseudo-analyzer "allow" exactly once per driver run (they are
+// produced by the first analyzer executed for the package — run through
+// RunSuite to get them deduplicated across a whole suite).
+func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, importPath string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		ImportPath: importPath,
+		report:     func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunSuite runs every analyzer in as over one package and returns the
+// combined diagnostics (including one entry per malformed allow
+// directive), sorted by position then analyzer name.
+func RunSuite(as []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, importPath string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range as {
+		ds, err := RunAnalyzer(a, fset, files, pkg, info, importPath)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	diags = append(diags, malformedAllowDiagnostics(fset, files)...)
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetMap flags `range` over a map in non-test library code. Go
+// randomizes map iteration order per run, so any map range whose body
+// can observe the order — selecting which validation error to return,
+// appending rows to a table, accumulating in a rounding-sensitive order
+// — silently destroys the byte-identical-output guarantee the
+// reproduction's tables rely on.
+//
+// A map range is accepted without a directive when it is provably
+// order-independent in one of two narrow, syntactic senses:
+//
+//   - the statement captures neither key nor value (`for range m {...}`):
+//     every iteration executes identical code, so permuting them cannot
+//     change the outcome;
+//   - the body's only statement appends the key to a slice that is later
+//     passed to a sort function in the same enclosing function
+//     (`for k := range m { names = append(names, k) } ... sort.Strings(names)`),
+//     the canonical collect-then-sort idiom.
+//
+// Anything else needs either a real fix or an explicit
+// //nbtilint:allow detmap <reason> waiver.
+var DetMap = &Analyzer{
+	Name: "detmap",
+	Doc: "flags range over a map in non-test library code unless the keys are " +
+		"collected and sorted, the body ignores key and value, or an " +
+		"//nbtilint:allow detmap directive justifies it; map iteration order " +
+		"is randomized per run and must never feed simulator output",
+	Run: runDetMap,
+}
+
+func runDetMap(pass *Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		// Scope: the invariant protects the engine and its reduction
+		// paths (internal/...); cmd/ and examples/ are display code.
+		return nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		// funcStack accumulates every function node seen so far;
+		// enclosingFuncBody checks positional containment, so entries
+		// for already-closed functions are harmless.
+		var funcStack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcStack = append(funcStack, n)
+				return true
+			case *ast.RangeStmt:
+				if !isMapType(pass.TypesInfo.TypeOf(n.X)) {
+					return true
+				}
+				if rangeIgnoresKeyAndValue(n) {
+					return true
+				}
+				if fn := enclosingFuncBody(funcStack, n); fn != nil &&
+					isCollectThenSort(pass, n, fn) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "range over map: iteration order is randomized per run and may leak into simulator output; sort the keys first or annotate //nbtilint:allow detmap <reason>")
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingFuncBody returns the body of the innermost function on the
+// stack that still contains n (ast.Inspect gives no pop notification
+// with positions, so containment is checked explicitly).
+func enclosingFuncBody(stack []ast.Node, n ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil && fn.Body.Pos() <= n.Pos() && n.End() <= fn.Body.End() {
+				return fn.Body
+			}
+		case *ast.FuncLit:
+			if fn.Body != nil && fn.Body.Pos() <= n.Pos() && n.End() <= fn.Body.End() {
+				return fn.Body
+			}
+		}
+	}
+	return nil
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// rangeIgnoresKeyAndValue reports whether the range statement binds
+// neither key nor value (`for range m` or `for _ = range m`, including
+// `for _, _ = range m`).
+func rangeIgnoresKeyAndValue(n *ast.RangeStmt) bool {
+	return isBlankOrNil(n.Key) && isBlankOrNil(n.Value)
+}
+
+func isBlankOrNil(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isCollectThenSort recognizes the collect-then-sort idiom: the loop
+// body is exactly `s = append(s, k)` for the range key k, and a
+// sort.* / slices.Sort* call on s appears after the loop in the same
+// function body.
+func isCollectThenSort(pass *Pass, n *ast.RangeStmt, fn *ast.BlockStmt) bool {
+	keyObj := identObject(pass, n.Key)
+	if keyObj == nil || len(n.Body.List) != 1 {
+		return false
+	}
+	assign, ok := n.Body.List[0].(*ast.AssignStmt)
+	if !ok || assign.Tok != token.ASSIGN || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	sliceObj := identObject(pass, assign.Lhs[0])
+	if sliceObj == nil {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+		return false
+	}
+	if identObject(pass, call.Args[0]) != sliceObj || identObject(pass, call.Args[1]) != keyObj {
+		return false
+	}
+	// Look for a later sort call on the same slice object.
+	found := false
+	ast.Inspect(fn, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok || call.Pos() < n.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable",
+			"Sort", "SortFunc", "SortStableFunc", "Stable":
+		default:
+			return true
+		}
+		if len(call.Args) >= 1 && identObject(pass, call.Args[0]) == sliceObj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// identObject resolves e to the object of a plain identifier, following
+// definitions as well as uses (the range key is a definition).
+func identObject(pass *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags `==` and `!=` between floating-point (or complex)
+// operands in non-test library code. The duty-cycle, aging and energy
+// paths accumulate float64 values whose low bits depend on evaluation
+// order; after the PR-1 parallel harness those accumulations must stay
+// byte-identical, so exact equality on computed floats is either a
+// latent bug (it silently flips when a reduction is reassociated) or a
+// sentinel test that deserves an explicit waiver.
+//
+// Comparisons where both operands are compile-time constants are exact
+// and accepted. Everything else should use the helpers in
+// internal/floats (floats.AlmostEqual for tolerance comparison,
+// floats.ExactZero for deliberate zero-sentinel tests) or carry an
+// //nbtilint:allow floatcmp <reason> directive.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "flags ==/!= between floating-point operands in non-test library " +
+		"code; use internal/floats.AlmostEqual (or document a sentinel " +
+		"comparison with //nbtilint:allow floatcmp)",
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		// Scope: the invariant guards the engine's computed values;
+		// cmd/ and examples/ only format results.
+		return nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			x, xok := pass.TypesInfo.Types[be.X]
+			y, yok := pass.TypesInfo.Types[be.Y]
+			if !xok || !yok {
+				return true
+			}
+			if !isFloatType(x.Type) && !isFloatType(y.Type) {
+				return true
+			}
+			if x.Value != nil && y.Value != nil {
+				// Both sides are untyped/typed constants: the comparison
+				// is evaluated exactly at compile time.
+				return true
+			}
+			pass.Reportf(be.OpPos, "floating-point %s is rounding-sensitive on computed values; use internal/floats.AlmostEqual (or floats.ExactZero for sentinels), or annotate //nbtilint:allow floatcmp <reason>", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nbtinoc/internal/lint"
+	"nbtinoc/internal/lint/linttest"
+)
+
+func TestFloatCmp(t *testing.T) {
+	linttest.Run(t, lint.FloatCmp, "floatcmp")
+}
+
+func TestFloatCmpSkipsMainPackages(t *testing.T) {
+	diags := linttest.Diagnostics(t, []*lint.Analyzer{lint.FloatCmp}, "mainscope")
+	if len(diags) != 0 {
+		t.Errorf("floatcmp reported %d findings in package main, want 0: %v", len(diags), diags)
+	}
+}

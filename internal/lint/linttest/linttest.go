@@ -1,0 +1,174 @@
+// Package linttest is an analysistest-style harness for the nbtilint
+// analyzers, built only on the standard library.
+//
+// Fixture packages live in internal/lint/testdata/src/<name>/ and are
+// plain Go files (ignored by the go tool because of the testdata
+// directory). Expected diagnostics are declared inline:
+//
+//	for k := range m { // want `range over map`
+//
+// Each `// want` comment carries one or more backquoted or quoted
+// regular expressions; every reported diagnostic must match a want on
+// its exact line, and every want must be matched by some diagnostic.
+// Fixtures may import only the standard library — they are type-checked
+// with go/importer's source importer against GOROOT.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"nbtinoc/internal/lint"
+)
+
+// wantRE extracts the quoted expectations from a // want comment. Both
+// backquoted and double-quoted forms are accepted.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads the fixture package testdata/src/<pkgname> (relative to the
+// internal/lint directory), runs the analyzer suite consisting of just
+// a over it, and compares diagnostics against the // want comments.
+// The fixture's import path is pkgname itself.
+func Run(t *testing.T, a *lint.Analyzer, pkgname string) {
+	t.Helper()
+	RunSuite(t, []*lint.Analyzer{a}, pkgname)
+}
+
+// RunSuite is Run for several analyzers at once (their diagnostics are
+// pooled before matching, which also surfaces malformed allow
+// directives via the "allow" pseudo-analyzer).
+func RunSuite(t *testing.T, as []*lint.Analyzer, pkgname string) {
+	t.Helper()
+	fset, files, diags := analyze(t, as, pkgname)
+
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic at %s:%d: %s: %s",
+				filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+				filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}
+
+// Diagnostics loads a fixture and returns the raw findings without
+// matching them against // want comments — for tests probing scoping
+// rules or diagnostic ordering directly.
+func Diagnostics(t *testing.T, as []*lint.Analyzer, pkgname string) []lint.Diagnostic {
+	t.Helper()
+	_, _, diags := analyze(t, as, pkgname)
+	return diags
+}
+
+func analyze(t *testing.T, as []*lint.Analyzer, pkgname string) (*token.FileSet, []*ast.File, []lint.Diagnostic) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkgname)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	pkg, err := conf.Check(pkgname, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking fixture %s: %v", pkgname, err)
+	}
+
+	diags, err := lint.RunSuite(as, fset, files, pkg, info, pkgname)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	return fset, files, diags
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				matches := wantRE.FindAllStringSubmatch(text[idx+len("// want "):], -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s:%d: malformed // want comment (no quoted pattern)", pos.Filename, pos.Line)
+				}
+				for _, m := range matches {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: raw,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func matchWant(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand{,/v2} functions that build an
+// explicit, locally-seeded generator rather than touching the shared
+// global source. They are tolerated by RNGSource (the global stream is
+// the hazard), though internal/rng remains the house generator because
+// math/rand's helper-method streams are not stable across Go releases.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// RNGSource forbids the package-level convenience functions of
+// math/rand and math/rand/v2 (rand.Intn, rand.Float64, rand.Shuffle,
+// ...) outside tests. Those draw from a process-global source that is
+// seeded randomly at startup (and, in math/rand/v2, cannot be reseeded
+// at all), so a scenario using them can never be replayed from its
+// recorded seed. All simulator randomness must flow through an
+// explicitly seeded internal/rng.Source, whose xoshiro256** stream is
+// bit-stable across Go releases.
+var RNGSource = &Analyzer{
+	Name: "rngsource",
+	Doc: "forbids top-level math/rand and math/rand/v2 functions outside " +
+		"tests; randomness must come from an explicitly seeded " +
+		"internal/rng stream so published tables replay from their seeds",
+	Run: runRNGSource,
+}
+
+func runRNGSource(pass *Pass) error {
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil || randConstructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "%s.%s draws from the process-global random source and cannot replay from a seed; use a seeded internal/rng.Source (derive per-goroutine streams with Split)", path, fn.Name())
+			return true
+		})
+	}
+	return nil
+}

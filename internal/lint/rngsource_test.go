@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nbtinoc/internal/lint"
+	"nbtinoc/internal/lint/linttest"
+)
+
+func TestRNGSource(t *testing.T) {
+	linttest.Run(t, lint.RNGSource, "rngsource")
+}

@@ -1,0 +1,38 @@
+// Package allowdir is a fixture for the //nbtilint:allow directive
+// grammar: waivers missing an analyzer name or a reason, or naming an
+// unknown analyzer, do not suppress anything and are themselves
+// reported, so stale suppressions cannot accumulate.
+package allowdir
+
+import "time"
+
+//nbtilint:allow // want `directive needs an analyzer name and a reason`
+var malformedNoAnalyzer = 0
+
+//nbtilint:allow wallclock // want `directive needs a reason`
+func malformedNoReason() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+//nbtilint:allow clockwall this analyzer does not exist // want `unknown analyzer clockwall`
+func malformedUnknownAnalyzer() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+//nbtilint:allow rngsource reason targets the wrong analyzer
+func wrongAnalyzerDoesNotSuppress() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// A directive two lines above the offending statement is out of range:
+// it must sit on the line of, or directly above, the diagnostic.
+func tooFarAbove() time.Time {
+	//nbtilint:allow wallclock display-only, but one line too early
+	_ = 0
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func wellFormed() time.Time {
+	//nbtilint:allow wallclock display-only fixture case with a proper reason
+	return time.Now()
+}

@@ -1,0 +1,93 @@
+// Package detmap is a fixture for the detmap analyzer: every map range
+// whose order can leak must be flagged; collect-then-sort, ignored
+// key/value, slice ranges and allow-annotated ranges must not.
+package detmap
+
+import (
+	"sort"
+)
+
+type weights map[string]float64
+
+func flagged(m map[string]int) int {
+	for k, v := range m { // want `range over map`
+		if v > 0 {
+			_ = k
+			return v
+		}
+	}
+	for k := range m { // want `range over map`
+		return len(k)
+	}
+	return 0
+}
+
+func flaggedNamedType(w weights) float64 {
+	var sum float64
+	// Named map types are still maps underneath.
+	for _, v := range w { // want `range over map`
+		sum += v
+	}
+	return sum
+}
+
+func flaggedValueOnlyCollect(m map[string]string) []string {
+	var out []string
+	// Collecting *values* is not the sorted-keys idiom: two keys can
+	// share a value, and the append order is observable before sorting
+	// in the general case, so this stays flagged.
+	for _, v := range m { // want `range over map`
+		out = append(out, v)
+	}
+	return out
+}
+
+func cleanCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func cleanCollectThenSortSlice(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func cleanIgnoredKeyAndValue(m map[string]int) int {
+	n := 0
+	// Iterations are indistinguishable, so order cannot matter.
+	for range m {
+		n++
+	}
+	return n
+}
+
+func cleanSliceRange(s []string) int {
+	n := 0
+	for i, v := range s {
+		n += i + len(v)
+	}
+	return n
+}
+
+func cleanAllowSameLine(m map[string]int) string {
+	for k := range m { //nbtilint:allow detmap first match wins and all callers treat any key as equivalent
+		return k
+	}
+	return ""
+}
+
+func cleanAllowLineAbove(m map[string]int) string {
+	//nbtilint:allow detmap first match wins and all callers treat any key as equivalent
+	for k := range m {
+		return k
+	}
+	return ""
+}

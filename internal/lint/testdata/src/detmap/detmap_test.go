@@ -1,0 +1,12 @@
+package detmap
+
+// Test files are exempt: map ranges in tests cannot corrupt simulator
+// output, and deep-equal helpers range freely.
+
+func rangeInTest(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,47 @@
+// Package floatcmp is a fixture for the floatcmp analyzer: exact
+// equality between floating-point operands is flagged unless both sides
+// are compile-time constants or a directive documents a sentinel test.
+package floatcmp
+
+type celsius float64
+
+func flagged(a, b float64) bool {
+	if a == b { // want `floating-point == is rounding-sensitive`
+		return true
+	}
+	return a != b // want `floating-point != is rounding-sensitive`
+}
+
+func flaggedAgainstLiteral(x float64) bool {
+	return x == 0.5 // want `floating-point == is rounding-sensitive`
+}
+
+func flaggedFloat32(a, b float32) bool {
+	return a == b // want `floating-point == is rounding-sensitive`
+}
+
+func flaggedNamedType(a, b celsius) bool {
+	return a == b // want `floating-point == is rounding-sensitive`
+}
+
+func flaggedComplex(a, b complex128) bool {
+	return a == b // want `floating-point == is rounding-sensitive`
+}
+
+func cleanOrderedComparisons(a, b float64) bool {
+	return a < b || a >= b
+}
+
+func cleanConstants() bool {
+	const half = 0.5
+	return half == 0.5
+}
+
+func cleanIntegers(a, b int) bool {
+	return a == b
+}
+
+func cleanAllowedSentinel(total float64) bool {
+	//nbtilint:allow floatcmp total is a config field assigned 0, never computed
+	return total == 0
+}

@@ -1,0 +1,4 @@
+package floatcmp
+
+// Exact comparison in tests is fine (golden-value pinning relies on it).
+func exactCompareInTest(got, want float64) bool { return got == want }

@@ -1,0 +1,23 @@
+// Package main is a fixture for analyzer scoping: detmap and floatcmp
+// guard library (engine) code and skip package main — cmd/ and
+// examples/ only format results — while wallclock and rngsource apply
+// everywhere, because a wall-clock read or global-source draw in a
+// driver still destroys replayability of what it prints.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func main() {
+	m := map[string]float64{"a": 1}
+	for k, v := range m { // no detmap finding: package main is display code
+		if v == 1 { // no floatcmp finding: package main is display code
+			fmt.Println(k)
+		}
+	}
+	fmt.Println(time.Now())    // want `time\.Now reads the wall clock`
+	fmt.Println(rand.Intn(10)) // want `math/rand\.Intn draws from the process-global random source`
+}

@@ -1,0 +1,36 @@
+// Package rngsource is a fixture for the rngsource analyzer: the
+// package-level convenience functions of math/rand and math/rand/v2
+// draw from a process-global source and must be flagged; explicit
+// generator construction and method calls on local generators are
+// tolerated (internal/rng remains the house generator).
+package rngsource
+
+import (
+	randv1 "math/rand"
+	randv2 "math/rand/v2"
+)
+
+func flaggedV1() float64 {
+	n := randv1.Intn(10)      // want `math/rand\.Intn draws from the process-global random source`
+	randv1.Seed(42)           // want `math/rand\.Seed draws from the process-global random source`
+	randv1.Shuffle(n, func(i, j int) {}) // want `math/rand\.Shuffle draws from the process-global random source`
+	return randv1.Float64() // want `math/rand\.Float64 draws from the process-global random source`
+}
+
+func flaggedV2() uint64 {
+	_ = randv2.IntN(10) // want `math/rand/v2\.IntN draws from the process-global random source`
+	return randv2.Uint64() // want `math/rand/v2\.Uint64 draws from the process-global random source`
+}
+
+func cleanExplicitGenerators() float64 {
+	r1 := randv1.New(randv1.NewSource(1))
+	r2 := randv2.New(randv2.NewPCG(1, 2))
+	// Method calls on locally seeded generators are not the global
+	// stream; the rngsource analyzer leaves them to code review.
+	return r1.Float64() + r2.Float64()
+}
+
+func cleanAllowed() int {
+	//nbtilint:allow rngsource one-off jitter for a log message, never feeds simulator state
+	return randv1.Intn(3)
+}

@@ -1,0 +1,6 @@
+package rngsource
+
+import "math/rand"
+
+// Tests may use throwaway randomness.
+func randomInTest() int { return rand.Intn(100) }

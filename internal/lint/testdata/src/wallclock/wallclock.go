@@ -1,0 +1,41 @@
+// Package wallclock is a fixture for the wallclock analyzer: any read
+// of, or wait on, the host clock in non-test code must be flagged
+// unless an allow directive documents a display-only use.
+package wallclock
+
+import (
+	clock "time"
+	"time"
+)
+
+func flagged() time.Duration {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)                // want `time\.Sleep reads the wall clock`
+	<-time.After(time.Millisecond)              // want `time\.After reads the wall clock`
+	t := time.NewTicker(time.Second)            // want `time\.NewTicker reads the wall clock`
+	t.Stop()
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func flaggedRenamedImport() clock.Time {
+	// Import renaming must not defeat the check.
+	return clock.Now() // want `time\.Now reads the wall clock`
+}
+
+func cleanDurationsAndConstructors() time.Duration {
+	// Pure duration arithmetic and parsing never touch the clock.
+	d, _ := time.ParseDuration("3s")
+	u := time.Unix(0, 0)
+	_ = u
+	return d + 2*time.Second
+}
+
+func cleanAllowed() time.Time {
+	//nbtilint:allow wallclock display-only banner timestamp, never reaches simulator state
+	return time.Now()
+}
+
+func cleanAllowedSameLine() time.Duration {
+	start := time.Now() //nbtilint:allow wallclock progress display for the operator only
+	return time.Since(start) //nbtilint:allow wallclock progress display for the operator only
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the package-level functions of "time" that read or
+// wait on the host's wall clock. Timestamps and durations derived from
+// them differ run to run, so any engine state or output they touch is
+// nondeterministic by construction. Simulation time in this repository
+// is the cycle counter threaded through noc.Network.Step; durations are
+// cycle counts.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// WallClock forbids wall-clock reads outside tests. The only legitimate
+// uses are display-only (e.g. cmd/tables printing how long a table took
+// to regenerate); those carry an //nbtilint:allow wallclock directive
+// whose reason documents that the value never reaches simulator output.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbids time.Now/Since/Sleep and friends outside tests; simulated " +
+		"time must come from the tick counter so runs replay bit-identically. " +
+		"Display-only timing needs an //nbtilint:allow wallclock directive",
+	Run: runWallClock,
+}
+
+func runWallClock(pass *Pass) error {
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "time.%s reads the wall clock: simulation time must come from the tick counter; for display-only timing annotate //nbtilint:allow wallclock <reason>", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"nbtinoc/internal/floats"
 )
 
 // Epoch is one phase of a device's operating history: a sustained
@@ -71,7 +73,9 @@ func (h *History) TotalSeconds() float64 {
 // 0 for an empty history.
 func (h *History) EffectiveAlpha() float64 {
 	total := h.TotalSeconds()
-	if total == 0 {
+	if floats.ExactZero(total) {
+		// An empty history (or one of zero-length epochs) sums to an
+		// exact 0; any real epoch makes the total strictly positive.
 		return 0
 	}
 	var weighted float64

@@ -28,6 +28,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"nbtinoc/internal/floats"
 )
 
 // Boltzmann constant in eV/K.
@@ -177,7 +179,9 @@ func (p Params) BetaT(alpha, t float64) float64 {
 // in [0, 1]. alpha is the NBTI-duty-cycle expressed as a fraction.
 func (p Params) DeltaVth(alpha, t float64) float64 {
 	alpha = clamp01(alpha)
-	if alpha == 0 || t <= 0 || p.A == 0 {
+	if floats.ExactZero(alpha) || t <= 0 || floats.ExactZero(p.A) {
+		// Exact-zero sentinels: clamp01 pins non-positive alpha to 0,
+		// and A == 0 is the documented "model disabled" setting.
 		return 0
 	}
 	kv := p.Kv()
@@ -196,7 +200,8 @@ func (p Params) DeltaVth(alpha, t float64) float64 {
 // baseline shift is zero.
 func (p Params) Saving(alphaPolicy, alphaBaseline, t float64) float64 {
 	base := p.DeltaVth(alphaBaseline, t)
-	if base == 0 {
+	if floats.ExactZero(base) {
+		// DeltaVth returns an exact 0 only through its sentinel paths.
 		return 0
 	}
 	return 1 - p.DeltaVth(alphaPolicy, t)/base
@@ -232,7 +237,7 @@ func (p Params) LifetimeToBudget(alpha, budget float64) float64 {
 func calibrateA(p Params, target, t float64) float64 {
 	p.A = 1
 	ref := p.DeltaVth(1, t)
-	if ref == 0 || math.IsInf(ref, 1) {
+	if floats.ExactZero(ref) || math.IsInf(ref, 1) {
 		return 0
 	}
 	// target = ref · A^(2n)  =>  A = (target/ref)^(1/2n)

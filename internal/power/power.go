@@ -62,17 +62,27 @@ func Default45nm() Params {
 	}
 }
 
-// Validate reports whether the constants are usable.
+// Validate reports whether the constants are usable. The fields are
+// checked in declaration order — not via a map, whose randomized
+// iteration order would make the reported error depend on the run when
+// several fields are invalid.
 func (p Params) Validate() error {
-	for name, v := range map[string]float64{
-		"BufferWritePJ": p.BufferWritePJ, "BufferReadPJ": p.BufferReadPJ,
-		"CrossbarPJ": p.CrossbarPJ, "ArbitrationPJ": p.ArbitrationPJ,
-		"LinkPJ": p.LinkPJ, "GateTransitionPJ": p.GateTransitionPJ,
-		"BufferLeakMW": p.BufferLeakMW, "SensorLeakMW": p.SensorLeakMW,
-		"ClockHz": p.ClockHz,
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"BufferWritePJ", p.BufferWritePJ},
+		{"BufferReadPJ", p.BufferReadPJ},
+		{"CrossbarPJ", p.CrossbarPJ},
+		{"ArbitrationPJ", p.ArbitrationPJ},
+		{"LinkPJ", p.LinkPJ},
+		{"GateTransitionPJ", p.GateTransitionPJ},
+		{"BufferLeakMW", p.BufferLeakMW},
+		{"SensorLeakMW", p.SensorLeakMW},
+		{"ClockHz", p.ClockHz},
 	} {
-		if v <= 0 {
-			return fmt.Errorf("power: %s must be positive", name)
+		if c.v <= 0 {
+			return fmt.Errorf("power: %s must be positive", c.name)
 		}
 	}
 	if p.GatedLeakFraction < 0 || p.GatedLeakFraction >= 1 {

@@ -176,3 +176,25 @@ func TestQuickMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestValidateErrorDeterministic guards the fix for the map-range
+// validation hazard flagged by nbtilint's detmap analyzer: with several
+// fields invalid at once, the reported error must name the same field —
+// the first in declaration order — on every invocation, not whichever
+// key a randomized map iteration visited first.
+func TestValidateErrorDeterministic(t *testing.T) {
+	p := Default45nm()
+	p.BufferReadPJ = 0     // second field in declaration order
+	p.GateTransitionPJ = 0 // sixth
+	p.ClockHz = -1         // last positive-required field
+	const want = "power: BufferReadPJ must be positive"
+	for i := 0; i < 100; i++ {
+		err := p.Validate()
+		if err == nil {
+			t.Fatal("Validate accepted invalid params")
+		}
+		if err.Error() != want {
+			t.Fatalf("invocation %d: error %q, want %q", i, err, want)
+		}
+	}
+}

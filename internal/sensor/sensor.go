@@ -23,6 +23,7 @@ import (
 	"errors"
 	"math"
 
+	"nbtinoc/internal/floats"
 	"nbtinoc/internal/nbti"
 	"nbtinoc/internal/rng"
 )
@@ -102,7 +103,9 @@ func (s *Sensor) Device() *nbti.Device { return s.dev }
 
 // trueVth returns the noiseless quantity the sensor observes.
 func (s *Sensor) trueVth() float64 {
-	if s.cfg.Horizon == 0 {
+	if floats.ExactZero(s.cfg.Horizon) {
+		// Horizon is a config field: 0 means "report current Vth", any
+		// projection is set explicitly and never computed.
 		return s.dev.Vth0
 	}
 	return s.dev.Vth(s.cfg.Horizon)

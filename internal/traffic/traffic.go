@@ -51,6 +51,14 @@ const (
 	Hotspot
 )
 
+// patternOrder fixes the canonical enumeration order; ParsePattern and
+// any listing must iterate this slice, not the patternNames map, so
+// lookups and error messages are deterministic.
+var patternOrder = []Pattern{
+	Uniform, Transpose, BitComplement, BitReverse,
+	Shuffle, Tornado, Neighbor, Hotspot,
+}
+
 var patternNames = map[Pattern]string{
 	Uniform:       "uniform",
 	Transpose:     "transpose",
@@ -71,8 +79,8 @@ func (p Pattern) String() string {
 
 // ParsePattern converts a pattern name to its value.
 func ParsePattern(name string) (Pattern, error) {
-	for p, s := range patternNames {
-		if s == name {
+	for _, p := range patternOrder {
+		if patternNames[p] == name {
 			return p, nil
 		}
 	}
