@@ -1,8 +1,10 @@
 # Convenience targets for the nbtinoc reproduction.
 
 GO ?= go
+# BENCHTIME feeds -benchtime for `make bench`; CI smoke runs use 1x.
+BENCHTIME ?= 1x
 
-.PHONY: all build test test-race vet lint bench tables tables-quick examples fuzz cover clean
+.PHONY: all build test test-race test-debug vet lint bench bench-check tables tables-quick examples fuzz cover clean
 
 all: build vet lint test test-race
 
@@ -28,9 +30,22 @@ test-race:
 vet:
 	$(GO) vet ./...
 
-# Benchmark-scale regeneration of every table/figure (one iteration each).
+# The nbtidebug build tag turns on the active-set invariant check
+# (every unit skipped by Network.Step must be provably quiescent).
+test-debug:
+	$(GO) test -tags nbtidebug ./internal/noc ./internal/sim ./internal/core
+
+# Benchmark-scale regeneration of every table/figure, recorded into the
+# perf-trajectory file BENCH_engine.json via cmd/benchjson.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run '^$$' . | tee bench_output.txt
+	bin/benchjson -label current -o BENCH_engine.json -append < bench_output.txt
+
+# bench plus the allocs/op regression gate against the pinned baseline
+# (the CI smoke job).
+bench-check: bench
+	bin/benchjson -label check -o /tmp/bench_check.json -baseline bench_baseline.json < bench_output.txt
 
 # Full default-window regeneration of every table (several minutes).
 tables:

@@ -68,6 +68,33 @@ func BenchmarkTableII_Parallel(b *testing.B) {
 	}
 }
 
+// BenchmarkTableII_Inj010 is the Table II grid restricted to the
+// 0.10 flits/cycle/node injection rate — the low-activity regime the
+// activity-gated engine targets. BenchmarkTableII_Inj030 is the same
+// grid at 0.30, where most units stay busy and the engine falls back
+// to full-mesh work; together they bound the speedup across load.
+func BenchmarkTableII_Inj010(b *testing.B) { benchTableIIAtRate(b, 0.1) }
+
+// BenchmarkTableII_Inj030 is the high-load single-rate companion of
+// BenchmarkTableII_Inj010.
+func BenchmarkTableII_Inj030(b *testing.B) { benchTableIIAtRate(b, 0.3) }
+
+func benchTableIIAtRate(b *testing.B, rate float64) {
+	for i := 0; i < b.N; i++ {
+		opt := benchTableOptions()
+		opt.Rates = []float64{rate}
+		tbl, err := sim.RunSyntheticTable(4, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var gap float64
+		for _, row := range tbl.Rows {
+			gap += row.Gap
+		}
+		b.ReportMetric(gap/float64(len(tbl.Rows)), "gap_pts")
+	}
+}
+
 // BenchmarkTableIII regenerates Table III (synthetic traffic, 2 VCs).
 func BenchmarkTableIII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -230,6 +257,59 @@ func BenchmarkFigure1SensorWise(b *testing.B) {
 		gen.Tick(uint64(i), emit)
 		n.Step()
 	}
+}
+
+// BenchmarkEngineIdle measures the per-cycle cost of a quiescent
+// 16-core mesh: no traffic after construction, so once every policy
+// settles, the active set is empty and a cycle costs only the
+// active-set bookkeeping. This is the headline number of the
+// activity-gated engine — before it, an idle cycle cost the same
+// fifteen full-mesh sweeps as a loaded one.
+func BenchmarkEngineIdle(b *testing.B) {
+	cfg := noc.DefaultConfig()
+	cfg.Policy = core.NewSensorWise
+	n, err := noc.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Let the initial policy transitions drain so steady state is
+	// reached before timing starts.
+	n.Run(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/cycle")
+}
+
+// BenchmarkEngineLowLoad measures the per-cycle cost at inj 0.02 —
+// the sparse-activity regime the active set targets: most units idle
+// most cycles, a few carrying traffic.
+func BenchmarkEngineLowLoad(b *testing.B) {
+	cfg := noc.DefaultConfig()
+	cfg.Policy = core.NewSensorWise
+	n, err := noc.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
+		Pattern: traffic.Uniform, Width: 4, Height: 4,
+		Rate: 0.02, PacketLen: 4, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	emit := func(src, dst noc.NodeID, vnet, l int) {
+		_ = n.Inject(src, dst, vnet, l)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Tick(uint64(i), emit)
+		n.Step()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/cycle")
 }
 
 // BenchmarkPolicyDecide measures one pre-VA decision of each policy.

@@ -1,0 +1,217 @@
+// Command benchjson converts `go test -bench` text output into the
+// machine-readable perf-trajectory file BENCH_engine.json, so every PR
+// can record before/after engine numbers in a stable format.
+//
+//	go test -bench=. -benchmem -run '^$' . | benchjson -label after -o BENCH_engine.json -append
+//
+// -append keeps the runs already in the output file (e.g. the "before"
+// run recorded prior to an optimisation) and adds the new one.
+// -baseline compares the parsed run's allocs/op against the named
+// benchmarks of a pinned baseline file and exits non-zero when any
+// regress beyond -alloc-tol percent — the CI guard against accidental
+// per-cycle allocation creep.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Run is one labelled `go test -bench` invocation.
+type Run struct {
+	Label      string      `json:"label"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// File is the whole trajectory file: one run per recorded data point.
+type File struct {
+	Runs []Run `json:"runs"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, errOut io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var (
+		out      = fs.String("o", "BENCH_engine.json", "output JSON file")
+		label    = fs.String("label", "run", "label for this benchmark run")
+		appendTo = fs.Bool("append", false, "keep existing runs in the output file")
+		baseline = fs.String("baseline", "", "pinned baseline JSON; fail on allocs/op regression against it")
+		allocTol = fs.Float64("alloc-tol", 10, "allowed allocs/op increase over the baseline, percent")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	parsed, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(parsed.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	parsed.Label = *label
+
+	var file File
+	if *appendTo {
+		if data, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(data, &file); err != nil {
+				return fmt.Errorf("parsing existing %s: %w", *out, err)
+			}
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	file.Runs = append(file.Runs, parsed)
+
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	if *baseline != "" {
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			return err
+		}
+		if regressions := checkAllocs(parsed, base, *allocTol); len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(errOut, "allocs/op regression:", r)
+			}
+			return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%% of the baseline", len(regressions), *allocTol)
+		}
+	}
+	return nil
+}
+
+// parseBench reads `go test -bench` text output. A benchmark line is
+// the name, the iteration count, then (value, unit) pairs; -benchmem
+// adds B/op and allocs/op, b.ReportMetric adds custom units.
+func parseBench(in io.Reader) (Run, error) {
+	var run Run
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			run.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			run.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			run.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return run, fmt.Errorf("benchmark %s: bad value %q", b.Name, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = val
+			case "allocs/op":
+				b.AllocsPerOp = val
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		run.Benchmarks = append(run.Benchmarks, b)
+	}
+	return run, sc.Err()
+}
+
+// loadBaseline reads a trajectory file and returns allocs/op per
+// benchmark name from its last run (the pinned reference point).
+func loadBaseline(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var file File
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if len(file.Runs) == 0 {
+		return nil, fmt.Errorf("baseline %s has no runs", path)
+	}
+	base := make(map[string]float64)
+	for _, b := range file.Runs[len(file.Runs)-1].Benchmarks {
+		base[b.Name] = b.AllocsPerOp
+	}
+	return base, nil
+}
+
+// checkAllocs compares a run's allocs/op against the baseline and
+// returns a description of every regression beyond tolPct percent.
+// Benchmarks absent from the baseline pass (new benchmarks are not
+// regressions).
+func checkAllocs(run Run, base map[string]float64, tolPct float64) []string {
+	var regressions []string
+	for _, b := range run.Benchmarks {
+		want, ok := base[b.Name]
+		if !ok {
+			continue
+		}
+		limit := want * (1 + tolPct/100)
+		if want == 0 {
+			limit = 0
+		}
+		if b.AllocsPerOp > limit {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f (limit %.0f)",
+					b.Name, b.AllocsPerOp, want, limit))
+		}
+	}
+	return regressions
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: nbtinoc
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTableII           	       1	4674572191 ns/op	        14.91 gap_pts	73962736 B/op	  242180 allocs/op
+BenchmarkEngineIdle        	  100000	        41.87 ns/op	        41.85 ns/cycle	       0 B/op	       0 allocs/op
+PASS
+ok  	nbtinoc	4.679s
+`
+
+func TestParseBench(t *testing.T) {
+	run, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Goos != "linux" || run.Pkg != "nbtinoc" {
+		t.Fatalf("header parse: %+v", run)
+	}
+	if len(run.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(run.Benchmarks))
+	}
+	b := run.Benchmarks[0]
+	if b.Name != "BenchmarkTableII" || b.Iterations != 1 {
+		t.Fatalf("first benchmark: %+v", b)
+	}
+	if b.NsPerOp != 4674572191 || b.AllocsPerOp != 242180 || b.BytesPerOp != 73962736 {
+		t.Fatalf("std units: %+v", b)
+	}
+	if b.Metrics["gap_pts"] != 14.91 {
+		t.Fatalf("custom metric: %+v", b.Metrics)
+	}
+	if run.Benchmarks[1].Metrics["ns/cycle"] != 41.85 {
+		t.Fatalf("ns/cycle metric: %+v", run.Benchmarks[1].Metrics)
+	}
+}
+
+func TestRunWritesAndAppends(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	if err := run([]string{"-o", out, "-label", "before"},
+		strings.NewReader(sampleBench), os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-o", out, "-label", "after", "-append"},
+		strings.NewReader(sampleBench), os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file File
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatal(err)
+	}
+	if len(file.Runs) != 2 || file.Runs[0].Label != "before" || file.Runs[1].Label != "after" {
+		t.Fatalf("runs after append: %+v", file.Runs)
+	}
+}
+
+func TestBaselineRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	base := File{Runs: []Run{{Label: "pinned", Benchmarks: []Benchmark{
+		{Name: "BenchmarkTableII", AllocsPerOp: 100},
+		{Name: "BenchmarkEngineIdle", AllocsPerOp: 0},
+	}}}}
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Sample has 242180 allocs/op for TableII — far over the 100 pin.
+	err = run([]string{"-o", filepath.Join(dir, "out.json"), "-baseline", baseline},
+		strings.NewReader(sampleBench), os.Stderr)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("regression not detected: %v", err)
+	}
+}
+
+func TestBaselinePassesWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	base := File{Runs: []Run{{Label: "pinned", Benchmarks: []Benchmark{
+		{Name: "BenchmarkTableII", AllocsPerOp: 242180},
+		{Name: "BenchmarkEngineIdle", AllocsPerOp: 0},
+	}}}}
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-o", filepath.Join(dir, "out.json"), "-baseline", baseline},
+		strings.NewReader(sampleBench), os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroAllocBaselineIsStrict(t *testing.T) {
+	base := map[string]float64{"BenchmarkEngineIdle": 0}
+	r := Run{Benchmarks: []Benchmark{{Name: "BenchmarkEngineIdle", AllocsPerOp: 1}}}
+	if regs := checkAllocs(r, base, 10); len(regs) != 1 {
+		t.Fatalf("zero-alloc baseline not strict: %v", regs)
+	}
+}

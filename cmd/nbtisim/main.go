@@ -15,6 +15,9 @@
 // output never depends on the worker count. The aging-snapshot and
 // flit-trace flags write per-run files and therefore require a single
 // scenario.
+//
+// -cpuprofile, -memprofile and -exectrace write the standard Go runtime
+// profiles for the whole run (-trace is taken by flit trace replay).
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 
 	"nbtinoc/internal/core"
 	"nbtinoc/internal/noc"
+	"nbtinoc/internal/prof"
 	"nbtinoc/internal/sim"
 	"nbtinoc/internal/traffic"
 )
@@ -40,8 +44,12 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("nbtisim", flag.ContinueOnError)
+	// -trace already means flit-trace replay here, so the runtime
+	// execution trace is exposed as -exectrace.
+	var profFlags prof.Flags
+	profFlags.Register(fs, "exectrace")
 	var (
 		cores    = fs.Int("cores", 16, "number of cores (square mesh)")
 		vcs      = fs.Int("vcs", 4, "virtual channels per vnet per input port")
@@ -72,6 +80,15 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	var scens []*sim.Scenario
 	if *cfgPath != "" {

@@ -23,6 +23,9 @@
 // worker pool; -j caps the workers (0 = one per core, 1 = sequential).
 // The output is identical for every -j value. With -table all, each
 // table additionally reports its wall-clock time.
+//
+// -cpuprofile, -memprofile and -trace write the standard Go runtime
+// profiles for the whole run, for digging into simulator hot spots.
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"time"
 
 	"nbtinoc/internal/area"
+	"nbtinoc/internal/prof"
 	"nbtinoc/internal/sim"
 )
 
@@ -44,8 +48,10 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	var profFlags prof.Flags
+	profFlags.Register(fs, "trace")
 	var (
 		table   = fs.String("table", "all", "table to regenerate: 1, 2, 3, 4, area, vth, coop, perf, power, sensors, corners, dse, rr, all")
 		warmup  = fs.Uint64("warmup", 20_000, "warm-up cycles")
@@ -63,6 +69,15 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	if *quick {
 		*warmup, *measure, *iters = 2_000, 20_000, 3
 	}

@@ -62,5 +62,9 @@ func (p *SensorWiseLD) DesiredPower(in *noc.PolicyInput, out []bool) {
 	}
 }
 
+// SteadyWhenIdle implements noc.SteadyPolicy: the keep decision is a
+// pure function of the sensor feedback and idle states.
+func (p *SensorWiseLD) SteadyWhenIdle() bool { return true }
+
 // NewSensorWiseLD is the factory for the least-degraded-keep extension.
 func NewSensorWiseLD() noc.Policy { return &SensorWiseLD{} }

@@ -75,6 +75,12 @@ func (p *RRNoSensor) DesiredPower(in *noc.PolicyInput, out []bool) {
 	// All VCs busy: nothing to keep idle; enable is irrelevant.
 }
 
+// SteadyWhenIdle implements noc.SteadyPolicy: the cooperative variant
+// returns all-gated without reading the cycle when no traffic waits;
+// the non-cooperative variant rotates its candidate on a time basis
+// every cycle and must keep running.
+func (p *RRNoSensor) SteadyWhenIdle() bool { return !p.AssumeTraffic }
+
 // NewRRNoSensor is the noc.PolicyFactory for the cooperative Algorithm 1.
 func NewRRNoSensor() noc.Policy {
 	return &RRNoSensor{RotatePeriod: DefaultRotatePeriod}
@@ -136,6 +142,10 @@ func (p *SensorWise) DesiredPower(in *noc.PolicyInput, out []bool) {
 		}
 	}
 }
+
+// SteadyWhenIdle implements noc.SteadyPolicy: Algorithm 2 ranks by the
+// Down_Up feedback and never reads the cycle, in either variant.
+func (p *SensorWise) SteadyWhenIdle() bool { return true }
 
 // NewSensorWise is the factory for the cooperative Algorithm 2 — the
 // paper's proposed policy.

@@ -77,6 +77,28 @@ func cleanSliceRange(s []string) int {
 	return n
 }
 
+// cleanActiveSetRebuild is the cycle-engine active-set idiom
+// (internal/noc/activeset.go): membership lives in a map (or bitmask),
+// and the per-cycle sweep iterates an ascending ordered-slice rebuild
+// instead of the map itself — the accepted deterministic pattern.
+func cleanActiveSetRebuild(active map[int32]bool) []int32 {
+	ids := make([]int32, 0, len(active))
+	for id := range active {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// flaggedActiveSetDirect is the same sweep done wrong: stepping units
+// straight out of the membership map leaks iteration order into the
+// simulation.
+func flaggedActiveSetDirect(active map[int32]bool, step func(int32)) {
+	for id := range active { // want `range over map`
+		step(id)
+	}
+}
+
 func cleanAllowSameLine(m map[string]int) string {
 	for k := range m { //nbtilint:allow detmap first match wins and all callers treat any key as equivalent
 		return k

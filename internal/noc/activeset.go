@@ -1,0 +1,100 @@
+package noc
+
+import "math/bits"
+
+// The active set makes one simulated cycle cost proportional to
+// activity instead of mesh size: Step sweeps only the units whose
+// per-cycle phases can have an effect. Membership is tracked in plain
+// bitmasks indexed by NodeID and decoded into an ascending id list once
+// per cycle, so iteration order is deterministic by construction (no
+// map ranges anywhere near the simulation state).
+//
+// The protocol has three rules:
+//
+//  1. A unit is woken (bit set in the live mask) by every event it must
+//     observe: a flit or credit launched toward it, a power mask or
+//     Down_Up feedback value that differs from what its link already
+//     carries, or a packet injection. Wakes during cycle t take effect
+//     at t+1 — Step iterates a snapshot taken at the top of the cycle —
+//     matching the one-cycle link delays of the modelled hardware.
+//  2. An active unit clears its own bit at the end of a cycle when
+//     every one of its phases is provably a no-op for every future
+//     cycle until an external event arrives (Router.quiescent,
+//     NI.quiescent, OutputUnit.quiescent).
+//  3. Anything a sleeping unit would have recomputed identically every
+//     cycle is either elided because it is a no-op (control-link ticks
+//     with cur == next, policy re-runs that resend the same mask) or
+//     deferred and batched (NBTI span accounting, sensor sampling at
+//     due cycles).
+
+// newFullMask returns a mask of the given word count with bits
+// 0..nodes-1 set.
+func newFullMask(nodes, words int) []uint64 {
+	m := make([]uint64, words)
+	for id := 0; id < nodes; id++ {
+		m[id>>6] |= 1 << uint(id&63)
+	}
+	return m
+}
+
+// decodeMask appends the set bit positions of mask to dst[:0] in
+// ascending order and returns the slice — the ordered-slice rebuild the
+// Step phases iterate.
+func decodeMask(dst []int32, mask []uint64) []int32 {
+	dst = dst[:0]
+	for w, word := range mask {
+		base := int32(w << 6)
+		for word != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return dst
+}
+
+// routerWaker returns the wake hook for router id.
+func (n *Network) routerWaker(id int) func() {
+	word, bit := &n.rtrMask, uint64(1)<<uint(id&63)
+	idx := id >> 6
+	return func() { (*word)[idx] |= bit }
+}
+
+// niWaker returns the wake hook for NI id.
+func (n *Network) niWaker(id int) func() {
+	word, bit := &n.niMask, uint64(1)<<uint(id&63)
+	idx := id >> 6
+	return func() { (*word)[idx] |= bit }
+}
+
+// wakeNI puts NI id back on the active set.
+func (n *Network) wakeNI(id NodeID) {
+	n.niMask[int(id)>>6] |= 1 << uint(int(id)&63)
+}
+
+// maskHas reports whether bit id is set.
+func maskHas(mask []uint64, id int) bool {
+	return mask[id>>6]&(1<<uint(id&63)) != 0
+}
+
+// debugCheckSkipped asserts (under -tags nbtidebug) that every unit the
+// just-finished Step skipped — not on the cycle's snapshot and not
+// woken during the cycle — is quiescent, i.e. its skipped phases would
+// all have been no-ops. A violation means a wake hook is missing.
+func (n *Network) debugCheckSkipped() {
+	for id := range n.routers {
+		if maskHas(n.rtrSnap, id) || maskHas(n.rtrMask, id) {
+			continue
+		}
+		if !n.routers[id].quiescent() {
+			panic("noc: skipped router is not quiescent (missing wake)")
+		}
+	}
+	for id := range n.nis {
+		if maskHas(n.niSnap, id) || maskHas(n.niMask, id) {
+			continue
+		}
+		if !n.nis[id].quiescent() {
+			panic("noc: skipped NI is not quiescent (missing wake)")
+		}
+	}
+}

@@ -37,6 +37,7 @@ func portFromName(s string) (Port, error) {
 // AgingSnapshot captures the stress history and initial Vth of every
 // router input VC buffer.
 func (n *Network) AgingSnapshot() AgingState {
+	n.flushNBTI()
 	st := AgingState{Cycle: n.cycle}
 	for _, r := range n.routers {
 		for p := Port(0); p < NumPorts; p++ {
@@ -65,6 +66,7 @@ func (n *Network) AgingSnapshot() AgingState {
 // snapshot must address existing buffers; Vth0 values are restored too,
 // so a snapshot carries its silicon with it (overriding the PV draw).
 func (n *Network) RestoreAging(st AgingState) error {
+	n.flushNBTI()
 	for _, rec := range st.VCs {
 		if rec.Node < 0 || rec.Node >= len(n.routers) {
 			return fmt.Errorf("noc: snapshot node %d out of range", rec.Node)
@@ -91,6 +93,7 @@ func (n *Network) RestoreAging(st AgingState) error {
 		d.Tracker.Reset()
 		d.Tracker.Stress(rec.Stress, rec.Busy)
 		d.Tracker.Recover(rec.Recovery)
+		iu.vcs[rec.VC].acc = n.cycle
 	}
 	return nil
 }

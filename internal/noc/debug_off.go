@@ -1,0 +1,7 @@
+//go:build !nbtidebug
+
+package noc
+
+// nbtiDebug gates the per-cycle active-set invariant check; the
+// constant lets the compiler drop the call entirely in normal builds.
+const nbtiDebug = false

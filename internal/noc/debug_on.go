@@ -1,0 +1,7 @@
+//go:build nbtidebug
+
+package noc
+
+// nbtiDebug enables the per-cycle active-set invariant check (build
+// with -tags nbtidebug).
+const nbtiDebug = true

@@ -25,8 +25,36 @@ type vcBuffer struct {
 	// powered is the buffer's supply state: false = power gated
 	// (NBTI recovery).
 	powered bool
+	// acc is the last cycle whose stress/recovery has been charged to
+	// the device tracker. Accounting is span-batched: between state
+	// transitions the (powered, busy) pair is constant, so the whole
+	// span [acc+1, transition cycle-1] is charged in one call at the
+	// moment the state changes (and on demand at read points).
+	acc uint64
 	// device accumulates the buffer's NBTI stress history.
 	device *nbti.Device
+}
+
+// flush charges the open accounting span up to and including cycle upTo
+// with the buffer's current (powered, busy) state. Callers flush with
+// upTo = cycle-1 immediately before mutating powered or the
+// empty/non-empty status, so every cycle is charged with its
+// end-of-cycle state exactly as the per-cycle accounting did.
+func (b *vcBuffer) flush(upTo uint64) {
+	if upTo <= b.acc {
+		return
+	}
+	n := upTo - b.acc
+	b.acc = upTo
+	if b.powered {
+		busy := uint64(0)
+		if b.size > 0 {
+			busy = n
+		}
+		b.device.Tracker.Stress(n, busy)
+	} else {
+		b.device.Tracker.Recover(n)
+	}
 }
 
 func (b *vcBuffer) len() int    { return b.size }
@@ -75,6 +103,25 @@ type InputUnit struct {
 	// writes and reads count buffer write/read events (flits in/out),
 	// feeding the energy model.
 	writes, reads uint64
+	// occupied counts VCs with at least one buffered flit; vaPending
+	// counts VCs holding a routed head that still needs a downstream VC
+	// (state VCActive, outVC -1); activeVCs counts VCs hosting a resident
+	// packet (state VCActive, which implies occupied <= activeVCs). They
+	// let the router stages and the quiescence check skip whole ports
+	// without sweeping every VC.
+	occupied, vaPending, activeVCs int
+	// pwrDirty marks that the next applyPower call can act: the Up_Down
+	// mask ticked to a new value or a VC left the active state. While
+	// clear, applyPower is a provable no-op and returns immediately.
+	pwrDirty bool
+	// clk points at the owning network's cycle counter so read accessors
+	// can flush open accounting spans transparently; nil outside a
+	// network (bare unit tests flush explicitly).
+	clk *uint64
+	// wakeUp re-activates the upstream unit on the network active-set
+	// when this unit emits something the upstream must observe (a
+	// credit, a changed Down_Up value); nil outside a network.
+	wakeUp func()
 }
 
 // newInputUnit builds an input unit with the given per-VC depth and
@@ -98,6 +145,7 @@ func newInputUnit(owner NodeID, port Port, cfg *Config, depth int, vth0 []float6
 			device:  nbti.NewDevice(vth0[i], cfg.NBTI),
 		}
 	}
+	iu.pwrDirty = true
 	return iu
 }
 
@@ -125,8 +173,14 @@ func (iu *InputUnit) Port() Port { return iu.port }
 // NumVCs returns the flattened VC count.
 func (iu *InputUnit) NumVCs() int { return len(iu.vcs) }
 
-// Device returns the NBTI device of flattened VC vc.
-func (iu *InputUnit) Device(vc int) *nbti.Device { return iu.vcs[vc].device }
+// Device returns the NBTI device of flattened VC vc, with the open
+// accounting span flushed so the tracker is current.
+func (iu *InputUnit) Device(vc int) *nbti.Device {
+	if iu.clk != nil {
+		iu.vcs[vc].flush(*iu.clk)
+	}
+	return iu.vcs[vc].device
+}
 
 // Powered reports the current power state of flattened VC vc.
 func (iu *InputUnit) Powered(vc int) bool { return iu.vcs[vc].powered }
@@ -153,8 +207,15 @@ func (iu *InputUnit) bufferWrite(f Flit, cycle uint64, route Port) {
 		vc.state = VCActive
 		vc.outPort = route
 		vc.outVC = -1
+		iu.vaPending++
+		iu.activeVCs++
 	} else if vc.state != VCActive {
 		panic("noc: body/tail flit into idle VC")
+	}
+	if vc.size == 0 {
+		// Empty -> busy transition: close the idle-stress span.
+		vc.flush(cycle - 1)
+		iu.occupied++
 	}
 	f.Arrive = cycle
 	vc.push(f)
@@ -164,15 +225,31 @@ func (iu *InputUnit) bufferWrite(f Flit, cycle uint64, route Port) {
 // popFlit removes the head flit of vc (the ST stage of the downstream
 // router or the NI ejection drain), returns it, and sends a credit back
 // upstream. When the tail leaves, the VC returns to idle.
-func (iu *InputUnit) popFlit(vc int) Flit {
+func (iu *InputUnit) popFlit(vc int, cycle uint64) Flit {
 	b := &iu.vcs[vc]
+	if b.size == 1 {
+		// Busy -> empty transition: close the busy-stress span.
+		b.flush(cycle - 1)
+		iu.occupied--
+	}
 	f := b.pop()
 	iu.reads++
 	if f.Type.IsTail() {
+		if b.outVC == -1 {
+			// Only ejection VCs retire without a VA grant; router VCs
+			// left vaPending at the grant.
+			iu.vaPending--
+		}
 		b.state = VCIdle
 		b.outVC = -1
+		iu.activeVCs--
+		// The VC may now be gated by the current mask.
+		iu.pwrDirty = true
 	}
 	iu.creditOut.Send(vc)
+	if iu.wakeUp != nil {
+		iu.wakeUp()
+	}
 	return f
 }
 
@@ -187,7 +264,15 @@ func (iu *InputUnit) headReady(vc int, cycle uint64) bool {
 // applyPower enacts this cycle's Up_Down mask. The mask is authoritative
 // for idle VCs; busy VCs are always powered (and the mask, being derived
 // from the upstream outVCstate, always keeps them on — asserted here).
-func (iu *InputUnit) applyPower() {
+func (iu *InputUnit) applyPower(cycle uint64) {
+	if !iu.pwrDirty {
+		// Neither the mask nor any VC's active state changed since the
+		// last application (flit arrivals cannot change a VC's supply
+		// state: they require it powered already), so every on/powered
+		// pair is unchanged.
+		return
+	}
+	iu.pwrDirty = false
 	mask := iu.powerIn.Current()
 	for i := range iu.vcs {
 		b := &iu.vcs[i]
@@ -196,34 +281,38 @@ func (iu *InputUnit) applyPower() {
 			panic(fmt.Sprintf("noc: power mask gates busy VC %d of node %d port %v",
 				i, iu.owner, iu.port))
 		}
-		b.powered = on || b.state != VCIdle
-	}
-}
-
-// accountNBTI charges one cycle of stress or recovery to every VC.
-func (iu *InputUnit) accountNBTI() {
-	for i := range iu.vcs {
-		b := &iu.vcs[i]
-		if b.powered {
-			busy := uint64(0)
-			if !b.empty() {
-				busy = 1
-			}
-			b.device.Tracker.Stress(1, busy)
-		} else {
-			b.device.Tracker.Recover(1)
+		on = on || b.state != VCIdle
+		if on != b.powered {
+			// Power transition: close the span charged under the old
+			// supply state.
+			b.flush(cycle - 1)
+			b.powered = on
 		}
 	}
 }
 
+// flushNBTI closes the open accounting span of every VC up to and
+// including upTo — the read-side barrier used before any tracker access.
+func (iu *InputUnit) flushNBTI(upTo uint64) {
+	for i := range iu.vcs {
+		iu.vcs[i].flush(upTo)
+	}
+}
+
 // publishMostDegraded runs the sensor banks and sends the per-vnet most
-// degraded VC over the Down_Up link.
+// degraded VC over the Down_Up link. A change in either comparator
+// output re-activates the upstream unit so it observes the new value
+// after the one-cycle link delay.
 func (iu *InputUnit) publishMostDegraded(cycle uint64) {
 	if iu.banks == nil {
 		return
 	}
 	for vn, bank := range iu.banks {
-		iu.mdOut.Send(vn, bank.MostDegraded(cycle), bank.LeastDegraded(cycle))
+		md, ld := bank.MostDegraded(cycle), bank.LeastDegraded(cycle)
+		if iu.wakeUp != nil && (iu.mdOut.nextMD[vn] != md || iu.mdOut.nextLD[vn] != ld) {
+			iu.wakeUp()
+		}
+		iu.mdOut.Send(vn, md, ld)
 	}
 }
 

@@ -7,6 +7,10 @@ package noc
 type Pipeline[T any] struct {
 	slots [][]T
 	head  int
+	// n is the number of in-flight values. While zero, Receive skips the
+	// head advance entirely: slot indexing is purely relative, so an
+	// all-empty ring needs no rotation to stay consistent.
+	n int
 }
 
 // NewPipeline returns a pipeline with the given latency (>= 1).
@@ -23,27 +27,26 @@ func NewPipeline[T any](latency int) *Pipeline[T] {
 func (p *Pipeline[T]) Send(v T) {
 	idx := (p.head + len(p.slots) - 1) % len(p.slots)
 	p.slots[idx] = append(p.slots[idx], v)
+	p.n++
 }
 
 // Receive returns the batch arriving this cycle and advances the
 // pipeline. The returned slice is reused; callers must consume it before
 // the pipeline wraps around.
 func (p *Pipeline[T]) Receive() []T {
+	if p.n == 0 {
+		return nil
+	}
 	out := p.slots[p.head]
 	p.slots[p.head] = p.slots[p.head][:0]
 	p.head = (p.head + 1) % len(p.slots)
+	p.n -= len(out)
 	return out
 }
 
 // InFlight returns the total number of values currently traversing the
 // pipeline — used by invariant checks and drain detection.
-func (p *Pipeline[T]) InFlight() int {
-	n := 0
-	for _, s := range p.slots {
-		n += len(s)
-	}
-	return n
-}
+func (p *Pipeline[T]) InFlight() int { return p.n }
 
 // powerLink is the Up_Down control channel of the paper: each cycle the
 // upstream output unit publishes the desired power state of the
@@ -68,11 +71,20 @@ func newPowerLink() *powerLink {
 // Send publishes the desired mask; bit v = 1 keeps flattened VC v on.
 func (l *powerLink) Send(mask uint64) { l.next = mask }
 
-// Tick advances the one-cycle delay.
-func (l *powerLink) Tick() { l.cur = l.next }
+// Tick advances the one-cycle delay and reports whether the in-effect
+// mask changed — the reader uses this to mark its power state dirty.
+func (l *powerLink) Tick() bool {
+	changed := l.cur != l.next
+	l.cur = l.next
+	return changed
+}
 
 // Current returns the mask in effect at the downstream this cycle.
 func (l *powerLink) Current() uint64 { return l.cur }
+
+// settled reports whether ticking the link is a no-op — the condition
+// for the reading unit to leave the active set.
+func (l *powerLink) settled() bool { return l.cur == l.next }
 
 // mdLink is the Down_Up control channel: the downstream sensor banks
 // publish the most degraded VC per vnet (the paper's marker) plus the
@@ -100,14 +112,33 @@ func (l *mdLink) Send(vnet, md, ld int) {
 	l.nextLD[vnet] = ld
 }
 
-// Tick advances the one-cycle delay.
-func (l *mdLink) Tick() {
-	copy(l.curMD, l.nextMD)
-	copy(l.curLD, l.nextLD)
+// Tick advances the one-cycle delay and reports whether any in-effect
+// value changed — the reader uses this to invalidate a held policy
+// decision.
+func (l *mdLink) Tick() bool {
+	changed := false
+	for i := range l.curMD {
+		if l.curMD[i] != l.nextMD[i] || l.curLD[i] != l.nextLD[i] {
+			changed = true
+			l.curMD[i] = l.nextMD[i]
+			l.curLD[i] = l.nextLD[i]
+		}
+	}
+	return changed
 }
 
 // Current returns the most degraded VC for the vnet as seen upstream.
 func (l *mdLink) Current(vnet int) int { return l.curMD[vnet] }
+
+// settled reports whether ticking the link is a no-op.
+func (l *mdLink) settled() bool {
+	for i := range l.curMD {
+		if l.curMD[i] != l.nextMD[i] || l.curLD[i] != l.nextLD[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // CurrentLD returns the least degraded VC for the vnet as seen upstream.
 func (l *mdLink) CurrentLD(vnet int) int { return l.curLD[vnet] }

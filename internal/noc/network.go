@@ -23,6 +23,22 @@ type Network struct {
 	nextPacketID uint64
 	vmap         *pv.VCMap
 
+	// rtrMask/niMask are the live active sets: bit id is set while the
+	// unit must be stepped. Units clear their own bit when quiescent;
+	// wake hooks (flit sends, mask/feedback changes, injections) set it.
+	rtrMask, niMask []uint64
+	// rtrSnap/niSnap capture the active sets at the top of each Step so
+	// units woken mid-cycle join the sweep the following cycle, matching
+	// the one-cycle link delays. activeRtr/activeNI are the decoded id
+	// lists (ascending NodeID — a deterministic iteration order) reused
+	// across cycles.
+	rtrSnap, niSnap  []uint64
+	activeRtr        []int32
+	activeNI         []int32
+	// nextSample is the next sensor-sampling cycle; between samples the
+	// banks hold their outputs, so the publish phase is skipped.
+	nextSample uint64
+
 	// deliverHook, when set, is invoked once per delivered packet (at
 	// tail-flit ejection) — the attachment point for closed-loop traffic
 	// generators such as request/response protocols.
@@ -81,6 +97,8 @@ func New(cfg Config) (*Network, error) {
 		flit, cred := n.connect(ni.out, r.in[Local])
 		r.flitIn[Local] = flit
 		_ = cred
+		ni.out.wakeDown = n.routerWaker(id)
+		r.in[Local].wakeUp = n.niWaker(id)
 
 		// Router Local output port → NI ejection buffers.
 		ejPolicy := PolicyFactory(NewBaseline)
@@ -92,6 +110,8 @@ func New(cfg Config) (*Network, error) {
 			n.vmap.PortVths(id, ejPort))
 		flit, _ = n.connect(r.out[Local], ni.ej)
 		ni.ejFlitIn = flit
+		r.out[Local].wakeDown = n.niWaker(id)
+		ni.ej.wakeUp = n.routerWaker(id)
 
 		// Mesh links: create the outgoing channel for each direction.
 		c := r.Coord()
@@ -107,8 +127,20 @@ func New(cfg Config) (*Network, error) {
 				n.vmap.PortVths(int(nb), int(inPort)))
 			flit, _ = n.connect(r.out[dir], down.in[inPort])
 			down.flitIn[inPort] = flit
+			r.out[dir].wakeDown = n.routerWaker(int(nb))
+			down.in[inPort].wakeUp = n.routerWaker(id)
 		}
 	}
+
+	// Every unit starts on the active set: the initial policy runs and
+	// gating transitions must execute before a unit can prove itself
+	// quiescent and drop off.
+	words := (nodes + 63) / 64
+	n.rtrMask = newFullMask(nodes, words)
+	n.niMask = newFullMask(nodes, words)
+	n.rtrSnap = make([]uint64, words)
+	n.niSnap = make([]uint64, words)
+	n.nextSample = 1
 
 	// Attach sensors to every input unit (router ports and NI ejection).
 	for id := 0; id < nodes; id++ {
@@ -147,6 +179,7 @@ func (n *Network) connect(ou *OutputUnit, iu *InputUnit) (*Pipeline[Flit], *Pipe
 	iu.creditOut = cred
 	iu.powerIn = power
 	iu.mdOut = md
+	iu.clk = &n.cycle
 
 	n.flitPipes = append(n.flitPipes, flit)
 	n.credPipes = append(n.credPipes, cred)
@@ -220,6 +253,7 @@ func (n *Network) Inject(src, dst NodeID, vnet, length int) error {
 	if err := n.nis[src].inject(p); err != nil {
 		return err
 	}
+	n.wakeNI(src)
 	if n.tracer != nil {
 		n.trace(EvInject, src, Local, -1, Flit{
 			PacketID: p.ID, Src: src, Dst: dst, VNet: vnet,
@@ -234,62 +268,91 @@ func (n *Network) Inject(src, dst NodeID, vnet, length int) error {
 // synchronous hardware: control/credit/flit deliveries land first, then
 // ST executes last cycle's switch grants, then VA/SA compute this
 // cycle's allocations, then the pre-VA recovery policies publish next
-// cycle's power commands, and finally NBTI accounting charges the cycle.
+// cycle's power commands, and finally the sensor banks sample at their
+// due cycles (NBTI accounting itself is span-batched and flushed
+// lazily). Each phase sweeps only the units on this cycle's active-set
+// snapshot; see activeset.go for why skipping the rest is exact.
 func (n *Network) Step() {
 	n.cycle++
 	cycle := n.cycle
 
-	for _, l := range n.powerLinks {
-		l.Tick()
+	copy(n.rtrSnap, n.rtrMask)
+	copy(n.niSnap, n.niMask)
+	rtrs := decodeMask(n.activeRtr, n.rtrSnap)
+	nis := decodeMask(n.activeNI, n.niSnap)
+	n.activeRtr, n.activeNI = rtrs, nis
+
+	for _, id := range rtrs {
+		n.routers[id].tickLinks()
 	}
-	for _, l := range n.mdLinks {
-		l.Tick()
+	for _, id := range nis {
+		n.nis[id].tickLinks()
 	}
-	for _, r := range n.routers {
-		r.creditTick()
+	for _, id := range rtrs {
+		n.routers[id].creditTick()
 	}
-	for _, ni := range n.nis {
-		ni.out.creditTick()
+	for _, id := range nis {
+		n.nis[id].out.creditTick()
 	}
-	for _, r := range n.routers {
-		r.deliverFlits(cycle)
+	for _, id := range rtrs {
+		n.routers[id].deliverFlits(cycle)
 	}
-	for _, ni := range n.nis {
-		ni.deliverEject(cycle)
+	for _, id := range nis {
+		n.nis[id].deliverEject(cycle)
 	}
-	for _, r := range n.routers {
-		r.applyPower()
+	for _, id := range rtrs {
+		n.routers[id].applyPower(cycle)
 	}
-	for _, ni := range n.nis {
-		ni.ej.applyPower()
+	for _, id := range nis {
+		n.nis[id].ej.applyPower(cycle)
 	}
-	for _, r := range n.routers {
-		r.stageST(cycle)
+	for _, id := range rtrs {
+		n.routers[id].stageST(cycle)
 	}
-	for _, ni := range n.nis {
+	for _, id := range nis {
+		ni := n.nis[id]
 		ni.drainEject(cycle)
 		ni.stageSend(cycle)
 	}
-	for _, r := range n.routers {
-		r.stageVA(cycle)
+	for _, id := range rtrs {
+		n.routers[id].stageVA(cycle)
 	}
-	for _, ni := range n.nis {
-		ni.stageVA(cycle)
+	for _, id := range nis {
+		n.nis[id].stageVA(cycle)
 	}
-	for _, r := range n.routers {
-		r.stageSA(cycle)
+	for _, id := range rtrs {
+		n.routers[id].stageSA(cycle)
 	}
-	for _, r := range n.routers {
-		r.stagePolicy(cycle)
+	for _, id := range rtrs {
+		n.routers[id].stagePolicy(cycle)
 	}
-	for _, ni := range n.nis {
-		ni.stagePolicy(cycle)
+	for _, id := range nis {
+		n.nis[id].stagePolicy(cycle)
 	}
-	for _, r := range n.routers {
-		r.accountNBTI(cycle)
+	if cycle == n.nextSample {
+		// The sampling sweep covers every unit, active or not: sensor
+		// cadence is global, and a changed comparator output wakes the
+		// upstream consumer.
+		for _, r := range n.routers {
+			r.samplePhase(cycle)
+		}
+		for _, ni := range n.nis {
+			ni.samplePhase(cycle)
+		}
+		n.nextSample += n.cfg.Sensor.SamplePeriod
 	}
-	for _, ni := range n.nis {
-		ni.accountNBTI(cycle)
+	for _, id := range rtrs {
+		if n.routers[id].quiescent() {
+			n.rtrMask[id>>6] &^= 1 << uint(id&63)
+		}
+	}
+	for _, id := range nis {
+		if n.nis[id].quiescent() {
+			n.niMask[id>>6] &^= 1 << uint(id&63)
+		}
+	}
+	if nbtiDebug {
+		n.debugCheckSkipped()
 	}
 }
 
@@ -342,8 +405,27 @@ func (n *Network) Quiescent() bool {
 	return n.InFlightFlits() == 0
 }
 
-// ResetNBTIStats clears all NBTI stress trackers (end of warm-up).
+// flushNBTI closes every open accounting span in the network (router
+// input and NI ejection buffers) up to the current cycle — the
+// network-level read barrier before any bulk tracker access.
+func (n *Network) flushNBTI() {
+	for _, r := range n.routers {
+		for p := Port(0); p < NumPorts; p++ {
+			if iu := r.in[p]; iu != nil {
+				iu.flushNBTI(n.cycle)
+			}
+		}
+	}
+	for _, ni := range n.nis {
+		ni.ej.flushNBTI(n.cycle)
+	}
+}
+
+// ResetNBTIStats clears all NBTI stress trackers (end of warm-up). Open
+// spans are flushed first so the span origin advances to the current
+// cycle; the flushed charges are then discarded with the rest.
 func (n *Network) ResetNBTIStats() {
+	n.flushNBTI()
 	for _, r := range n.routers {
 		for p := Port(0); p < NumPorts; p++ {
 			if iu := r.in[p]; iu != nil {
@@ -382,6 +464,7 @@ type EventCounts struct {
 
 // Events returns the aggregated event counters since the last reset.
 func (n *Network) Events() EventCounts {
+	n.flushNBTI()
 	var e EventCounts
 	for _, r := range n.routers {
 		e.CrossbarTraversals += r.stFlits
@@ -444,8 +527,12 @@ func (n *Network) DutyCycle(node NodeID, port Port, vc int) float64 {
 
 // MostDegradedVC returns the most degraded VC (index within the vnet
 // slice) of a router input port, as the port's sensor bank reports it.
+// Open NBTI spans are flushed first in case the read triggers a fresh
+// sample of closed-loop (Horizon > 0) sensors.
 func (n *Network) MostDegradedVC(node NodeID, port Port, vnet int) int {
-	return n.routers[node].in[port].banks[vnet].MostDegraded(n.cycle)
+	iu := n.routers[node].in[port]
+	iu.flushNBTI(n.cycle)
+	return iu.banks[vnet].MostDegraded(n.cycle)
 }
 
 // Vth0 returns the process-variation initial threshold voltage sampled

@@ -70,6 +70,9 @@ type NI struct {
 	srcQ    [][]Packet // per-vnet source queues
 	flows   []niFlow   // per flattened local-port VC
 	flowArb *RoundRobin
+	// openFlows counts flows with unlaunched flits, so stageSend can
+	// skip its VC sweep when nothing is mid-injection.
+	openFlows int
 
 	newTraffic []bool
 
@@ -164,7 +167,7 @@ func (ni *NI) drainEject(cycle uint64) {
 			return
 		}
 		ni.ejArb.next = (vc + 1) % ni.ej.NumVCs()
-		f := ni.ej.popFlit(vc)
+		f := ni.ej.popFlit(vc, cycle)
 		ni.stats.EjectedFlits++
 		if ni.net != nil {
 			ni.net.noteProgress()
@@ -187,6 +190,9 @@ func (ni *NI) drainEject(cycle uint64) {
 
 // stageSend launches at most one flit from an open flow (the NI's ST).
 func (ni *NI) stageSend(cycle uint64) {
+	if ni.openFlows == 0 {
+		return
+	}
 	total := ni.cfg.TotalVCs()
 	picked := -1
 	for i := 0; i < total; i++ {
@@ -210,6 +216,7 @@ func (ni *NI) stageSend(cycle uint64) {
 	}
 	if fl.next == len(fl.flits) {
 		*fl = niFlow{}
+		ni.openFlows--
 	}
 }
 
@@ -232,6 +239,7 @@ func (ni *NI) stageVA(cycle uint64) {
 			flits[i].NetInjectCycle = cycle
 		}
 		ni.flows[vc] = niFlow{flits: flits}
+		ni.openFlows++
 		if ni.net != nil && ni.net.tracer != nil {
 			ni.net.trace(EvNIAlloc, ni.id, Local, vc, flits[0])
 		}
@@ -244,13 +252,44 @@ func (ni *NI) stagePolicy(cycle uint64) {
 	for vn := 0; vn < ni.cfg.VNets; vn++ {
 		ni.newTraffic[vn] = len(ni.srcQ[vn]) > 0
 	}
-	ni.out.runPolicy(ni.newTraffic, cycle)
+	if !ni.out.policyHolds(ni.newTraffic) {
+		ni.out.runPolicy(ni.newTraffic, cycle)
+	}
 }
 
-// accountNBTI charges stress/recovery on the ejection buffers and
-// publishes their most-degraded VC (the router's Local output unit is
-// the consumer; with the default always-on policy the value is unused).
-func (ni *NI) accountNBTI(cycle uint64) {
-	ni.ej.accountNBTI()
+// tickLinks advances the control links this NI reads: the ejection
+// side's Up_Down mask and the injection side's Down_Up feedback.
+func (ni *NI) tickLinks() {
+	if ni.ej.powerIn.Tick() {
+		ni.ej.pwrDirty = true
+	}
+	if ni.out.mdIn.Tick() {
+		ni.out.polDirty = true
+	}
+}
+
+// samplePhase flushes the ejection buffers' NBTI spans and publishes
+// their most-degraded VC at sensor-sampling cycles (the router's Local
+// output unit is the consumer; with the default always-on policy the
+// value is unused).
+func (ni *NI) samplePhase(cycle uint64) {
+	ni.ej.flushNBTI(cycle)
 	ni.ej.publishMostDegraded(cycle)
+}
+
+// quiescent reports whether every per-cycle phase of this NI is
+// provably a no-op: nothing queued or mid-flow on the injection side,
+// nothing buffered or in flight on the ejection side, and the
+// injection output unit idle under a settled, steady policy.
+func (ni *NI) quiescent() bool {
+	for _, q := range ni.srcQ {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	if ni.pendingFlits() > 0 || ni.ejFlitIn.InFlight() > 0 ||
+		!ni.ej.powerIn.settled() || ni.ej.activeVCs > 0 {
+		return false
+	}
+	return ni.out.quiescent()
 }

@@ -51,6 +51,34 @@ type OutputUnit struct {
 	// linkFreeAt is the first cycle the (possibly serialized) link is
 	// free again after the previous flit's phits.
 	linkFreeAt uint64
+	// steady records whether every per-vnet policy declares (via
+	// SteadyPolicy) that its output is cycle-independent while no new
+	// traffic waits; only steady output units may be skipped by the
+	// activity-gated engine.
+	steady bool
+	// settled is recomputed by every runPolicy call: true when the call
+	// caused no power transition, no wake-up ramp progress, and re-sent
+	// the previous mask — i.e. re-running it with unchanged inputs is a
+	// no-op.
+	settled bool
+	// polDirty marks that an input of the policy decision changed since
+	// the last runPolicy call: a VC allocation or retirement (Idle[]), or
+	// a ticked Down_Up value (MostDegraded/LeastDegraded). While clear —
+	// and only for a steady, settled unit seeing no new traffic now or at
+	// its last run — the decision inputs are bit-identical to the last
+	// executed call, so the call is elided.
+	polDirty bool
+	// lastQuietNT records that the last executed runPolicy saw
+	// NewTraffic == false on every vnet; a steady policy's output is only
+	// guaranteed reproducible between two such quiet calls.
+	lastQuietNT bool
+	// activeVCs counts mirrored VCs in state VCActive, so the quiescence
+	// check needs no per-VC sweep.
+	activeVCs int
+	// wakeDown re-activates the downstream unit on the network
+	// active-set when this unit emits something downstream must observe
+	// (a flit, a changed power mask); nil outside a network.
+	wakeDown func()
 }
 
 // newOutputUnit builds the upstream side of a channel whose downstream
@@ -75,9 +103,12 @@ func newOutputUnit(owner NodeID, port Port, cfg *Config, depth int, factory Poli
 	if factory == nil {
 		factory = NewBaseline
 	}
+	ou.steady = true
 	for vn := range ou.policies {
 		ou.policies[vn] = factory()
+		ou.steady = ou.steady && PolicySteadyWhenIdle(ou.policies[vn])
 	}
+	ou.polDirty = true
 	return ou
 }
 
@@ -119,6 +150,8 @@ func (ou *OutputUnit) creditTick() {
 		if v.state == VCActive && v.tailSent && v.credits == ou.depth {
 			v.state = VCIdle
 			v.tailSent = false
+			ou.activeVCs--
+			ou.polDirty = true
 		}
 	}
 }
@@ -149,6 +182,8 @@ func (ou *OutputUnit) allocVC(vnet int) int {
 			cand.state = VCActive
 			cand.tailSent = false
 			ou.allocPtr[vnet] = ((ou.allocPtr[vnet]+i)%v + 1) % v
+			ou.activeVCs++
+			ou.polDirty = true
 			return idx
 		}
 	}
@@ -186,6 +221,9 @@ func (ou *OutputUnit) sendFlit(f Flit, vc int, cycle uint64) {
 	f.VC = vc
 	ou.flitOut.Send(f)
 	ou.flitsSent++
+	if ou.wakeDown != nil {
+		ou.wakeDown()
+	}
 }
 
 // runPolicy executes the pre-VA recovery stage for every vnet and sends
@@ -193,8 +231,11 @@ func (ou *OutputUnit) sendFlit(f Flit, vc int, cycle uint64) {
 // is_new_traffic_outport_x() input for vnet vn.
 func (ou *OutputUnit) runPolicy(newTraffic []bool, cycle uint64) {
 	var mask uint64
+	transition := false
+	anyNT := false
 	v := ou.cfg.VCsPerVNet
 	for vn := 0; vn < ou.cfg.VNets; vn++ {
+		anyNT = anyNT || newTraffic[vn]
 		for i := 0; i < v; i++ {
 			idx := ou.cfg.vcIndex(vn, i)
 			ou.inIdle[i] = ou.vcs[idx].state == VCIdle
@@ -219,11 +260,14 @@ func (ou *OutputUnit) runPolicy(newTraffic []bool, cycle uint64) {
 				// wake-up ramp.
 				vc.wakeLeft = ou.cfg.WakeupLatency
 				ou.wakeEvents++
+				transition = true
 			case on && vc.wakeLeft > 0:
 				vc.wakeLeft--
+				transition = true
 			case !on && vc.powered:
 				vc.wakeLeft = 0
 				ou.gateEvents++
+				transition = true
 			case !on:
 				vc.wakeLeft = 0
 			}
@@ -233,5 +277,52 @@ func (ou *OutputUnit) runPolicy(newTraffic []bool, cycle uint64) {
 			}
 		}
 	}
+	if mask != ou.powerOut.next {
+		transition = true
+		if ou.wakeDown != nil {
+			// The downstream must tick the changed mask into effect.
+			ou.wakeDown()
+		}
+	}
+	ou.settled = !transition
+	ou.polDirty = false
+	ou.lastQuietNT = !anyNT
 	ou.powerOut.Send(mask)
+}
+
+// policyHolds reports whether this cycle's runPolicy call can be
+// elided exactly: every policy is steady (its quiet-state output is
+// cycle-independent and its DesiredPower call side-effect free), the
+// last executed call was settled (no transitions, previous mask
+// re-sent) and itself quiet, and no decision input — Idle[], the
+// Down_Up values, is_new_traffic — changed since. The elided call
+// would recompute the identical mask and Send it into an unchanged
+// link, so skipping both is invisible.
+func (ou *OutputUnit) policyHolds(newTraffic []bool) bool {
+	if !ou.steady || !ou.settled || ou.polDirty || !ou.lastQuietNT {
+		return false
+	}
+	for _, nt := range newTraffic {
+		if nt {
+			return false
+		}
+	}
+	return true
+}
+
+// quiescent reports whether skipping this unit's per-cycle work
+// (creditTick, runPolicy, the powerOut send) is provably a no-op: the
+// policy is declared steady while idle, the previous run changed
+// nothing, no credits are in flight, the Down_Up mirror is stable, and
+// every VC is idle with its wake-up ramp finished.
+// A settled run also guarantees every wake-up ramp has finished: a VC
+// with wakeLeft > 0 that stays on decrements it (a transition), and a
+// gated VC has it forced to zero, so settled implies wakeLeft == 0
+// everywhere and only the allocation states need checking — which the
+// activeVCs counter does in O(1).
+func (ou *OutputUnit) quiescent() bool {
+	if !ou.steady || !ou.settled || ou.activeVCs > 0 {
+		return false
+	}
+	return ou.creditIn.InFlight() == 0 && ou.mdIn.settled()
 }

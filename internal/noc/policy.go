@@ -63,6 +63,28 @@ func PolicyUsesSensors(p Policy) bool {
 	return false
 }
 
+// SteadyPolicy is an optional interface a Policy implements to declare
+// that DesiredPower never reads PolicyInput.Cycle while
+// PolicyInput.NewTraffic is false — its output is then a pure function
+// of the remaining inputs, which only change while the owning unit is
+// on the active set. The activity-gated engine may skip the per-cycle
+// policy run of a fully idle, settled output unit only when every one
+// of its per-vnet policies makes this declaration; policies that keep
+// per-call state or rotate on a time basis even without traffic must
+// not.
+type SteadyPolicy interface {
+	SteadyWhenIdle() bool
+}
+
+// PolicySteadyWhenIdle returns p's declaration, defaulting to false
+// (never skipped) for policies that do not implement SteadyPolicy.
+func PolicySteadyWhenIdle(p Policy) bool {
+	if s, ok := p.(SteadyPolicy); ok {
+		return s.SteadyWhenIdle()
+	}
+	return false
+}
+
 // BaselinePolicy keeps every VC buffer powered at all times: the paper's
 // reference NoC that is not NBTI aware. Its duty-cycle is 100% on every
 // VC and it anchors the absolute ΔVth-saving comparison.
@@ -77,6 +99,10 @@ func (BaselinePolicy) DesiredPower(in *PolicyInput, out []bool) {
 		out[i] = true
 	}
 }
+
+// SteadyWhenIdle implements SteadyPolicy: the all-on decision never
+// reads the cycle.
+func (BaselinePolicy) SteadyWhenIdle() bool { return true }
 
 // NewBaseline is the PolicyFactory for BaselinePolicy.
 func NewBaseline() Policy { return BaselinePolicy{} }

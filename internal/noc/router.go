@@ -52,6 +52,9 @@ type Router struct {
 	saCand     [NumPorts]int
 	saPortReq  [NumPorts][NumPorts]bool
 	newTraffic [NumPorts][]bool
+	// ntAny records that some newTraffic entry is set, so the per-cycle
+	// clear only runs after a cycle that actually marked one.
+	ntAny bool
 }
 
 // newRouter builds the router shell; input/output units are attached by
@@ -105,6 +108,22 @@ func (r *Router) deliverFlits(cycle uint64) {
 	}
 }
 
+// tickLinks advances the one-cycle delay of every control link this
+// router reads: the Up_Down masks of its input ports and the Down_Up
+// feedback of its output ports. Each link is ticked by its reader, so a
+// skipped (quiescent) reader leaves a link alone only when cur == next
+// — the writer re-activates the reader whenever it sends a new value.
+func (r *Router) tickLinks() {
+	for p := Port(0); p < NumPorts; p++ {
+		if r.in[p] != nil && r.in[p].powerIn.Tick() {
+			r.in[p].pwrDirty = true
+		}
+		if r.out[p] != nil && r.out[p].mdIn.Tick() {
+			r.out[p].polDirty = true
+		}
+	}
+}
+
 // creditTick advances credit processing on all output units.
 func (r *Router) creditTick() {
 	for p := Port(0); p < NumPorts; p++ {
@@ -115,10 +134,10 @@ func (r *Router) creditTick() {
 }
 
 // applyPower enacts the Up_Down masks on all input units.
-func (r *Router) applyPower() {
+func (r *Router) applyPower(cycle uint64) {
 	for p := Port(0); p < NumPorts; p++ {
 		if r.in[p] != nil {
-			r.in[p].applyPower()
+			r.in[p].applyPower(cycle)
 		}
 	}
 }
@@ -127,7 +146,7 @@ func (r *Router) applyPower() {
 // buffers, traverse the crossbar and are launched onto the output links.
 func (r *Router) stageST(cycle uint64) {
 	for _, g := range r.grants {
-		f := r.in[g.inPort].popFlit(g.vc)
+		f := r.in[g.inPort].popFlit(g.vc, cycle)
 		r.out[g.outPort].sendFlit(f, g.outVC, cycle)
 		r.stFlits++
 		if r.net != nil {
@@ -162,7 +181,7 @@ func (r *Router) stageVA(cycle uint64) {
 	r.vaCands = r.vaCands[:0]
 	for inP := Port(0); inP < NumPorts; inP++ {
 		iu := r.in[inP]
-		if iu == nil {
+		if iu == nil || iu.vaPending == 0 {
 			continue
 		}
 		for vc := range iu.vcs {
@@ -217,6 +236,7 @@ func (r *Router) stageVA(cycle uint64) {
 			panic("noc: hasFreeVC/allocVC disagree")
 		}
 		r.in[w.inP].vcs[w.vc].outVC = outVC
+		r.in[w.inP].vaPending--
 		r.vaGrants++
 		if r.net != nil && r.net.tracer != nil {
 			r.net.trace(EvVAGrant, r.id, w.inP, w.vc, *r.in[w.inP].vcs[w.vc].peek())
@@ -228,11 +248,15 @@ func (r *Router) stageVA(cycle uint64) {
 // ready VC; each output port grants one input port. Winners are queued
 // for next cycle's ST.
 func (r *Router) stageSA(cycle uint64) {
-	// Input stage: pick a candidate VC per input port.
+	// Input stage: pick a candidate VC per input port. Ports with no
+	// buffered flit cannot bid; their stale saReq scratch is harmless
+	// because the VC arbiter only reads it when the port wins, which
+	// saCand = -1 rules out.
+	nCand := 0
 	for inP := Port(0); inP < NumPorts; inP++ {
 		r.saCand[inP] = -1
 		iu := r.in[inP]
-		if iu == nil {
+		if iu == nil || iu.occupied == 0 {
 			continue
 		}
 		req := r.saReq[inP]
@@ -245,27 +269,37 @@ func (r *Router) stageSA(cycle uint64) {
 		}
 		if any {
 			r.saCand[inP] = r.saVCArb[inP].Peek(req)
+			nCand++
 		}
 	}
-	// Output stage: grant one input port per output port.
-	for outP := Port(0); outP < NumPorts; outP++ {
-		if r.out[outP] == nil {
+	if nCand == 0 {
+		return
+	}
+	// Output stage: grant one input port per output port. Request
+	// vectors are built only for output ports that some candidate
+	// targets; the grant sweep below still visits output ports in
+	// ascending order, so arbitration matches the dense all-ports scan
+	// exactly.
+	var contested [NumPorts]bool
+	for inP := Port(0); inP < NumPorts; inP++ {
+		c := r.saCand[inP]
+		if c < 0 {
 			continue
 		}
-		reqPorts := r.saPortReq[outP][:]
-		any := false
-		for inP := Port(0); inP < NumPorts; inP++ {
-			ok := false
-			if c := r.saCand[inP]; c >= 0 {
-				ok = r.in[inP].vcs[c].outPort == outP
+		outP := r.in[inP].vcs[c].outPort
+		if !contested[outP] {
+			contested[outP] = true
+			for i := range r.saPortReq[outP] {
+				r.saPortReq[outP][i] = false
 			}
-			reqPorts[inP] = ok
-			any = any || ok
 		}
-		if !any {
+		r.saPortReq[outP][inP] = true
+	}
+	for outP := Port(0); outP < NumPorts; outP++ {
+		if !contested[outP] || r.out[outP] == nil {
 			continue
 		}
-		winner := r.saPortArb[outP].Grant(reqPorts)
+		winner := r.saPortArb[outP].Grant(r.saPortReq[outP][:])
 		if winner < 0 {
 			continue
 		}
@@ -287,39 +321,72 @@ func (r *Router) stageSA(cycle uint64) {
 // the pre-VA recovery policy of every output unit — the paper's
 // cooperative step, executed in the upstream router.
 func (r *Router) stagePolicy(cycle uint64) {
-	for p := Port(0); p < NumPorts; p++ {
-		for vn := range r.newTraffic[p] {
-			r.newTraffic[p][vn] = false
+	if r.ntAny {
+		for p := Port(0); p < NumPorts; p++ {
+			for vn := range r.newTraffic[p] {
+				r.newTraffic[p][vn] = false
+			}
 		}
+		r.ntAny = false
 	}
 	for inP := Port(0); inP < NumPorts; inP++ {
 		iu := r.in[inP]
-		if iu == nil {
+		if iu == nil || iu.vaPending == 0 {
 			continue
 		}
 		for vc := range iu.vcs {
 			b := &iu.vcs[vc]
 			if b.state == VCActive && b.outVC == -1 {
 				r.newTraffic[b.outPort][vc/r.cfg.VCsPerVNet] = true
+				r.ntAny = true
 			}
 		}
 	}
 	for p := Port(0); p < NumPorts; p++ {
-		if r.out[p] != nil {
-			r.out[p].runPolicy(r.newTraffic[p], cycle)
+		if ou := r.out[p]; ou != nil && !ou.policyHolds(r.newTraffic[p]) {
+			ou.runPolicy(r.newTraffic[p], cycle)
 		}
 	}
 }
 
-// accountNBTI charges this cycle's stress/recovery on every input VC and
-// publishes the most-degraded VC over each Down_Up link.
-func (r *Router) accountNBTI(cycle uint64) {
+// samplePhase runs at sensor-sampling cycles: it flushes the open NBTI
+// spans (so closed-loop sensors observe current duty-cycles) and lets
+// every input port's sensor banks publish their comparator outputs over
+// the Down_Up links. Between sampling cycles the banks hold their
+// values, so the per-cycle publish of the original engine was a no-op
+// and is elided entirely.
+func (r *Router) samplePhase(cycle uint64) {
 	for p := Port(0); p < NumPorts; p++ {
 		if iu := r.in[p]; iu != nil {
-			iu.accountNBTI()
+			iu.flushNBTI(cycle)
 			iu.publishMostDegraded(cycle)
 		}
 	}
+}
+
+// quiescent reports whether every per-cycle phase of this router is
+// provably a no-op, so it can leave the active set: no pending switch
+// grants, no flit in flight toward any input port, every input VC idle
+// and empty under a settled power mask, and every output unit idle with
+// a settled, steady policy.
+func (r *Router) quiescent() bool {
+	if len(r.grants) > 0 {
+		return false
+	}
+	for p := Port(0); p < NumPorts; p++ {
+		if iu := r.in[p]; iu != nil {
+			// activeVCs == 0 implies every VC is idle and empty: a
+			// buffered flit requires the active state, which only the
+			// tail's departure (emptying the FIFO) clears.
+			if r.flitIn[p].InFlight() > 0 || !iu.powerIn.settled() || iu.activeVCs > 0 {
+				return false
+			}
+		}
+		if ou := r.out[p]; ou != nil && !ou.quiescent() {
+			return false
+		}
+	}
+	return true
 }
 
 // CrossbarTraversals returns the number of ST events executed.

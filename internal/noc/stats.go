@@ -3,7 +3,7 @@ package noc
 import (
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
 )
 
 // LatencyHistogram accumulates packet latencies in power-of-two buckets
@@ -16,12 +16,15 @@ type LatencyHistogram struct {
 	max     uint64
 }
 
-// bucketOf returns the bucket index for a latency value.
+// bucketOf returns the bucket index for a latency value: the position
+// of the value's highest set bit, capped at the last bucket.
 func bucketOf(v uint64) int {
-	b := 0
-	for v > 1 && b < 39 {
-		v >>= 1
-		b++
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(v) - 1
+	if b > 39 {
+		return 39
 	}
 	return b
 }
@@ -87,7 +90,9 @@ func (h *LatencyHistogram) Merge(other *LatencyHistogram) {
 func (h *LatencyHistogram) Reset() { *h = LatencyHistogram{} }
 
 // Buckets returns the non-empty buckets as (upper-edge, count) pairs in
-// ascending order.
+// ascending order. The bucket array is indexed by bit position and
+// upperEdge is monotonic in the index, so the index sweep already yields
+// ascending edges.
 func (h *LatencyHistogram) Buckets() []BucketCount {
 	var out []BucketCount
 	for b, c := range h.buckets {
@@ -95,7 +100,6 @@ func (h *LatencyHistogram) Buckets() []BucketCount {
 			out = append(out, BucketCount{UpperEdge: upperEdge(b), Count: c})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].UpperEdge < out[j].UpperEdge })
 	return out
 }
 

@@ -73,6 +73,51 @@ func TestHistogramBucketsOrdered(t *testing.T) {
 	}
 }
 
+// bucketOfReference is the original shift-loop bucket computation kept
+// as the specification for the bits.Len64 fast path.
+func bucketOfReference(v uint64) int {
+	b := 0
+	for v > 1 && b < 39 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+func TestBucketOfBoundaries(t *testing.T) {
+	vals := []uint64{0, 1, 2, 3}
+	for k := uint(1); k < 64; k++ {
+		p := uint64(1) << k
+		vals = append(vals, p-1, p, p+1)
+	}
+	vals = append(vals, ^uint64(0))
+	for _, v := range vals {
+		if got, want := bucketOf(v), bucketOfReference(v); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// TestBucketsAscendingAllBuckets fills every bucket and asserts the
+// Buckets output is strictly ascending with no sort step: the index
+// sweep alone must produce the order.
+func TestBucketsAscendingAllBuckets(t *testing.T) {
+	var h LatencyHistogram
+	h.Add(0)
+	for k := uint(0); k < 63; k++ {
+		h.Add(uint64(1) << k)
+	}
+	bs := h.Buckets()
+	if len(bs) != 40 {
+		t.Fatalf("buckets = %d, want 40", len(bs))
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i].UpperEdge <= bs[i-1].UpperEdge {
+			t.Fatalf("bucket %d edge %d not above %d", i, bs[i].UpperEdge, bs[i-1].UpperEdge)
+		}
+	}
+}
+
 func TestHistogramMergeAndReset(t *testing.T) {
 	var a, b LatencyHistogram
 	a.Add(5)

@@ -27,17 +27,21 @@ func mkChannel(t *testing.T, cfg Config, factory PolicyFactory) (*OutputUnit, *I
 func (n *Network) tickChannel(t *testing.T, ou *OutputUnit, iu *InputUnit, cycle uint64) []Flit {
 	t.Helper()
 	for _, l := range n.powerLinks {
-		l.Tick()
+		if l.Tick() {
+			iu.pwrDirty = true
+		}
 	}
 	for _, l := range n.mdLinks {
-		l.Tick()
+		if l.Tick() {
+			ou.polDirty = true
+		}
 	}
 	ou.creditTick()
 	arrived := append([]Flit(nil), n.flitPipes[0].Receive()...)
 	for _, f := range arrived {
 		iu.bufferWrite(f, cycle, Local)
 	}
-	iu.applyPower()
+	iu.applyPower(cycle)
 	return arrived
 }
 
@@ -83,8 +87,8 @@ func TestOutVCStateLifecycle(t *testing.T) {
 	if ou.StateOf(vc) != VCActive {
 		t.Fatal("outVCstate retired before drain")
 	}
-	iu.popFlit(vc)
-	iu.popFlit(vc)
+	iu.popFlit(vc, cycle)
+	iu.popFlit(vc, cycle)
 	if iu.VCStateOf(vc) != VCIdle {
 		t.Fatal("downstream VC not idle after tail pop")
 	}
@@ -215,10 +219,14 @@ func TestPowerMaskPropagationDelay(t *testing.T) {
 			t.Fatalf("VC %d still powered after gate command", vc)
 		}
 	}
-	// NBTI accounting sees the recovery.
-	iu.accountNBTI()
-	if iu.Device(0).Tracker.RecoveryCycles() != 1 {
-		t.Fatal("gated cycle not accounted as recovery")
+	// Span accounting sees one powered cycle (closed by the power
+	// transition) and one gated cycle once flushed.
+	iu.flushNBTI(cycle)
+	if got := iu.vcs[0].device.Tracker.StressCycles(); got != 1 {
+		t.Fatalf("stress cycles = %d, want 1", got)
+	}
+	if got := iu.vcs[0].device.Tracker.RecoveryCycles(); got != 1 {
+		t.Fatalf("recovery cycles = %d, want 1", got)
 	}
 }
 

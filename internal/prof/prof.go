@@ -1,0 +1,108 @@
+// Package prof wires the standard runtime profilers behind the
+// command-line flags shared by the simulator binaries (-cpuprofile,
+// -memprofile and an execution-trace flag). It exists so cmd/tables and
+// cmd/nbtisim expose identical profiling surfaces for the perf
+// trajectory work without duplicating the start/stop plumbing.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the requested profile destinations. Empty strings mean
+// the corresponding profiler stays off.
+type Flags struct {
+	CPU   string
+	Mem   string
+	Trace string
+}
+
+// Register adds the profiling flags to fs. The execution-trace flag
+// name is caller-chosen because nbtisim already uses -trace for flit
+// trace replay; cmd/tables passes "trace", nbtisim passes "exectrace".
+func (f *Flags) Register(fs *flag.FlagSet, traceFlag string) {
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&f.Trace, traceFlag, "", "write a runtime execution trace to this file")
+}
+
+// Start begins the requested profilers and returns a stop function that
+// finishes them and writes the heap profile. The stop function must be
+// called exactly once; it is safe to call when no profiler was
+// requested.
+func (f *Flags) Start() (func() error, error) {
+	var cpuFile, traceFile *os.File
+
+	fail := func(err error) (func() error, error) {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			traceFile.Close()
+		}
+		return nil, err
+	}
+
+	if f.CPU != "" {
+		var err error
+		if cpuFile, err = os.Create(f.CPU); err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			cpuFile = nil
+			return fail(fmt.Errorf("starting CPU profile: %w", err))
+		}
+	}
+	if f.Trace != "" {
+		var err error
+		if traceFile, err = os.Create(f.Trace); err != nil {
+			return fail(err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			return fail(fmt.Errorf("starting execution trace: %w", err))
+		}
+	}
+
+	stop := func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if f.Mem != "" {
+			mf, err := os.Create(f.Mem)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return firstErr
+			}
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(mf); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("writing heap profile: %w", err)
+			}
+			if err := mf.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	return stop, nil
+}

@@ -1,0 +1,63 @@
+package prof
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRegisterAndStartAllProfiles(t *testing.T) {
+	dir := t.TempDir()
+	var f Flags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.Register(fs, "trace")
+	err := fs.Parse([]string{
+		"-cpuprofile", filepath.Join(dir, "cpu.pprof"),
+		"-memprofile", filepath.Join(dir, "mem.pprof"),
+		"-trace", filepath.Join(dir, "exec.trace"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little work so the profiles have something to record.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cpu.pprof", "mem.pprof", "exec.trace"} {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+}
+
+func TestStartWithNothingRequested(t *testing.T) {
+	var f Flags
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartFailsOnBadPath(t *testing.T) {
+	f := Flags{CPU: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu")}
+	if _, err := f.Start(); err == nil {
+		t.Fatal("Start succeeded with an uncreatable CPU profile path")
+	}
+}
