@@ -3,6 +3,11 @@
 GO ?= go
 # BENCHTIME feeds -benchtime for `make bench`; CI smoke runs use 1x.
 BENCHTIME ?= 1x
+# SEC_TOL is the allowed sec/op regression band (percent) for
+# bench-check; wider than the allocs gate because 1x timings are noisy
+# (benchjson's own default is 25%, but run-to-run swings on small
+# containers reach ±30% even for second-long benchmarks).
+SEC_TOL ?= 40
 
 .PHONY: all build test test-race test-debug vet lint bench bench-check tables tables-quick examples fuzz cover clean
 
@@ -42,10 +47,10 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run '^$$' . | tee bench_output.txt
 	bin/benchjson -label current -o BENCH_engine.json -append < bench_output.txt
 
-# bench plus the allocs/op regression gate against the pinned baseline
-# (the CI smoke job).
+# bench plus the allocs/op and sec/op regression gates against the
+# pinned baseline (the CI smoke job).
 bench-check: bench
-	bin/benchjson -label check -o /tmp/bench_check.json -baseline bench_baseline.json < bench_output.txt
+	bin/benchjson -label check -o /tmp/bench_check.json -baseline bench_baseline.json -sec-tol $(SEC_TOL) < bench_output.txt
 
 # Full default-window regeneration of every table (several minutes).
 tables:

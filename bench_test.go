@@ -10,9 +10,12 @@
 package nbtinoc
 
 import (
+	"path/filepath"
+	"strconv"
 	"testing"
 
 	"nbtinoc/internal/area"
+	"nbtinoc/internal/cache"
 	"nbtinoc/internal/core"
 	"nbtinoc/internal/noc"
 	"nbtinoc/internal/sim"
@@ -65,6 +68,59 @@ func BenchmarkTableII_Parallel(b *testing.B) {
 			gap += row.Gap
 		}
 		b.ReportMetric(gap/float64(len(tbl.Rows)), "gap_pts")
+	}
+}
+
+// BenchmarkTableII_CacheCold is BenchmarkTableII through the result
+// cache with an empty store every iteration: all misses, so it measures
+// the overhead of key derivation plus entry persistence on top of the
+// simulation itself. BenchmarkTableII_CacheWarm is the same grid served
+// entirely from a pre-filled store; the ratio between the pair is the
+// speedup memoization buys a repeated table run.
+func BenchmarkTableII_CacheCold(b *testing.B) {
+	root := b.TempDir()
+	for i := 0; i < b.N; i++ {
+		opt := benchTableOptions()
+		opt.Cache = cache.Open(filepath.Join(root, strconv.Itoa(i)), cache.ReadWrite)
+		tbl, err := sim.RunSyntheticTable(4, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var gap float64
+		for _, row := range tbl.Rows {
+			gap += row.Gap
+		}
+		b.ReportMetric(gap/float64(len(tbl.Rows)), "gap_pts")
+		if st := opt.Cache.Stats(); st.Hits != 0 {
+			b.Fatalf("cold store served hits: %+v", st)
+		}
+	}
+}
+
+// BenchmarkTableII_CacheWarm: see BenchmarkTableII_CacheCold.
+func BenchmarkTableII_CacheWarm(b *testing.B) {
+	dir := b.TempDir()
+	fill := benchTableOptions()
+	fill.Cache = cache.Open(dir, cache.ReadWrite)
+	if _, err := sim.RunSyntheticTable(4, fill); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := benchTableOptions()
+		opt.Cache = cache.Open(dir, cache.ReadOnly)
+		tbl, err := sim.RunSyntheticTable(4, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var gap float64
+		for _, row := range tbl.Rows {
+			gap += row.Gap
+		}
+		b.ReportMetric(gap/float64(len(tbl.Rows)), "gap_pts")
+		if st := opt.Cache.Stats(); st.Misses != 0 {
+			b.Fatalf("warm store recomputed: %+v", st)
+		}
 	}
 }
 

@@ -6,10 +6,14 @@
 //
 // -append keeps the runs already in the output file (e.g. the "before"
 // run recorded prior to an optimisation) and adds the new one.
-// -baseline compares the parsed run's allocs/op against the named
-// benchmarks of a pinned baseline file and exits non-zero when any
-// regress beyond -alloc-tol percent — the CI guard against accidental
-// per-cycle allocation creep.
+// -baseline compares the parsed run against the named benchmarks of a
+// pinned baseline file and exits non-zero when any regress: allocs/op
+// beyond -alloc-tol percent (the guard against per-cycle allocation
+// creep) or sec/op beyond -sec-tol percent (the guard against wall-time
+// regressions; wider by default, since timings are noisier than
+// allocation counts). A benchmark that gets faster than the band is
+// reported as a warning — a hint the baseline is stale — but never
+// fails the run.
 package main
 
 import (
@@ -61,8 +65,10 @@ func run(args []string, in io.Reader, errOut io.Writer) error {
 		out      = fs.String("o", "BENCH_engine.json", "output JSON file")
 		label    = fs.String("label", "run", "label for this benchmark run")
 		appendTo = fs.Bool("append", false, "keep existing runs in the output file")
-		baseline = fs.String("baseline", "", "pinned baseline JSON; fail on allocs/op regression against it")
+		baseline = fs.String("baseline", "", "pinned baseline JSON; fail on allocs/op or sec/op regression against it")
 		allocTol = fs.Float64("alloc-tol", 10, "allowed allocs/op increase over the baseline, percent")
+		secTol   = fs.Float64("sec-tol", 25, "allowed sec/op increase over the baseline, percent")
+		secFloor = fs.Float64("sec-floor", 0.1, "exempt benchmarks whose baseline sec/op is below this from the sec/op gate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,11 +108,21 @@ func run(args []string, in io.Reader, errOut io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if regressions := checkAllocs(parsed, base, *allocTol); len(regressions) > 0 {
-			for _, r := range regressions {
-				fmt.Fprintln(errOut, "allocs/op regression:", r)
-			}
-			return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%% of the baseline", len(regressions), *allocTol)
+		var failures int
+		for _, r := range checkAllocs(parsed, base, *allocTol) {
+			fmt.Fprintln(errOut, "allocs/op regression:", r)
+			failures++
+		}
+		regressions, improvements := checkSecOp(parsed, base, *secTol, *secFloor)
+		for _, r := range regressions {
+			fmt.Fprintln(errOut, "sec/op regression:", r)
+			failures++
+		}
+		for _, r := range improvements {
+			fmt.Fprintln(errOut, "sec/op improvement beyond band (consider refreshing the baseline):", r)
+		}
+		if failures > 0 {
+			return fmt.Errorf("%d benchmark(s) regressed beyond the baseline tolerance", failures)
 		}
 	}
 	return nil
@@ -171,9 +187,9 @@ func parseBench(in io.Reader) (Run, error) {
 	return run, sc.Err()
 }
 
-// loadBaseline reads a trajectory file and returns allocs/op per
-// benchmark name from its last run (the pinned reference point).
-func loadBaseline(path string) (map[string]float64, error) {
+// loadBaseline reads a trajectory file and returns the benchmarks of
+// its last run (the pinned reference point) by name.
+func loadBaseline(path string) (map[string]Benchmark, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -185,9 +201,9 @@ func loadBaseline(path string) (map[string]float64, error) {
 	if len(file.Runs) == 0 {
 		return nil, fmt.Errorf("baseline %s has no runs", path)
 	}
-	base := make(map[string]float64)
+	base := make(map[string]Benchmark)
 	for _, b := range file.Runs[len(file.Runs)-1].Benchmarks {
-		base[b.Name] = b.AllocsPerOp
+		base[b.Name] = b
 	}
 	return base, nil
 }
@@ -196,13 +212,14 @@ func loadBaseline(path string) (map[string]float64, error) {
 // returns a description of every regression beyond tolPct percent.
 // Benchmarks absent from the baseline pass (new benchmarks are not
 // regressions).
-func checkAllocs(run Run, base map[string]float64, tolPct float64) []string {
+func checkAllocs(run Run, base map[string]Benchmark, tolPct float64) []string {
 	var regressions []string
 	for _, b := range run.Benchmarks {
-		want, ok := base[b.Name]
+		pin, ok := base[b.Name]
 		if !ok {
 			continue
 		}
+		want := pin.AllocsPerOp
 		limit := want * (1 + tolPct/100)
 		if want == 0 {
 			limit = 0
@@ -214,4 +231,35 @@ func checkAllocs(run Run, base map[string]float64, tolPct float64) []string {
 		}
 	}
 	return regressions
+}
+
+// checkSecOp compares a run's ns/op against the baseline within a
+// symmetric ±tolPct band. Slower than the band is a regression; faster
+// than the band is an improvement worth re-pinning (returned separately
+// so callers warn instead of failing — a stale slow baseline would
+// otherwise mask later regressions up to the accumulated headroom).
+// Benchmarks absent from the baseline, pinned at zero, or pinned below
+// floorSec pass: a percentage band on a micro-benchmark's single
+// -benchtime=1x sample is pure scheduler noise, and the allocs/op gate
+// already covers those exactly.
+func checkSecOp(run Run, base map[string]Benchmark, tolPct, floorSec float64) (regressions, improvements []string) {
+	for _, b := range run.Benchmarks {
+		pin, ok := base[b.Name]
+		if !ok || pin.NsPerOp <= 0 || pin.NsPerOp < floorSec*1e9 {
+			continue
+		}
+		want := pin.NsPerOp
+		deltaPct := (b.NsPerOp - want) / want * 100
+		switch {
+		case deltaPct > tolPct:
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.3gs/op vs baseline %.3gs (%+.1f%%, tolerance %.0f%%)",
+					b.Name, b.NsPerOp/1e9, want/1e9, deltaPct, tolPct))
+		case deltaPct < -tolPct:
+			improvements = append(improvements,
+				fmt.Sprintf("%s: %.3gs/op vs baseline %.3gs (%+.1f%%)",
+					b.Name, b.NsPerOp/1e9, want/1e9, deltaPct))
+		}
+	}
+	return regressions, improvements
 }

@@ -111,9 +111,93 @@ func TestBaselinePassesWithinTolerance(t *testing.T) {
 }
 
 func TestZeroAllocBaselineIsStrict(t *testing.T) {
-	base := map[string]float64{"BenchmarkEngineIdle": 0}
+	base := map[string]Benchmark{"BenchmarkEngineIdle": {Name: "BenchmarkEngineIdle", AllocsPerOp: 0}}
 	r := Run{Benchmarks: []Benchmark{{Name: "BenchmarkEngineIdle", AllocsPerOp: 1}}}
 	if regs := checkAllocs(r, base, 10); len(regs) != 1 {
 		t.Fatalf("zero-alloc baseline not strict: %v", regs)
+	}
+}
+
+// writeBaseline pins one run with the given benchmarks and returns the
+// file path.
+func writeBaseline(t *testing.T, dir string, benchmarks ...Benchmark) string {
+	t.Helper()
+	path := filepath.Join(dir, "baseline.json")
+	data, err := json.Marshal(File{Runs: []Run{{Label: "pinned", Benchmarks: benchmarks}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSecOpRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	// Sample runs TableII at ~4.67e9 ns/op; a 3e9 pin puts it ~56% over,
+	// outside the default 25% band.
+	baseline := writeBaseline(t, dir,
+		Benchmark{Name: "BenchmarkTableII", NsPerOp: 3e9, AllocsPerOp: 242180},
+		Benchmark{Name: "BenchmarkEngineIdle", NsPerOp: 41.87, AllocsPerOp: 0})
+	var errBuf strings.Builder
+	err := run([]string{"-o", filepath.Join(dir, "out.json"), "-baseline", baseline},
+		strings.NewReader(sampleBench), &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("sec/op regression not detected: %v", err)
+	}
+	if !strings.Contains(errBuf.String(), "sec/op regression: BenchmarkTableII") {
+		t.Errorf("regression not named on stderr:\n%s", errBuf.String())
+	}
+}
+
+func TestSecOpWithinToleranceFlag(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeBaseline(t, dir,
+		Benchmark{Name: "BenchmarkTableII", NsPerOp: 3e9, AllocsPerOp: 242180},
+		Benchmark{Name: "BenchmarkEngineIdle", NsPerOp: 41.87, AllocsPerOp: 0})
+	// The same ~56% gap passes when -sec-tol widens the band past it.
+	if err := run([]string{"-o", filepath.Join(dir, "out.json"), "-baseline", baseline,
+		"-sec-tol", "60"}, strings.NewReader(sampleBench), os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecOpImprovementWarnsButPasses(t *testing.T) {
+	dir := t.TempDir()
+	// Pin TableII far slower than the sample: the run is a >25%
+	// improvement, which must warn about the stale baseline, not fail.
+	baseline := writeBaseline(t, dir,
+		Benchmark{Name: "BenchmarkTableII", NsPerOp: 9e9, AllocsPerOp: 242180},
+		Benchmark{Name: "BenchmarkEngineIdle", NsPerOp: 41.87, AllocsPerOp: 0})
+	var errBuf strings.Builder
+	if err := run([]string{"-o", filepath.Join(dir, "out.json"), "-baseline", baseline},
+		strings.NewReader(sampleBench), &errBuf); err != nil {
+		t.Fatalf("improvement treated as failure: %v", err)
+	}
+	if !strings.Contains(errBuf.String(), "improvement beyond band") {
+		t.Errorf("stale-baseline warning missing:\n%s", errBuf.String())
+	}
+}
+
+func TestSecOpSkipsUnpinnedZeroAndSubFloor(t *testing.T) {
+	base := map[string]Benchmark{
+		"BenchmarkZeroPin": {Name: "BenchmarkZeroPin", NsPerOp: 0},
+		// 1ms pin, below the 0.1s floor: a 1000x slowdown is still
+		// exempt — single-sample micro timings are noise.
+		"BenchmarkMicro": {Name: "BenchmarkMicro", NsPerOp: 1e6},
+	}
+	r := Run{Benchmarks: []Benchmark{
+		{Name: "BenchmarkZeroPin", NsPerOp: 100},
+		{Name: "BenchmarkNew", NsPerOp: 100},
+		{Name: "BenchmarkMicro", NsPerOp: 1e9},
+	}}
+	regs, imps := checkSecOp(r, base, 25, 0.1)
+	if len(regs) != 0 || len(imps) != 0 {
+		t.Errorf("zero/unpinned/sub-floor benchmarks flagged: %v %v", regs, imps)
+	}
+	// With the floor lowered the micro regression is visible again.
+	if regs, _ := checkSecOp(r, base, 25, 0.0001); len(regs) != 1 {
+		t.Errorf("sub-floor exemption not floor-controlled: %v", regs)
 	}
 }

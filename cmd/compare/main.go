@@ -8,6 +8,10 @@
 // Example:
 //
 //	compare -a rr-no-sensor -b sensor-wise -cores 16 -vcs 4 -rate 0.2
+//
+// Both runs are memoized in the content-addressed result cache
+// (-cache, -cache-dir; -cache=off disables), so re-comparing against
+// an already-simulated policy only computes the new side.
 package main
 
 import (
@@ -17,7 +21,9 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
+	"nbtinoc/internal/cache"
 	"nbtinoc/internal/core"
 	"nbtinoc/internal/noc"
 	"nbtinoc/internal/sim"
@@ -53,12 +59,22 @@ func run(args []string, out io.Writer) error {
 		phits    = fs.Int("phits", 1, "link serialization factor")
 		worst    = fs.Int("top", 8, "show only the N ports with the largest |gap| (0 = all)")
 		jobs     = fs.Int("j", 0, "parallel workers for the two runs: 0 = one per core, 1 = sequential")
+
+		cacheMode = fs.String("cache", "rw", "result cache mode: off, ro or rw")
+		cacheDir  = fs.String("cache-dir", "", "result cache directory (default: user cache dir)")
+		verbose   = fs.Bool("v", false, "print result-cache statistics to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	runOne := func(policy string) (*sim.RunResult, error) {
+	store, err := openCache(*cacheMode, *cacheDir)
+	if err != nil {
+		return err
+	}
+	runner := sim.Runner{Store: store}
+
+	runOne := func(policy string) (*sim.RunSummary, error) {
 		scen := &sim.Scenario{
 			Name:     "compare",
 			Cores:    *cores,
@@ -72,12 +88,20 @@ func run(args []string, out io.Writer) error {
 			Seed:     *seed,
 			PVSeed:   *pvSeed,
 		}
-		return scen.Execute(nil)
+		side, err := sim.MeshSide(*cores)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := scen.Spec(sim.AllPortProbes(side, side))
+		if err != nil {
+			return nil, err
+		}
+		return runner.Run(spec)
 	}
 	// The two runs are independent (each owns its network), so they go
 	// through the scenario pool like the table drivers.
 	policies := []string{*polA, *polB}
-	results := make([]*sim.RunResult, len(policies))
+	results := make([]*sim.RunSummary, len(policies))
 	if err := (sim.Pool{Workers: *jobs}).Run(len(policies), func(i int) error {
 		res, err := runOne(policies[i])
 		if err != nil {
@@ -130,29 +154,57 @@ func run(args []string, out io.Writer) error {
 		*polA, resA.AvgLatency, *polB, resB.AvgLatency, resB.AvgLatency-resA.AvgLatency)
 	fmt.Fprintf(out, "  throughput: %s %.4f, %s %.4f flits/cycle/node\n",
 		*polA, resA.Throughput, *polB, resB.Throughput)
+	if *verbose && store != nil {
+		fmt.Fprintf(os.Stderr, "compare: cache: %s\n", store.Stats())
+	}
 	return nil
 }
 
-// collect pairs up the per-port MD duty-cycles of the two runs.
-func collect(a, b *sim.RunResult) ([]portResult, error) {
+// openCache builds the result store selected by the -cache/-cache-dir
+// flags; mode off yields a nil store (the always-compute pass-through).
+func openCache(mode, dir string) (*cache.Store, error) {
+	m, err := cache.ParseMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	if m == cache.Off {
+		return nil, nil
+	}
+	if dir == "" {
+		dir = cache.DefaultDir()
+	}
+	st := cache.Open(dir, m)
+	// The library never reads the wall clock (nbtilint's determinism
+	// rules); the CLI injects it so hits can report time saved.
+	//nbtilint:allow wallclock display-only: compute durations are recorded in cache entries so later hits can report wall-clock time saved; they never feed simulator state or outputs
+	st.Clock = func() int64 { return time.Now().UnixNano() }
+	st.Warnf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "compare: cache: "+format+"\n", args...)
+	}
+	return st, nil
+}
+
+// collect pairs up the per-port MD duty-cycles of the two runs. Both
+// summaries probed every input port in the same AllPortProbes order, so
+// readings pair up by index.
+func collect(a, b *sim.RunSummary) ([]portResult, error) {
+	if len(a.Ports) != len(b.Ports) {
+		return nil, fmt.Errorf("probe sets differ across runs (%d vs %d ports)",
+			len(a.Ports), len(b.Ports))
+	}
 	var out []portResult
-	netA, netB := a.Net, b.Net
-	for node := noc.NodeID(0); int(node) < netA.Nodes(); node++ {
-		for p := noc.Port(0); p < noc.NumPorts; p++ {
-			if netA.Router(node).Input(p) == nil {
-				continue
-			}
-			md := netA.MostDegradedVC(node, p, 0)
-			if mdB := netB.MostDegradedVC(node, p, 0); mdB != md {
-				return nil, fmt.Errorf("MD VC differs across runs at node %d port %v (%d vs %d) — use the same -pv-seed",
-					node, p, md, mdB)
-			}
-			out = append(out, portResult{
-				node: node, port: p, md: md,
-				a: netA.DutyCycle(node, p, md),
-				b: netB.DutyCycle(node, p, md),
-			})
+	for i, ra := range a.Ports {
+		rb := b.Ports[i]
+		md := ra.MostDegraded
+		if rb.MostDegraded != md {
+			return nil, fmt.Errorf("MD VC differs across runs at node %d port %v (%d vs %d) — use the same -pv-seed",
+				ra.Probe.Node, ra.Probe.Port, md, rb.MostDegraded)
 		}
+		out = append(out, portResult{
+			node: ra.Probe.Node, port: ra.Probe.Port, md: md,
+			a: ra.Duty[md],
+			b: rb.Duty[md],
+		})
 	}
 	return out, nil
 }

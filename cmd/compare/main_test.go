@@ -8,7 +8,7 @@ import (
 
 func TestCompareBasic(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-cores", "4", "-vcs", "2", "-rate", "0.1",
+	err := run([]string{"-cache", "off", "-cores", "4", "-vcs", "2", "-rate", "0.1",
 		"-warmup", "500", "-cycles", "8000", "-top", "3"}, &buf)
 	if err != nil {
 		t.Fatal(err)
@@ -24,7 +24,7 @@ func TestCompareBasic(t *testing.T) {
 
 func TestCompareShowAll(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-cores", "4", "-vcs", "2", "-rate", "0.1",
+	err := run([]string{"-cache", "off", "-cores", "4", "-vcs", "2", "-rate", "0.1",
 		"-warmup", "500", "-cycles", "5000", "-top", "0"}, &buf)
 	if err != nil {
 		t.Fatal(err)
@@ -36,7 +36,7 @@ func TestCompareShowAll(t *testing.T) {
 
 func TestCompareBaselineVsSelf(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-a", "baseline", "-b", "baseline",
+	err := run([]string{"-cache", "off", "-a", "baseline", "-b", "baseline",
 		"-cores", "4", "-vcs", "2", "-warmup", "500", "-cycles", "5000"}, &buf)
 	if err != nil {
 		t.Fatal(err)
@@ -48,7 +48,7 @@ func TestCompareBaselineVsSelf(t *testing.T) {
 }
 
 func TestCompareBadPolicy(t *testing.T) {
-	if err := run([]string{"-a", "bogus", "-cycles", "100"}, &bytes.Buffer{}); err == nil {
+	if err := run([]string{"-cache", "off", "-a", "bogus", "-cycles", "100"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("unknown policy accepted")
 	}
 }

@@ -16,6 +16,11 @@
 // flit-trace flags write per-run files and therefore require a single
 // scenario.
 //
+// Plain scenario runs are memoized in the content-addressed result
+// cache (-cache, -cache-dir; -cache=off disables). Modes that need the
+// live network — -all-ports, -heatmap, -trace, -aging-in/-aging-out,
+// -flit-trace — always simulate.
+//
 // -cpuprofile, -memprofile and -exectrace write the standard Go runtime
 // profiles for the whole run (-trace is taken by flit trace replay).
 package main
@@ -29,7 +34,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"nbtinoc/internal/cache"
 	"nbtinoc/internal/core"
 	"nbtinoc/internal/noc"
 	"nbtinoc/internal/prof"
@@ -76,6 +83,10 @@ func run(args []string, out io.Writer) (err error) {
 		agingOut = fs.String("aging-out", "", "write a JSON aging snapshot after the run")
 		flitLog  = fs.String("flit-trace", "", "write a flit-level pipeline event trace to this file (large!)")
 		jobs     = fs.Int("j", 0, "parallel workers for multi-scenario -config runs: 0 = one per core, 1 = sequential")
+
+		cacheMode = fs.String("cache", "rw", "result cache mode: off, ro or rw")
+		cacheDir  = fs.String("cache-dir", "", "result cache directory (default: user cache dir)")
+		verbose   = fs.Bool("v", false, "print result-cache statistics to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -134,6 +145,16 @@ func run(args []string, out io.Writer) (err error) {
 		return err
 	}
 
+	// Modes that inspect the live network (or replay a non-declarative
+	// trace generator) cannot be served from the result cache.
+	live := *allPorts || *heatmap || *traceIn != "" ||
+		*agingIn != "" || *agingOut != "" || *flitLog != ""
+	store, err := openCache("nbtisim", *cacheMode, *cacheDir)
+	if err != nil {
+		return err
+	}
+	runner := sim.Runner{Store: store}
+
 	runScenario := func(scen *sim.Scenario) (*sim.RunResult, error) {
 		cfg, err := scen.BuildConfig()
 		if err != nil {
@@ -189,36 +210,84 @@ func run(args []string, out io.Writer) (err error) {
 
 	// Scenarios execute through the same bounded pool as the table
 	// drivers and are rendered sequentially in input order afterwards.
-	results := make([]*sim.RunResult, len(scens))
+	// The cached default path carries only the serialisable summary;
+	// live modes additionally keep the network for their renderers.
+	type outcome struct {
+		sum *sim.RunSummary
+		res *sim.RunResult
+	}
+	results := make([]outcome, len(scens))
 	if err := (sim.Pool{Workers: *jobs}).Run(len(scens), func(i int) error {
+		if !live {
+			spec, err := scens[i].Spec([]sim.PortProbe{probe})
+			if err != nil {
+				return err
+			}
+			if spec.Net.Routing, err = noc.ParseRouting(*routing); err != nil {
+				return err
+			}
+			sum, err := runner.Run(spec)
+			if err != nil {
+				return err
+			}
+			results[i] = outcome{sum: sum}
+			return nil
+		}
 		res, err := runScenario(scens[i])
 		if err != nil {
 			return err
 		}
-		results[i] = res
+		results[i] = outcome{sum: res.Summary(), res: res}
 		return nil
 	}); err != nil {
 		return err
 	}
 
-	for i, res := range results {
+	for i, r := range results {
 		if multi {
 			fmt.Fprintf(out, "=== scenario %s ===\n", scens[i].Name)
 		}
 		var err error
 		switch {
 		case *allPorts:
-			err = renderAllPorts(out, res)
+			err = renderAllPorts(out, r.res)
 		case *heatmap:
-			err = renderHeatmap(out, res)
+			err = renderHeatmap(out, r.res)
 		default:
-			err = render(out, *format, res)
+			err = render(out, *format, r.sum)
 		}
 		if err != nil {
 			return err
 		}
 	}
+	if *verbose && store != nil {
+		fmt.Fprintf(os.Stderr, "nbtisim: cache: %s\n", store.Stats())
+	}
 	return nil
+}
+
+// openCache builds the result store selected by the -cache/-cache-dir
+// flags; mode off yields a nil store (the always-compute pass-through).
+func openCache(prog, mode, dir string) (*cache.Store, error) {
+	m, err := cache.ParseMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	if m == cache.Off {
+		return nil, nil
+	}
+	if dir == "" {
+		dir = cache.DefaultDir()
+	}
+	st := cache.Open(dir, m)
+	// The library never reads the wall clock (nbtilint's determinism
+	// rules); the CLI injects it so hits can report time saved.
+	//nbtilint:allow wallclock display-only: compute durations are recorded in cache entries so later hits can report wall-clock time saved; they never feed simulator state or outputs
+	st.Clock = func() int64 { return time.Now().UnixNano() }
+	st.Warnf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, prog+": cache: "+format+"\n", args...)
+	}
+	return st, nil
 }
 
 // renderHeatmap prints the mesh as a grid; each tile shows the worst
@@ -361,7 +430,7 @@ func parseProbe(s string) (sim.PortProbe, error) {
 	return sim.PortProbe{Node: noc.NodeID(node), Port: port}, nil
 }
 
-func render(out io.Writer, format string, res *sim.RunResult) error {
+func render(out io.Writer, format string, res *sim.RunSummary) error {
 	switch format {
 	case "json":
 		enc := json.NewEncoder(out)

@@ -11,7 +11,9 @@ import (
 func runTables(t *testing.T, args ...string) string {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := run(args, &buf); err != nil {
+	// Tests default to -cache=off so they never touch the user cache
+	// dir; a test passing its own -cache flag later wins.
+	if err := run(append([]string{"-cache", "off"}, args...), &buf); err != nil {
 		t.Fatalf("run(%v): %v", args, err)
 	}
 	return buf.String()

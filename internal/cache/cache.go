@@ -1,0 +1,362 @@
+// Package cache is a content-addressed, disk-backed store for
+// deterministic simulation results. The simulator is byte-deterministic
+// per (engine, config, policy, workload, seed, windows) — the golden
+// tests in cmd/tables pin that — so a cached result is indistinguishable
+// from a recomputed one and memoization is exact, not approximate.
+//
+// Keys are SHA-256 digests of a canonical JSON encoding of the full
+// scenario (see internal/sim.SpecKey); values are opaque JSON blobs
+// owned by the caller. Entries live under dir/<key[:2]>/<key>.json and
+// are written atomically (temp file + rename), so a concurrent reader
+// never observes a partial entry. A corrupted or truncated entry is
+// treated as a miss: the store warns, recomputes and (in read-write
+// mode) overwrites it — a damaged cache can slow a run down but never
+// fail or falsify it.
+//
+// The store is safe under the sim worker pool: concurrent Do calls for
+// the same key are deduplicated in-process (single-flight), so N pool
+// workers racing on one scenario perform exactly one compute.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Mode selects how a Store touches the disk.
+type Mode int
+
+const (
+	// Off disables the cache entirely: Do always computes.
+	Off Mode = iota
+	// ReadOnly serves hits from disk but never writes new entries —
+	// useful for reproducing published results against a pinned cache.
+	ReadOnly
+	// ReadWrite serves hits and persists misses.
+	ReadWrite
+)
+
+// ParseMode parses the CLI spelling of a mode: off, ro or rw.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off":
+		return Off, nil
+	case "ro":
+		return ReadOnly, nil
+	case "rw":
+		return ReadWrite, nil
+	default:
+		return Off, fmt.Errorf("cache: unknown mode %q (want off, ro or rw)", s)
+	}
+}
+
+// String renders the CLI spelling.
+func (m Mode) String() string {
+	switch m {
+	case ReadOnly:
+		return "ro"
+	case ReadWrite:
+		return "rw"
+	default:
+		return "off"
+	}
+}
+
+// DefaultDir returns the default on-disk cache location: the user cache
+// directory when the platform provides one, a repo-local fallback
+// otherwise.
+func DefaultDir() string {
+	if dir, err := os.UserCacheDir(); err == nil && dir != "" {
+		return filepath.Join(dir, "nbtinoc")
+	}
+	return ".nbticache"
+}
+
+// KeyOf returns the content address of v: the SHA-256 hex digest of its
+// canonical JSON encoding. encoding/json emits struct fields in
+// declaration order and floats in shortest-round-trip form, so equal
+// values always produce equal keys.
+func KeyOf(v any) (string, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("cache: keying: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Stats counts what a store did over its lifetime. All sizes are value
+// bytes (the cached payload, not the on-disk envelope).
+type Stats struct {
+	// Hits and Misses count disk lookups; Deduped counts calls that
+	// joined an in-flight leader instead of touching disk or computing.
+	Hits, Misses, Deduped int64
+	// Corrupt counts entries that failed to load and were recomputed.
+	Corrupt int64
+	// BytesRead / BytesWritten are the value payload volumes.
+	BytesRead, BytesWritten int64
+	// TimeSavedNS accumulates the recorded compute duration of every
+	// hit and dedup — zero when no Clock was installed at write time.
+	TimeSavedNS int64
+}
+
+// Sub returns the delta s − o, for per-phase reporting.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Hits:         s.Hits - o.Hits,
+		Misses:       s.Misses - o.Misses,
+		Deduped:      s.Deduped - o.Deduped,
+		Corrupt:      s.Corrupt - o.Corrupt,
+		BytesRead:    s.BytesRead - o.BytesRead,
+		BytesWritten: s.BytesWritten - o.BytesWritten,
+		TimeSavedNS:  s.TimeSavedNS - o.TimeSavedNS,
+	}
+}
+
+// String renders the counters in a fixed field order (no map
+// iteration), so stats lines are byte-stable for a given history.
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d deduped=%d corrupt=%d read=%dB written=%dB saved=%.2fs",
+		s.Hits, s.Misses, s.Deduped, s.Corrupt,
+		s.BytesRead, s.BytesWritten, float64(s.TimeSavedNS)/1e9)
+}
+
+// Store is one cache handle. The zero value is not usable; construct
+// with Open. A nil *Store is a valid always-compute pass-through, so
+// callers thread one pointer instead of branching on a mode.
+type Store struct {
+	dir  string
+	mode Mode
+
+	// Clock, when non-nil, timestamps compute durations (nanoseconds)
+	// so hits can report wall-clock time saved. It is injected by
+	// package main — the library itself never reads the wall clock, per
+	// the nbtilint determinism rules.
+	Clock func() int64
+	// Warnf, when non-nil, receives diagnostics about damaged or
+	// unwritable entries. The store never fails because of them.
+	Warnf func(format string, args ...any)
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	stats   Stats
+}
+
+// flight is one in-progress Do leader; followers block on done and
+// share its outcome.
+type flight struct {
+	done  chan struct{}
+	data  []byte
+	hit   bool
+	saved int64
+	err   error
+}
+
+// Open returns a store rooted at dir. The directory is created lazily
+// on first write.
+func Open(dir string, mode Mode) *Store {
+	return &Store{dir: dir, mode: mode, flights: make(map[string]*flight)}
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Mode returns the store's disk mode.
+func (s *Store) Mode() Mode {
+	if s == nil {
+		return Off
+	}
+	return s.mode
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// entry is the on-disk envelope around a cached value.
+type entry struct {
+	Schema       int             `json:"schema"`
+	Key          string          `json:"key"`
+	ComputeNanos int64           `json:"compute_ns,omitempty"`
+	Value        json.RawMessage `json:"value"`
+}
+
+const entrySchema = 1
+
+// entryPath maps a key to its file, sharded on the first digest byte so
+// large caches do not pile every entry into one directory.
+func (s *Store) entryPath(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// Do returns the value stored under key, computing and (in read-write
+// mode) persisting it on a miss. decode receives the value bytes —
+// either loaded from disk or freshly produced by compute — exactly
+// once per call. The returned bool reports whether the value came from
+// the cache (disk hit, or dedup onto a leader that hit). compute errors
+// propagate; storage errors never do.
+func (s *Store) Do(key string, decode func([]byte) error, compute func() ([]byte, error)) (bool, error) {
+	if s == nil || s.mode == Off {
+		data, err := compute()
+		if err != nil {
+			return false, err
+		}
+		return false, decode(data)
+	}
+
+	s.mu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return false, f.err
+		}
+		s.mu.Lock()
+		s.stats.Deduped++
+		s.stats.TimeSavedNS += f.saved
+		s.mu.Unlock()
+		return f.hit, decode(f.data)
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.flights, key)
+		s.mu.Unlock()
+		close(f.done)
+	}()
+
+	if value, computeNS, ok := s.load(key); ok {
+		if err := decode(value); err != nil {
+			// The envelope parsed but the payload does not decode —
+			// e.g. written by an incompatible build. Same treatment as
+			// a truncated file: recompute.
+			s.note(func(st *Stats) { st.Corrupt++ })
+			s.warnf("entry %s: decoding value: %v (recomputing)", key, err)
+		} else {
+			f.data, f.hit, f.saved = value, true, computeNS
+			s.note(func(st *Stats) {
+				st.Hits++
+				st.BytesRead += int64(len(value))
+				st.TimeSavedNS += computeNS
+			})
+			return true, nil
+		}
+	}
+
+	var start int64
+	if s.Clock != nil {
+		start = s.Clock()
+	}
+	data, err := compute()
+	if err != nil {
+		f.err = err
+		return false, err
+	}
+	var computeNS int64
+	if s.Clock != nil {
+		computeNS = s.Clock() - start
+	}
+	f.data, f.saved = data, computeNS
+	s.note(func(st *Stats) { st.Misses++ })
+	if s.mode == ReadWrite {
+		if err := s.persist(key, data, computeNS); err != nil {
+			s.warnf("writing entry %s: %v", key, err)
+		} else {
+			s.note(func(st *Stats) { st.BytesWritten += int64(len(data)) })
+		}
+	}
+	return false, decode(data)
+}
+
+// load reads and validates one entry. A missing file is a silent miss;
+// anything else that goes wrong is counted as corruption and warned
+// about, never returned as an error.
+func (s *Store) load(key string) (value []byte, computeNS int64, ok bool) {
+	data, err := os.ReadFile(s.entryPath(key))
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.note(func(st *Stats) { st.Corrupt++ })
+			s.warnf("reading entry %s: %v (recomputing)", key, err)
+		}
+		return nil, 0, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		s.note(func(st *Stats) { st.Corrupt++ })
+		s.warnf("entry %s: corrupt envelope: %v (recomputing)", key, err)
+		return nil, 0, false
+	}
+	if e.Schema != entrySchema || e.Key != key || len(e.Value) == 0 {
+		s.note(func(st *Stats) { st.Corrupt++ })
+		s.warnf("entry %s: schema/key mismatch (recomputing)", key)
+		return nil, 0, false
+	}
+	return e.Value, e.ComputeNanos, true
+}
+
+// persist writes one entry atomically: marshal to a temp file in the
+// final directory, fsync-free rename into place. rename(2) is atomic on
+// POSIX, so concurrent processes racing on a key both land a complete
+// entry and the loser's write simply replaces an identical value.
+func (s *Store) persist(key string, value []byte, computeNS int64) error {
+	data, err := json.Marshal(entry{
+		Schema:       entrySchema,
+		Key:          key,
+		ComputeNanos: computeNS,
+		Value:        value,
+	})
+	if err != nil {
+		return err
+	}
+	path := s.entryPath(key)
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "."+key[:8]+"-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// note applies a stats mutation under the lock.
+func (s *Store) note(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// warnf forwards to the Warnf hook when one is installed.
+func (s *Store) warnf(format string, args ...any) {
+	if s.Warnf != nil {
+		s.Warnf(format, args...)
+	}
+}

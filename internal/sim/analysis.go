@@ -6,7 +6,6 @@ import (
 
 	"nbtinoc/internal/nbti"
 	"nbtinoc/internal/noc"
-	"nbtinoc/internal/traffic"
 )
 
 // VthRow is one scenario of the ΔVth saving analysis (the paper's
@@ -74,16 +73,16 @@ func RunVthSaving(vcs int, years float64, opt TableOptions) (*VthTable, error) {
 	ports := make([][]PortReading, len(jobs))
 	if err := opt.pool().Run(len(jobs), func(i int) error {
 		j := jobs[i]
-		var res *RunResult
+		var res *RunSummary
 		var err error
 		if j.rate >= 0 {
-			res, err = opt.runSynthetic(j.cores, vcs, j.rate, "sensor-wise",
+			res, err = opt.runSynthetic(j.cores, vcs, j.rate,
+				PolicySpec{Name: "sensor-wise"},
 				[]PortProbe{{Node: 0, Port: noc.East}}, nil)
 		} else {
 			var side int
 			var probes []PortProbe
 			var cfg noc.Config
-			var gen traffic.Generator
 			if side, err = MeshSide(j.cores); err != nil {
 				return err
 			}
@@ -95,17 +94,19 @@ func RunVthSaving(vcs int, years float64, opt TableOptions) (*VthTable, error) {
 			}
 			cfg.PVSeed = scenarioSeed(opt.SeedBase, j.cores, 0.99, 17)
 			opt.apply(&cfg)
-			if gen, err = traffic.NewRandomAppMix(side, side, 0,
-				scenarioSeed(opt.SeedBase, j.cores, 0, 23)); err != nil {
-				return err
-			}
-			res, err = Run(RunConfig{
-				Net:        cfg,
-				PolicyName: "sensor-wise",
-				Warmup:     opt.Warmup,
-				Measure:    opt.Measure,
-				Gen:        gen,
-			}, probes)
+			res, err = opt.runner().Run(Spec{
+				Net:    cfg,
+				Policy: PolicySpec{Name: "sensor-wise"},
+				Gen: GenSpec{
+					Kind:   "app",
+					Width:  side,
+					Height: side,
+					Seed:   scenarioSeed(opt.SeedBase, j.cores, 0, 23),
+				},
+				Warmup:  opt.Warmup,
+				Measure: opt.Measure,
+				Probes:  probes,
+			})
 		}
 		if err != nil {
 			return err
@@ -209,7 +210,7 @@ func RunCooperation(vcs int, opt TableOptions) (*CoopTable, error) {
 	readings := make([]PortReading, len(jobs))
 	if err := opt.pool().Run(len(jobs), func(i int) error {
 		j := jobs[i]
-		res, err := opt.runSynthetic(j.cores, vcs, j.rate, j.policy,
+		res, err := opt.runSynthetic(j.cores, vcs, j.rate, PolicySpec{Name: j.policy},
 			[]PortProbe{probe}, nil)
 		if err != nil {
 			return err

@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"nbtinoc/internal/cache"
+	"nbtinoc/internal/core"
+	"nbtinoc/internal/nbti"
+	"nbtinoc/internal/noc"
+	"nbtinoc/internal/pv"
+	"nbtinoc/internal/sensor"
+	"nbtinoc/internal/traffic"
+)
+
+// EngineVersion fingerprints the simulator's observable behaviour and
+// is baked into every cache key, so a behavioural change invalidates
+// the whole result cache by construction. Bump it whenever the golden
+// fixtures under cmd/tables/testdata change — the coupling test
+// TestEngineVersionPinsGoldens fails on a fixture change without a
+// bump, and on a bump without refreshed pins.
+const EngineVersion = "nbtinoc-engine-1"
+
+// PolicySpec is the declarative form of a recovery-policy choice: a
+// registry name, or a parameterised rr-no-sensor rotation period (the
+// one driver, RunRRPeriodStudy, that installs a custom factory).
+type PolicySpec struct {
+	// Name selects from the core registry; empty plus zero RRPeriod
+	// means the always-on baseline.
+	Name string `json:"name,omitempty"`
+	// RRPeriod, when non-zero, overrides Name with an rr-no-sensor
+	// policy rotating every RRPeriod cycles.
+	RRPeriod uint64 `json:"rr_period,omitempty"`
+}
+
+// GenSpec is the declarative form of a traffic generator: everything
+// needed to rebuild it, and nothing that cannot be serialised. Kind is
+// "synthetic", "app" or "req-resp", mirroring Scenario workloads.
+type GenSpec struct {
+	Kind    string  `json:"kind"`
+	Pattern string  `json:"pattern,omitempty"`
+	Width   int     `json:"width"`
+	Height  int     `json:"height"`
+	Rate    float64 `json:"rate,omitempty"`
+	// PacketLen is the synthetic packet length in flits.
+	PacketLen int `json:"packet_len,omitempty"`
+	// VNet is the vnet synthetic packets are injected into.
+	VNet int `json:"vnet,omitempty"`
+	// HotspotNode / HotspotFraction parameterise the hotspot pattern.
+	HotspotNode     int     `json:"hotspot_node,omitempty"`
+	HotspotFraction float64 `json:"hotspot_fraction,omitempty"`
+	Seed            uint64  `json:"seed"`
+}
+
+// Build materialises the generator.
+func (g GenSpec) Build() (traffic.Generator, error) {
+	switch g.Kind {
+	case "app":
+		return traffic.NewRandomAppMix(g.Width, g.Height, g.VNet, g.Seed)
+	case "req-resp":
+		cfg := traffic.DefaultReqResp(g.Width, g.Height, g.Rate, g.Seed)
+		return traffic.NewReqResp(cfg)
+	case "synthetic":
+		pat, err := traffic.ParsePattern(g.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.NewSynthetic(traffic.SyntheticConfig{
+			Pattern:         pat,
+			Width:           g.Width,
+			Height:          g.Height,
+			Rate:            g.Rate,
+			PacketLen:       g.PacketLen,
+			VNet:            g.VNet,
+			Seed:            g.Seed,
+			HotspotNode:     noc.NodeID(g.HotspotNode),
+			HotspotFraction: g.HotspotFraction,
+		})
+	default:
+		return nil, fmt.Errorf("sim: unknown generator kind %q", g.Kind)
+	}
+}
+
+// Spec is a fully declarative simulation request: the unit of result
+// caching. Everything that influences the outcome is a field here (or
+// in the nested serialisable structs), which is what makes the content
+// address exact.
+type Spec struct {
+	// Net is the network configuration. Its Policy factory field does
+	// not participate in the cache key; specs carrying one bypass the
+	// cache (see Runner.Run).
+	Net     noc.Config
+	Policy  PolicySpec
+	Gen     GenSpec
+	Warmup  uint64
+	Measure uint64
+	Probes  []PortProbe
+}
+
+// Compute runs the spec and returns its summary, never consulting any
+// cache.
+func (s Spec) Compute() (*RunSummary, error) {
+	rc := RunConfig{Net: s.Net, Warmup: s.Warmup, Measure: s.Measure}
+	if s.Policy.RRPeriod > 0 {
+		period := s.Policy.RRPeriod
+		rc.Net.Policy = func() noc.Policy { return &core.RRNoSensor{RotatePeriod: period} }
+	} else {
+		rc.PolicyName = s.Policy.Name
+	}
+	gen, err := s.Gen.Build()
+	if err != nil {
+		return nil, err
+	}
+	rc.Gen = gen
+	res, err := Run(rc, s.Probes)
+	if err != nil {
+		return nil, err
+	}
+	return res.Summary(), nil
+}
+
+// configKey mirrors noc.Config field-for-field, minus the Policy
+// factory (funcs have no canonical encoding; the policy enters the key
+// through PolicySpec instead). TestConfigKeyMirrorsConfig enforces the
+// mirror with reflection, so a new Config field cannot silently stay
+// out of the cache key and alias distinct scenarios.
+type configKey struct {
+	Width            int
+	Height           int
+	VNets            int
+	VCsPerVNet       int
+	BufferDepth      int
+	FlitWidthBits    int
+	LinkLatency      int
+	PhitsPerFlit     int
+	Routing          noc.RoutingAlgorithm
+	EjectRate        int
+	EjectBufferDepth int
+	GateEjection     bool
+	WakeupLatency    int
+	NBTI             nbti.Params
+	PV               pv.Distribution
+	PVSeed           uint64
+	Sensor           sensor.Config
+	SensorSeed       uint64
+}
+
+func configKeyOf(c noc.Config) configKey {
+	return configKey{
+		Width:            c.Width,
+		Height:           c.Height,
+		VNets:            c.VNets,
+		VCsPerVNet:       c.VCsPerVNet,
+		BufferDepth:      c.BufferDepth,
+		FlitWidthBits:    c.FlitWidthBits,
+		LinkLatency:      c.LinkLatency,
+		PhitsPerFlit:     c.PhitsPerFlit,
+		Routing:          c.Routing,
+		EjectRate:        c.EjectRate,
+		EjectBufferDepth: c.EjectBufferDepth,
+		GateEjection:     c.GateEjection,
+		WakeupLatency:    c.WakeupLatency,
+		NBTI:             c.NBTI,
+		PV:               c.PV,
+		PVSeed:           c.PVSeed,
+		Sensor:           c.Sensor,
+		SensorSeed:       c.SensorSeed,
+	}
+}
+
+// specKeyEnvelope is the canonical JSON shape hashed into a cache key.
+type specKeyEnvelope struct {
+	Engine  string      `json:"engine"`
+	Net     configKey   `json:"net"`
+	Policy  PolicySpec  `json:"policy"`
+	Gen     GenSpec     `json:"gen"`
+	Warmup  uint64      `json:"warmup"`
+	Measure uint64      `json:"measure"`
+	Probes  []PortProbe `json:"probes"`
+}
+
+// specKeyFor derives the content address of a spec under an explicit
+// engine fingerprint (split out so invalidation tests can vary it).
+func specKeyFor(engine string, s Spec) (string, error) {
+	return cache.KeyOf(specKeyEnvelope{
+		Engine:  engine,
+		Net:     configKeyOf(s.Net),
+		Policy:  s.Policy,
+		Gen:     s.Gen,
+		Warmup:  s.Warmup,
+		Measure: s.Measure,
+		Probes:  s.Probes,
+	})
+}
+
+// SpecKey returns the content address of a spec under the current
+// engine version.
+func SpecKey(s Spec) (string, error) { return specKeyFor(EngineVersion, s) }
+
+// Runner executes Specs, memoizing through a Store when one is
+// attached. A zero Runner always computes.
+type Runner struct {
+	Store *cache.Store
+}
+
+// Run returns the spec's summary, from the cache when possible.
+// Specs carrying a raw Policy factory on the Config are executed
+// directly — a func cannot participate in the content address, and
+// serving another factory's result would be silently wrong.
+func (r Runner) Run(spec Spec) (*RunSummary, error) {
+	if r.Store.Mode() == cache.Off || spec.Net.Policy != nil {
+		return spec.Compute()
+	}
+	key, err := SpecKey(spec)
+	if err != nil {
+		return spec.Compute()
+	}
+	var sum RunSummary
+	if _, err := r.Store.Do(key,
+		func(data []byte) error { return json.Unmarshal(data, &sum) },
+		func() ([]byte, error) {
+			s, err := spec.Compute()
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(s)
+		},
+	); err != nil {
+		return nil, err
+	}
+	return &sum, nil
+}

@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+
+	"nbtinoc/internal/cache"
+	"nbtinoc/internal/core"
+	"nbtinoc/internal/noc"
+)
+
+// quickSpec is a small, fully declarative scenario used by the cache
+// tests: 2x2 mesh, short windows, a single probe.
+func quickSpec() Spec {
+	cfg := noc.DefaultConfig()
+	cfg.Width, cfg.Height = 2, 2
+	cfg.VCsPerVNet = 2
+	return Spec{
+		Net:     cfg,
+		Policy:  PolicySpec{Name: "sensor-wise"},
+		Gen:     GenSpec{Kind: "synthetic", Pattern: "uniform", Width: 2, Height: 2, Rate: 0.1, PacketLen: 4, Seed: 7},
+		Warmup:  500,
+		Measure: 5_000,
+		Probes:  []PortProbe{{Node: 0, Port: noc.East}},
+	}
+}
+
+func mustKey(t *testing.T, s Spec) string {
+	t.Helper()
+	k, err := SpecKey(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestSpecKeyStableAndComponentSensitive(t *testing.T) {
+	base := mustKey(t, quickSpec())
+	if again := mustKey(t, quickSpec()); again != base {
+		t.Fatalf("identical specs keyed differently: %s vs %s", base, again)
+	}
+
+	// Mutating any single key component must change the content address.
+	mutations := map[string]func(*Spec){
+		"traffic seed":    func(s *Spec) { s.Gen.Seed++ },
+		"policy name":     func(s *Spec) { s.Policy.Name = "rr-no-sensor" },
+		"rr period":       func(s *Spec) { s.Policy = PolicySpec{RRPeriod: 4096} },
+		"buffer depth":    func(s *Spec) { s.Net.BufferDepth++ },
+		"pv seed":         func(s *Spec) { s.Net.PVSeed++ },
+		"routing":         func(s *Spec) { s.Net.Routing = noc.RouteYX },
+		"warmup":          func(s *Spec) { s.Warmup++ },
+		"measure":         func(s *Spec) { s.Measure++ },
+		"injection rate":  func(s *Spec) { s.Gen.Rate = 0.2 },
+		"traffic pattern": func(s *Spec) { s.Gen.Pattern = "transpose" },
+		"probe set":       func(s *Spec) { s.Probes = append(s.Probes, PortProbe{Node: 1, Port: noc.West}) },
+		"probe vnet":      func(s *Spec) { s.Probes[0].VNet = 1 },
+	}
+	seen := map[string]string{base: "base"}
+	for name, mutate := range mutations {
+		s := quickSpec()
+		mutate(&s)
+		k := mustKey(t, s)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutation %q collides with %q", name, prev)
+		}
+		seen[k] = name
+	}
+
+	// The engine fingerprint is a key component like any other.
+	other, err := specKeyFor("some-other-engine", quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == base {
+		t.Error("engine fingerprint does not affect the key")
+	}
+	if pinned, err := specKeyFor(EngineVersion, quickSpec()); err != nil || pinned != base {
+		t.Errorf("SpecKey does not use EngineVersion: %s vs %s (%v)", pinned, base, err)
+	}
+}
+
+// TestConfigKeyMirrorsConfig enforces, by reflection, that configKey
+// carries every noc.Config field except the Policy factory — so adding
+// a Config field without extending the cache key is a test failure, not
+// a silent cache-aliasing bug.
+func TestConfigKeyMirrorsConfig(t *testing.T) {
+	ct := reflect.TypeOf(noc.Config{})
+	kt := reflect.TypeOf(configKey{})
+
+	excluded := 0
+	for i := 0; i < ct.NumField(); i++ {
+		f := ct.Field(i)
+		if f.Type.Kind() == reflect.Func {
+			if f.Name != "Policy" {
+				t.Errorf("unexpected func field noc.Config.%s — decide how it enters the cache key", f.Name)
+			}
+			excluded++
+			continue
+		}
+		kf, ok := kt.FieldByName(f.Name)
+		if !ok {
+			t.Errorf("noc.Config.%s missing from configKey — new fields must join the cache key", f.Name)
+			continue
+		}
+		if kf.Type != f.Type {
+			t.Errorf("configKey.%s has type %v, Config has %v", f.Name, kf.Type, f.Type)
+		}
+	}
+	if want := ct.NumField() - excluded; kt.NumField() != want {
+		t.Errorf("configKey has %d fields, want %d (Config minus Policy)", kt.NumField(), want)
+	}
+
+	// configKeyOf must copy every mirrored field, not leave zero values.
+	cfg := noc.DefaultConfig()
+	cfg.Width, cfg.Height = 2, 2
+	key := configKeyOf(cfg)
+	kv := reflect.ValueOf(key)
+	cv := reflect.ValueOf(cfg)
+	for i := 0; i < kt.NumField(); i++ {
+		name := kt.Field(i).Name
+		got := kv.Field(i).Interface()
+		want := cv.FieldByName(name).Interface()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("configKeyOf dropped %s: got %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestRunnerExactness checks the cache serves byte-identical summaries:
+// direct compute, cold-store compute, and warm-store hit must all
+// serialize to the same JSON.
+func TestRunnerExactness(t *testing.T) {
+	spec := quickSpec()
+	direct, err := spec.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	directJSON, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	cold := Runner{Store: cache.Open(dir, cache.ReadWrite)}
+	got, err := cold.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := json.Marshal(got); !bytes.Equal(j, directJSON) {
+		t.Errorf("cold cache summary differs from direct compute:\n%s\n%s", j, directJSON)
+	}
+	if st := cold.Store.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Errorf("cold stats = %+v", st)
+	}
+
+	// A fresh store over the same directory must hit and round-trip the
+	// exact bytes.
+	warm := Runner{Store: cache.Open(dir, cache.ReadOnly)}
+	got, err = warm.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := json.Marshal(got); !bytes.Equal(j, directJSON) {
+		t.Errorf("warm cache summary differs from direct compute:\n%s\n%s", j, directJSON)
+	}
+	if st := warm.Store.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("warm stats = %+v", st)
+	}
+}
+
+// TestRunnerSingleFlightUnderPool drives N pool workers at one spec:
+// exactly one compute, everyone gets the same summary.
+func TestRunnerSingleFlightUnderPool(t *testing.T) {
+	spec := quickSpec()
+	runner := Runner{Store: cache.Open(t.TempDir(), cache.ReadWrite)}
+
+	const workers = 8
+	results := make([]*RunSummary, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sum, err := runner.Run(spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[w] = sum
+		}(w)
+	}
+	wg.Wait()
+
+	st := runner.Store.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want exactly one compute across %d workers (%+v)", st.Misses, workers, st)
+	}
+	if st.Hits+st.Deduped != workers-1 {
+		t.Errorf("hits+deduped = %d, want %d (%+v)", st.Hits+st.Deduped, workers-1, st)
+	}
+	want, _ := json.Marshal(results[0])
+	for w := 1; w < workers; w++ {
+		if got, _ := json.Marshal(results[w]); !bytes.Equal(got, want) {
+			t.Errorf("worker %d summary differs", w)
+		}
+	}
+}
+
+// TestRunnerBypassesCacheForPolicyFactories: a raw func factory cannot
+// participate in a content address, so such specs must compute directly
+// and never touch the store.
+func TestRunnerBypassesCacheForPolicyFactories(t *testing.T) {
+	spec := quickSpec()
+	spec.Policy = PolicySpec{}
+	spec.Net.Policy = func() noc.Policy { return &core.RRNoSensor{RotatePeriod: 512} }
+
+	runner := Runner{Store: cache.Open(t.TempDir(), cache.ReadWrite)}
+	for i := 0; i < 2; i++ {
+		if _, err := runner.Run(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := runner.Store.Stats(); st != (cache.Stats{}) {
+		t.Errorf("factory-carrying spec touched the cache: %+v", st)
+	}
+}
+
+// TestRRPeriodSpecMatchesFactory: the declarative RRPeriod form must
+// behave exactly like the hand-installed factory it replaces.
+func TestRRPeriodSpecMatchesFactory(t *testing.T) {
+	declarative := quickSpec()
+	declarative.Policy = PolicySpec{RRPeriod: 1024}
+
+	manual := quickSpec()
+	manual.Policy = PolicySpec{}
+	manual.Net.Policy = func() noc.Policy { return &core.RRNoSensor{RotatePeriod: 1024} }
+
+	a, err := declarative.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := manual.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("RRPeriod spec diverges from manual factory:\n%s\n%s", ja, jb)
+	}
+}
+
+// TestSyntheticTableCacheTransparent: the paper-table driver must render
+// byte-identical output without a cache, with a cold cache, and with a
+// warm cache.
+func TestSyntheticTableCacheTransparent(t *testing.T) {
+	render := func(opt TableOptions) string {
+		t.Helper()
+		tbl, err := RunSyntheticTable(2, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl.Render()
+	}
+
+	plain := render(shortTableOptions())
+
+	dir := t.TempDir()
+	coldOpt := shortTableOptions()
+	coldOpt.Cache = cache.Open(dir, cache.ReadWrite)
+	if cold := render(coldOpt); cold != plain {
+		t.Errorf("cold-cache render differs from uncached:\n--- uncached\n%s\n--- cold\n%s", plain, cold)
+	}
+	if st := coldOpt.Cache.Stats(); st.Misses == 0 || st.Hits != 0 {
+		t.Errorf("cold run stats = %+v", st)
+	}
+
+	warmOpt := shortTableOptions()
+	warmOpt.Cache = cache.Open(dir, cache.ReadWrite)
+	if warm := render(warmOpt); warm != plain {
+		t.Errorf("warm-cache render differs from uncached:\n--- uncached\n%s\n--- warm\n%s", plain, warm)
+	}
+	if st := warmOpt.Cache.Stats(); st.Misses != 0 || st.Hits == 0 {
+		t.Errorf("warm run recomputed: %+v", st)
+	}
+}
+
+// TestAllPortProbesMatchesLiveMesh checks the static enumeration against
+// the instantiated routers: same ports, same order as a live walk.
+func TestAllPortProbesMatchesLiveMesh(t *testing.T) {
+	for _, side := range []int{2, 4} {
+		cfg := noc.DefaultConfig()
+		cfg.Width, cfg.Height = side, side
+		net, err := noc.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var live []PortProbe
+		for n := 0; n < net.Nodes(); n++ {
+			r := net.Router(noc.NodeID(n))
+			for p := noc.Port(0); p < noc.NumPorts; p++ {
+				if r.Input(p) != nil {
+					live = append(live, PortProbe{Node: noc.NodeID(n), Port: p})
+				}
+			}
+		}
+		got := AllPortProbes(side, side)
+		if !reflect.DeepEqual(got, live) {
+			t.Errorf("%dx%d: AllPortProbes = %v, live walk = %v", side, side, got, live)
+		}
+	}
+}
+
+func TestRunSummaryJSONRoundTrip(t *testing.T) {
+	sum, err := quickSpec().Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Nodes != 4 || sum.TotalVCs == 0 || sum.Cycles == 0 {
+		t.Fatalf("summary not populated: %+v", sum)
+	}
+	data, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunSummary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*sum, back) {
+		t.Errorf("round trip changed the summary:\n%+v\n%+v", *sum, back)
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("re-encoding after round trip changed the bytes")
+	}
+}

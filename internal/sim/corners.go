@@ -61,7 +61,7 @@ func RunCorners(cores, vcs int, rate, budgetV float64,
 	probe := PortProbe{Node: 0, Port: noc.East}
 	alphas := make([]float64, len(CornerPolicies))
 	if err := opt.pool().Run(len(CornerPolicies), func(i int) error {
-		res, err := opt.runSynthetic(cores, vcs, rate, CornerPolicies[i],
+		res, err := opt.runSynthetic(cores, vcs, rate, PolicySpec{Name: CornerPolicies[i]},
 			[]PortProbe{probe}, nil)
 		if err != nil {
 			return err

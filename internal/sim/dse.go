@@ -64,7 +64,7 @@ func RunDSE(cores int, rate float64, vcsList, depths []int, opt TableOptions) (*
 	results := make([]outcome, len(jobs))
 	if err := opt.pool().Run(len(jobs), func(i int) error {
 		j := jobs[i]
-		res, err := opt.runSynthetic(cores, j.vcs, rate, j.policy,
+		res, err := opt.runSynthetic(cores, j.vcs, rate, PolicySpec{Name: j.policy},
 			[]PortProbe{probe}, func(cfg *noc.Config) { cfg.BufferDepth = j.depth })
 		if err != nil {
 			return err

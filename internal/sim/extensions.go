@@ -56,7 +56,7 @@ func RunPerfImpact(cores, vcs, wakeup int, rates []float64, opt TableOptions) (*
 	rows := make([]PerfRow, len(jobs))
 	if err := opt.pool().Run(len(jobs), func(i int) error {
 		j := jobs[i]
-		res, err := opt.runSynthetic(cores, vcs, j.rate, j.policy,
+		res, err := opt.runSynthetic(cores, vcs, j.rate, PolicySpec{Name: j.policy},
 			[]PortProbe{probe}, func(cfg *noc.Config) { cfg.WakeupLatency = wakeup })
 		if err != nil {
 			return err
@@ -122,16 +122,16 @@ func RunEnergy(cores, vcs int, rate float64, opt TableOptions) (*EnergyTable, er
 	rows := make([]EnergyRow, len(policies))
 	if err := opt.pool().Run(len(policies), func(i int) error {
 		policy := policies[i]
-		res, err := opt.runSynthetic(cores, vcs, rate, policy, nil, nil)
+		res, err := opt.runSynthetic(cores, vcs, rate, PolicySpec{Name: policy}, nil, nil)
 		if err != nil {
 			return err
 		}
 		sensors := 0
 		if strings.HasPrefix(policy, "sensor-wise") {
 			// One sensor per router input VC buffer.
-			sensors = res.Net.Nodes() * int(noc.NumPorts) * res.Net.Config().TotalVCs()
+			sensors = res.Nodes * int(noc.NumPorts) * res.TotalVCs
 		}
-		rep, err := power.Estimate(params, res.Net.Events(), sensors, opt.Measure)
+		rep, err := power.Estimate(params, res.Events, sensors, opt.Measure)
 		if err != nil {
 			return err
 		}

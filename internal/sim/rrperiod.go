@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"nbtinoc/internal/core"
 	"nbtinoc/internal/noc"
 )
 
@@ -44,11 +43,10 @@ func RunRRPeriodStudy(cores, vcs int, rate float64, periods []uint64, opt TableO
 	probe := PortProbe{Node: 0, Port: noc.East}
 	readings := make([]PortReading, len(periods))
 	if err := opt.pool().Run(len(periods), func(i int) error {
-		period := periods[i]
-		res, err := opt.runSynthetic(cores, vcs, rate, "", []PortProbe{probe},
-			func(cfg *noc.Config) {
-				cfg.Policy = func() noc.Policy { return &core.RRNoSensor{RotatePeriod: period} }
-			})
+		// The rotation period is declared through PolicySpec (not a raw
+		// factory mutation), so the sweep stays cacheable by content.
+		res, err := opt.runSynthetic(cores, vcs, rate,
+			PolicySpec{RRPeriod: periods[i]}, []PortProbe{probe}, nil)
 		if err != nil {
 			return err
 		}

@@ -110,28 +110,30 @@ func (s *Scenario) BuildConfig() (noc.Config, error) {
 	return cfg, nil
 }
 
-// BuildGenerator materialises the workload.
-func (s *Scenario) BuildGenerator() (traffic.Generator, error) {
+// GenSpec returns the declarative workload description the scenario's
+// generator is built from — the piece of the cache key that replaces
+// the live generator.
+func (s *Scenario) GenSpec() (GenSpec, error) {
 	if err := s.Validate(); err != nil {
-		return nil, err
+		return GenSpec{}, err
 	}
 	side, err := MeshSide(s.Cores)
 	if err != nil {
-		return nil, err
+		return GenSpec{}, err
 	}
 	switch s.Workload {
 	case "app":
-		return traffic.NewRandomAppMix(side, side, 0, s.Seed)
+		return GenSpec{Kind: "app", Width: side, Height: side, Seed: s.Seed}, nil
 	case "req-resp":
-		cfg := traffic.DefaultReqResp(side, side, s.Rate, s.Seed)
-		return traffic.NewReqResp(cfg)
+		return GenSpec{Kind: "req-resp", Width: side, Height: side,
+			Rate: s.Rate, Seed: s.Seed}, nil
 	default:
-		pat, err := traffic.ParsePattern(s.Workload)
-		if err != nil {
-			return nil, err
+		if _, err := traffic.ParsePattern(s.Workload); err != nil {
+			return GenSpec{}, err
 		}
-		return traffic.NewSynthetic(traffic.SyntheticConfig{
-			Pattern:         pat,
+		return GenSpec{
+			Kind:            "synthetic",
+			Pattern:         s.Workload,
 			Width:           side,
 			Height:          side,
 			Rate:            s.Rate,
@@ -139,11 +141,44 @@ func (s *Scenario) BuildGenerator() (traffic.Generator, error) {
 			Seed:            s.Seed,
 			HotspotNode:     0,
 			HotspotFraction: 0.3,
-		})
+		}, nil
 	}
 }
 
-// Execute runs the scenario against the given probes.
+// BuildGenerator materialises the workload.
+func (s *Scenario) BuildGenerator() (traffic.Generator, error) {
+	gs, err := s.GenSpec()
+	if err != nil {
+		return nil, err
+	}
+	return gs.Build()
+}
+
+// Spec returns the scenario as a declarative, cacheable simulation
+// request against the given probes.
+func (s *Scenario) Spec(probes []PortProbe) (Spec, error) {
+	cfg, err := s.BuildConfig()
+	if err != nil {
+		return Spec{}, err
+	}
+	gs, err := s.GenSpec()
+	if err != nil {
+		return Spec{}, err
+	}
+	return Spec{
+		Net:     cfg,
+		Policy:  PolicySpec{Name: s.Policy},
+		Gen:     gs,
+		Warmup:  s.Warmup,
+		Measure: s.Measure,
+		Probes:  probes,
+	}, nil
+}
+
+// Execute runs the scenario against the given probes, returning the
+// live network for callers that inspect more than the summary (traces,
+// heatmaps, aging snapshots). Cacheable paths go through Spec and a
+// Runner instead.
 func (s *Scenario) Execute(probes []PortProbe) (*RunResult, error) {
 	cfg, err := s.BuildConfig()
 	if err != nil {

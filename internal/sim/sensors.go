@@ -87,7 +87,7 @@ func RunSensorStudy(cores, vcs int, rate float64, opt TableOptions) (*SensorTabl
 				cfg.Sensor = v.Cfg
 			}
 		}
-		res, err := opt.runSynthetic(cores, vcs, rate, policy,
+		res, err := opt.runSynthetic(cores, vcs, rate, PolicySpec{Name: policy},
 			[]PortProbe{probe}, mutate)
 		if err != nil {
 			return err

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"nbtinoc/internal/cache"
 	"nbtinoc/internal/noc"
-	"nbtinoc/internal/traffic"
 )
 
 // SyntheticPolicies are the three policy columns of Tables II and III.
@@ -35,6 +35,10 @@ type TableOptions struct {
 	// setting — each scenario derives its seeds deterministically and
 	// owns its network, so no state is shared across workers.
 	Parallelism int
+	// Cache, when non-nil, memoizes scenario results by content
+	// address. Determinism makes the memoization exact, so tables are
+	// byte-identical with and without it.
+	Cache *cache.Store
 }
 
 // DefaultTableOptions mirrors the paper's sweep at a laptop-scale
@@ -62,17 +66,20 @@ func (o TableOptions) apply(cfg *noc.Config) {
 // pool returns the scheduler configured by the Parallelism knob.
 func (o TableOptions) pool() Pool { return Pool{Workers: o.Parallelism} }
 
+// runner returns the executor configured by the Cache knob.
+func (o TableOptions) runner() Runner { return Runner{Store: o.Cache} }
+
 // runSynthetic executes one simulation of the common synthetic scenario
 // shape shared by the table and sweep drivers: uniform traffic on a
 // square mesh, with the PV and traffic seeds derived deterministically
 // from (SeedBase, cores, rate) so every policy evaluated on a scenario
 // sees the same silicon and the same offered load. mutate, when
 // non-nil, adjusts the config after the common knobs are applied
-// (extra seeds, buffer depth, wake-up latency, a custom policy, ...).
-// Each call builds its own network and generator, so concurrent calls
-// never share mutable state.
-func (o TableOptions) runSynthetic(cores, vcs int, rate float64, policy string,
-	probes []PortProbe, mutate func(*noc.Config)) (*RunResult, error) {
+// (extra seeds, buffer depth, wake-up latency, ...). Each call builds
+// its own network and generator, so concurrent calls never share
+// mutable state.
+func (o TableOptions) runSynthetic(cores, vcs int, rate float64, policy PolicySpec,
+	probes []PortProbe, mutate func(*noc.Config)) (*RunSummary, error) {
 	side, err := MeshSide(cores)
 	if err != nil {
 		return nil, err
@@ -86,24 +93,22 @@ func (o TableOptions) runSynthetic(cores, vcs int, rate float64, policy string,
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
-		Pattern:   traffic.Uniform,
-		Width:     side,
-		Height:    side,
-		Rate:      rate,
-		PacketLen: o.PacketLen,
-		Seed:      scenarioSeed(o.SeedBase, cores, rate, 13),
+	return o.runner().Run(Spec{
+		Net:    cfg,
+		Policy: policy,
+		Gen: GenSpec{
+			Kind:      "synthetic",
+			Pattern:   "uniform",
+			Width:     side,
+			Height:    side,
+			Rate:      rate,
+			PacketLen: o.PacketLen,
+			Seed:      scenarioSeed(o.SeedBase, cores, rate, 13),
+		},
+		Warmup:  o.Warmup,
+		Measure: o.Measure,
+		Probes:  probes,
 	})
-	if err != nil {
-		return nil, err
-	}
-	return Run(RunConfig{
-		Net:        cfg,
-		PolicyName: policy,
-		Warmup:     o.Warmup,
-		Measure:    o.Measure,
-		Gen:        gen,
-	}, probes)
 }
 
 // SyntheticRow is one scenario row of Table II/III.
@@ -157,7 +162,7 @@ func RunSyntheticTable(vcs int, opt TableOptions) (*SyntheticTable, error) {
 	readings := make([]PortReading, len(jobs))
 	if err := opt.pool().Run(len(jobs), func(i int) error {
 		j := jobs[i]
-		res, err := opt.runSynthetic(j.cores, vcs, j.rate, j.policy,
+		res, err := opt.runSynthetic(j.cores, vcs, j.rate, PolicySpec{Name: j.policy},
 			[]PortProbe{probe}, nil)
 		if err != nil {
 			return err
@@ -234,6 +239,8 @@ type RealOptions struct {
 	// TableOptions.Parallelism): 0 = one worker per core, 1 = the
 	// legacy sequential path. Output is identical for every setting.
 	Parallelism int
+	// Cache memoizes scenario results (see TableOptions.Cache).
+	Cache *cache.Store
 }
 
 // DefaultRealOptions mirrors the paper's methodology at reduced length.
@@ -334,6 +341,7 @@ func RunRealTable(opt RealOptions) (*RealTable, error) {
 	}
 	ports := make([][]PortReading, len(jobs))
 	pool := Pool{Workers: opt.Parallelism}
+	runner := Runner{Store: opt.Cache}
 	if err := pool.Run(len(jobs), func(i int) error {
 		j := jobs[i]
 		side, err := MeshSide(j.cores)
@@ -348,18 +356,19 @@ func RunRealTable(opt RealOptions) (*RealTable, error) {
 		if opt.Phits > 0 {
 			cfg.PhitsPerFlit = opt.Phits
 		}
-		gen, err := traffic.NewRandomAppMix(side, side, 0,
-			scenarioSeed(opt.SeedBase, j.cores, float64(j.it), 23))
-		if err != nil {
-			return err
-		}
-		res, err := Run(RunConfig{
-			Net:        cfg,
-			PolicyName: j.policy,
-			Warmup:     opt.Warmup,
-			Measure:    opt.Measure,
-			Gen:        gen,
-		}, j.probes)
+		res, err := runner.Run(Spec{
+			Net:    cfg,
+			Policy: PolicySpec{Name: j.policy},
+			Gen: GenSpec{
+				Kind:   "app",
+				Width:  side,
+				Height: side,
+				Seed:   scenarioSeed(opt.SeedBase, j.cores, float64(j.it), 23),
+			},
+			Warmup:  opt.Warmup,
+			Measure: opt.Measure,
+			Probes:  j.probes,
+		})
 		if err != nil {
 			return err
 		}
