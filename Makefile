@@ -8,8 +8,12 @@ BENCHTIME ?= 1x
 # (benchjson's own default is 25%, but run-to-run swings on small
 # containers reach ±30% even for second-long benchmarks).
 SEC_TOL ?= 40
+# COVER_MIN is the minimum acceptable total statement coverage (percent)
+# for `make cover`; 0 disables the gate. CI pins a floor below the
+# current total so coverage can only erode deliberately.
+COVER_MIN ?= 0
 
-.PHONY: all build test test-race test-debug vet lint bench bench-check tables tables-quick examples fuzz cover clean
+.PHONY: all build test test-race test-debug vet lint bench bench-check tables tables-quick examples fuzz cover clean clean-cache
 
 all: build vet lint test test-race
 
@@ -71,8 +75,18 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadTrace -fuzztime=30s ./internal/traffic
 
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/... && $(GO) tool cover -func=cover.out | tail -1
+	$(GO) test -coverprofile=cover.out ./internal/...
+	@$(GO) tool cover -func=cover.out | tail -1
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{gsub(/%/, "", $$NF); print $$NF}'); \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { \
+		if (t + 0 < min + 0) { printf "cover: total %.1f%% is below COVER_MIN=%s%%\n", t, min; exit 1 } \
+		if (min + 0 > 0) printf "cover: total %.1f%% meets COVER_MIN=%s%%\n", t, min }'
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt cold.txt warm.txt /tmp/bench_check.json
 	rm -rf bin
+
+# The result cache survives a plain `clean` so local stores persist;
+# clean-cache drops the repo-local store explicitly.
+clean-cache:
+	rm -rf .nbticache

@@ -25,7 +25,9 @@ import (
 
 	"nbtinoc/internal/cache"
 	"nbtinoc/internal/core"
+	"nbtinoc/internal/metrics"
 	"nbtinoc/internal/noc"
+	"nbtinoc/internal/prof"
 	"nbtinoc/internal/sim"
 )
 
@@ -43,8 +45,10 @@ type portResult struct {
 	a, b float64 // MD-VC duty under policy A and B
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	var metFlags metrics.CLIFlags
+	metFlags.Register(fs)
 	var (
 		polA     = fs.String("a", "rr-no-sensor", "first policy: "+strings.Join(core.Names(), ", "))
 		polB     = fs.String("b", "sensor-wise", "second policy")
@@ -67,6 +71,19 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Setup must precede openCache and the two runs: instruments are
+	// resolved at construction time against the then-current default.
+	finishMet, err := metFlags.Setup(false, prof.HTTPHandler(), func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "compare: "+format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if merr := finishMet(); merr != nil && err == nil {
+			err = merr
+		}
+	}()
 
 	store, err := openCache(*cacheMode, *cacheDir)
 	if err != nil {

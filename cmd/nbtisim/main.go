@@ -38,6 +38,7 @@ import (
 
 	"nbtinoc/internal/cache"
 	"nbtinoc/internal/core"
+	"nbtinoc/internal/metrics"
 	"nbtinoc/internal/noc"
 	"nbtinoc/internal/prof"
 	"nbtinoc/internal/sim"
@@ -57,6 +58,8 @@ func run(args []string, out io.Writer) (err error) {
 	// execution trace is exposed as -exectrace.
 	var profFlags prof.Flags
 	profFlags.Register(fs, "exectrace")
+	var metFlags metrics.CLIFlags
+	metFlags.Register(fs)
 	var (
 		cores    = fs.Int("cores", 16, "number of cores (square mesh)")
 		vcs      = fs.Int("vcs", 4, "virtual channels per vnet per input port")
@@ -100,6 +103,29 @@ func run(args []string, out io.Writer) (err error) {
 			err = perr
 		}
 	}()
+	// -v forces a registry so the progress line has counters to read.
+	// Setup must precede openCache and every scenario run: instruments
+	// are resolved at construction time against the then-current default.
+	finishMet, err := metFlags.Setup(*verbose, prof.HTTPHandler(), func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "nbtisim: "+format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if merr := finishMet(); merr != nil && err == nil {
+			err = merr
+		}
+	}()
+	if *verbose {
+		stop := startProgress("nbtisim", &metrics.Progress{
+			R:         metrics.Default(),
+			Cycles:    noc.MetricCycles,
+			JobsDone:  sim.MetricJobsDone,
+			JobsTotal: sim.MetricJobsTotal,
+		})
+		defer stop()
+	}
 
 	var scens []*sim.Scenario
 	if *cfgPath != "" {
@@ -264,6 +290,32 @@ func run(args []string, out io.Writer) (err error) {
 		fmt.Fprintf(os.Stderr, "nbtisim: cache: %s\n", store.Stats())
 	}
 	return nil
+}
+
+// startProgress prints p to stderr every 2 seconds until the returned
+// stop function runs. The wall clock stays confined to package main —
+// metrics.Progress only receives injected timestamps.
+func startProgress(prog string, p *metrics.Progress) func() {
+	//nbtilint:allow wallclock display-only: progress timestamps pace a stderr status line and never feed simulator state or outputs
+	p.Start(time.Now().UnixNano())
+	//nbtilint:allow wallclock display-only: the ticker paces the stderr progress line only
+	tick := time.NewTicker(2 * time.Second)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				//nbtilint:allow wallclock display-only: rate-window timestamp for the stderr progress line only
+				fmt.Fprintf(os.Stderr, "%s: %s\n", prog, p.Line(time.Now().UnixNano()))
+			}
+		}
+	}()
+	return func() {
+		tick.Stop()
+		close(done)
+	}
 }
 
 // openCache builds the result store selected by the -cache/-cache-dir

@@ -39,10 +39,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"nbtinoc/internal/area"
 	"nbtinoc/internal/cache"
+	"nbtinoc/internal/metrics"
+	"nbtinoc/internal/noc"
 	"nbtinoc/internal/prof"
 	"nbtinoc/internal/sim"
 )
@@ -58,6 +61,8 @@ func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
 	var profFlags prof.Flags
 	profFlags.Register(fs, "trace")
+	var metFlags metrics.CLIFlags
+	metFlags.Register(fs)
 	var (
 		table   = fs.String("table", "all", "table to regenerate: 1, 2, 3, 4, area, vth, coop, perf, power, sensors, corners, dse, rr, all")
 		warmup  = fs.Uint64("warmup", 20_000, "warm-up cycles")
@@ -93,6 +98,34 @@ func run(args []string, out io.Writer) (err error) {
 			err = perr
 		}
 	}()
+	// -v forces a registry so the progress line has counters to read.
+	// Setup must precede openCache and every table run: instruments are
+	// resolved at construction time against the then-current default.
+	finishMet, err := metFlags.Setup(*verbose, prof.HTTPHandler(), func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tables: "+format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if merr := finishMet(); merr != nil && err == nil {
+			err = merr
+		}
+	}()
+	// phase names the table currently regenerating, for the -v progress
+	// line served alongside cycles/sec and job completion.
+	var phase atomic.Value
+	phase.Store("")
+	if *verbose {
+		stop := startProgress("tables", &metrics.Progress{
+			R:         metrics.Default(),
+			Cycles:    noc.MetricCycles,
+			JobsDone:  sim.MetricJobsDone,
+			JobsTotal: sim.MetricJobsTotal,
+			Phase:     func() string { s, _ := phase.Load().(string); return s },
+		})
+		defer stop()
+	}
 	if *quick {
 		*warmup, *measure, *iters = 2_000, 20_000, 3
 	}
@@ -199,6 +232,7 @@ func run(args []string, out io.Writer) (err error) {
 			continue
 		}
 		ran = true
+		phase.Store("table " + s.id)
 		fmt.Fprintln(out, s.title)
 		before := store.Stats()
 		//nbtilint:allow wallclock display-only: wall time per table is printed for the operator and never feeds simulator state or table contents
@@ -222,6 +256,32 @@ func run(args []string, out io.Writer) (err error) {
 		fmt.Fprintf(os.Stderr, "tables: cache: %s\n", store.Stats())
 	}
 	return nil
+}
+
+// startProgress prints p to stderr every 2 seconds until the returned
+// stop function runs. The wall clock stays confined to package main —
+// metrics.Progress only receives injected timestamps.
+func startProgress(prog string, p *metrics.Progress) func() {
+	//nbtilint:allow wallclock display-only: progress timestamps pace a stderr status line and never feed simulator state or outputs
+	p.Start(time.Now().UnixNano())
+	//nbtilint:allow wallclock display-only: the ticker paces the stderr progress line only
+	tick := time.NewTicker(2 * time.Second)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				//nbtilint:allow wallclock display-only: rate-window timestamp for the stderr progress line only
+				fmt.Fprintf(os.Stderr, "%s: %s\n", prog, p.Line(time.Now().UnixNano()))
+			}
+		}
+	}()
+	return func() {
+		tick.Stop()
+		close(done)
+	}
 }
 
 // openCache builds the result store selected by the -cache/-cache-dir

@@ -146,6 +146,9 @@ type Store struct {
 	mu      sync.Mutex
 	flights map[string]*flight
 	stats   Stats
+	// met mirrors the Stats counters into the process metrics registry;
+	// zero (all-nil handles) when instrumentation is disabled.
+	met storeMetrics
 }
 
 // flight is one in-progress Do leader; followers block on done and
@@ -161,7 +164,7 @@ type flight struct {
 // Open returns a store rooted at dir. The directory is created lazily
 // on first write.
 func Open(dir string, mode Mode) *Store {
-	return &Store{dir: dir, mode: mode, flights: make(map[string]*flight)}
+	return &Store{dir: dir, mode: mode, flights: make(map[string]*flight), met: newStoreMetrics()}
 }
 
 // Dir returns the store's root directory.
@@ -227,6 +230,8 @@ func (s *Store) Do(key string, decode func([]byte) error, compute func() ([]byte
 		s.stats.Deduped++
 		s.stats.TimeSavedNS += f.saved
 		s.mu.Unlock()
+		s.met.deduped.Inc()
+		s.met.timeSavedNS.Add(uint64(f.saved))
 		return f.hit, decode(f.data)
 	}
 	f := &flight{done: make(chan struct{})}
@@ -245,6 +250,7 @@ func (s *Store) Do(key string, decode func([]byte) error, compute func() ([]byte
 			// e.g. written by an incompatible build. Same treatment as
 			// a truncated file: recompute.
 			s.note(func(st *Stats) { st.Corrupt++ })
+			s.met.corrupt.Inc()
 			s.warnf("entry %s: decoding value: %v (recomputing)", key, err)
 		} else {
 			f.data, f.hit, f.saved = value, true, computeNS
@@ -253,6 +259,9 @@ func (s *Store) Do(key string, decode func([]byte) error, compute func() ([]byte
 				st.BytesRead += int64(len(value))
 				st.TimeSavedNS += computeNS
 			})
+			s.met.hits.Inc()
+			s.met.readBytes.Add(uint64(len(value)))
+			s.met.timeSavedNS.Add(uint64(computeNS))
 			return true, nil
 		}
 	}
@@ -272,11 +281,13 @@ func (s *Store) Do(key string, decode func([]byte) error, compute func() ([]byte
 	}
 	f.data, f.saved = data, computeNS
 	s.note(func(st *Stats) { st.Misses++ })
+	s.met.misses.Inc()
 	if s.mode == ReadWrite {
 		if err := s.persist(key, data, computeNS); err != nil {
 			s.warnf("writing entry %s: %v", key, err)
 		} else {
 			s.note(func(st *Stats) { st.BytesWritten += int64(len(data)) })
+			s.met.writtenBytes.Add(uint64(len(data)))
 		}
 	}
 	return false, decode(data)
@@ -290,6 +301,7 @@ func (s *Store) load(key string) (value []byte, computeNS int64, ok bool) {
 	if err != nil {
 		if !errors.Is(err, os.ErrNotExist) {
 			s.note(func(st *Stats) { st.Corrupt++ })
+			s.met.corrupt.Inc()
 			s.warnf("reading entry %s: %v (recomputing)", key, err)
 		}
 		return nil, 0, false
@@ -297,11 +309,13 @@ func (s *Store) load(key string) (value []byte, computeNS int64, ok bool) {
 	var e entry
 	if err := json.Unmarshal(data, &e); err != nil {
 		s.note(func(st *Stats) { st.Corrupt++ })
+		s.met.corrupt.Inc()
 		s.warnf("entry %s: corrupt envelope: %v (recomputing)", key, err)
 		return nil, 0, false
 	}
 	if e.Schema != entrySchema || e.Key != key || len(e.Value) == 0 {
 		s.note(func(st *Stats) { st.Corrupt++ })
+		s.met.corrupt.Inc()
 		s.warnf("entry %s: schema/key mismatch (recomputing)", key)
 		return nil, 0, false
 	}

@@ -1,0 +1,50 @@
+package cache
+
+import "nbtinoc/internal/metrics"
+
+// Exported instrument names mirroring Stats into the process registry.
+// The cmd/tables monitor acceptance test keys on the hit/miss series.
+const (
+	// MetricHits counts disk lookups served from the cache.
+	MetricHits = "cache_hits_total"
+	// MetricMisses counts disk lookups that fell through to compute.
+	MetricMisses = "cache_misses_total"
+	// MetricDeduped counts Do calls that joined an in-flight leader.
+	MetricDeduped = "cache_deduped_total"
+	// MetricCorrupt counts damaged entries treated as misses.
+	MetricCorrupt = "cache_corrupt_total"
+	// MetricReadBytes / MetricWrittenBytes are value payload volumes.
+	MetricReadBytes    = "cache_read_bytes_total"
+	MetricWrittenBytes = "cache_written_bytes_total"
+	// MetricTimeSavedNS accumulates the recorded compute duration of
+	// every hit and dedup, in nanoseconds.
+	MetricTimeSavedNS = "cache_time_saved_ns_total"
+)
+
+// storeMetrics are the per-store handles into the process registry,
+// resolved at Open; all nil when instrumentation is disabled. They
+// mirror the Stats counters — Stats stays the authoritative, printable
+// record; these feed the live monitor.
+type storeMetrics struct {
+	hits, misses, deduped, corrupt *metrics.Counter
+	readBytes, writtenBytes        *metrics.Counter
+	timeSavedNS                    *metrics.Counter
+}
+
+// newStoreMetrics resolves the cache instruments from the process
+// default registry.
+func newStoreMetrics() storeMetrics {
+	r := metrics.Default()
+	if r == nil {
+		return storeMetrics{}
+	}
+	return storeMetrics{
+		hits:         r.Counter(MetricHits, "Cache lookups served from disk."),
+		misses:       r.Counter(MetricMisses, "Cache lookups that fell through to compute."),
+		deduped:      r.Counter(MetricDeduped, "Lookups deduplicated onto an in-flight leader."),
+		corrupt:      r.Counter(MetricCorrupt, "Damaged cache entries treated as misses."),
+		readBytes:    r.Counter(MetricReadBytes, "Value bytes read from the cache."),
+		writtenBytes: r.Counter(MetricWrittenBytes, "Value bytes written to the cache."),
+		timeSavedNS:  r.Counter(MetricTimeSavedNS, "Recorded compute nanoseconds saved by hits and dedups."),
+	}
+}

@@ -10,9 +10,9 @@ func runtimeSum(a, b float64) float64 { return a + b }
 
 func TestAlmostEqual(t *testing.T) {
 	cases := []struct {
-		name string
+		name      string
 		a, b, tol float64
-		want bool
+		want      bool
 	}{
 		{"identical", 1.5, 1.5, 1e-12, true},
 		{"within-abs", 1e-12, 0, 1e-9, true},

@@ -11,14 +11,14 @@ import (
 )
 
 func flaggedV1() float64 {
-	n := randv1.Intn(10)      // want `math/rand\.Intn draws from the process-global random source`
-	randv1.Seed(42)           // want `math/rand\.Seed draws from the process-global random source`
+	n := randv1.Intn(10)                 // want `math/rand\.Intn draws from the process-global random source`
+	randv1.Seed(42)                      // want `math/rand\.Seed draws from the process-global random source`
 	randv1.Shuffle(n, func(i, j int) {}) // want `math/rand\.Shuffle draws from the process-global random source`
-	return randv1.Float64() // want `math/rand\.Float64 draws from the process-global random source`
+	return randv1.Float64()              // want `math/rand\.Float64 draws from the process-global random source`
 }
 
 func flaggedV2() uint64 {
-	_ = randv2.IntN(10) // want `math/rand/v2\.IntN draws from the process-global random source`
+	_ = randv2.IntN(10)    // want `math/rand/v2\.IntN draws from the process-global random source`
 	return randv2.Uint64() // want `math/rand/v2\.Uint64 draws from the process-global random source`
 }
 

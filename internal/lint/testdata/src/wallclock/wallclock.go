@@ -4,15 +4,15 @@
 package wallclock
 
 import (
-	clock "time"
 	"time"
+	clock "time"
 )
 
 func flagged() time.Duration {
-	start := time.Now() // want `time\.Now reads the wall clock`
-	time.Sleep(time.Millisecond)                // want `time\.Sleep reads the wall clock`
-	<-time.After(time.Millisecond)              // want `time\.After reads the wall clock`
-	t := time.NewTicker(time.Second)            // want `time\.NewTicker reads the wall clock`
+	start := time.Now()              // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)     // want `time\.Sleep reads the wall clock`
+	<-time.After(time.Millisecond)   // want `time\.After reads the wall clock`
+	t := time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
 	t.Stop()
 	return time.Since(start) // want `time\.Since reads the wall clock`
 }
@@ -36,6 +36,6 @@ func cleanAllowed() time.Time {
 }
 
 func cleanAllowedSameLine() time.Duration {
-	start := time.Now() //nbtilint:allow wallclock progress display for the operator only
+	start := time.Now()      //nbtilint:allow wallclock progress display for the operator only
 	return time.Since(start) //nbtilint:allow wallclock progress display for the operator only
 }

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"flag"
+	"net/http"
+	"os"
+)
+
+// CLIFlags is the observability flag surface shared by the run CLIs
+// (cmd/nbtisim, cmd/tables, cmd/compare), mirroring how prof.Flags
+// packages the profiling flags.
+type CLIFlags struct {
+	// Monitor is the -monitor listen address (empty = no monitor).
+	Monitor string
+	// Out is the -metrics-out path for the final JSON snapshot.
+	Out string
+}
+
+// Register adds -monitor and -metrics-out to fs.
+func (f *CLIFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Monitor, "monitor", "",
+		"serve a live run monitor (Prometheus /metrics, JSON snapshot, pprof) on this address, e.g. :9090")
+	fs.StringVar(&f.Out, "metrics-out", "",
+		"write the final metrics registry snapshot to this file as JSON")
+}
+
+// Setup enables instrumentation when any flag (or force, used for -v
+// progress reporting) asks for it: it installs a fresh default registry
+// — which must happen before any instrumented object is built, since
+// instruments are resolved at construction time — and starts the
+// monitor. debug is mounted under /debug/ (the CLIs pass
+// prof.HTTPHandler()); logf receives the monitor's bound address.
+//
+// The returned finish function stops the monitor and writes the
+// -metrics-out snapshot; call it exactly once, after the run.
+func (f *CLIFlags) Setup(force bool, debug http.Handler, logf func(format string, args ...any)) (func() error, error) {
+	if f.Monitor == "" && f.Out == "" && !force {
+		return func() error { return nil }, nil
+	}
+	reg := New()
+	SetDefault(reg)
+	var mon *Monitor
+	if f.Monitor != "" {
+		var err error
+		if mon, err = Serve(f.Monitor, reg, debug); err != nil {
+			return nil, err
+		}
+		if logf != nil {
+			logf("monitor listening on http://%s", mon.Addr())
+		}
+	}
+	out := f.Out
+	return func() error {
+		// Uninstall the registry so a host process (tests drive run()
+		// repeatedly in one binary) returns to the disabled state.
+		SetDefault(nil)
+		err := mon.Close()
+		if out != "" {
+			file, ferr := os.Create(out)
+			if ferr != nil {
+				return ferr
+			}
+			if werr := reg.WriteJSON(file); werr != nil {
+				file.Close()
+				return werr
+			}
+			if cerr := file.Close(); cerr != nil {
+				return cerr
+			}
+		}
+		return err
+	}, nil
+}

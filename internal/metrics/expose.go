@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of a registry, ordered by family
+// name and label values so that equal instrument states always encode
+// byte-identically (JSON field order follows struct declaration order).
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one instrument family.
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Help    string           `json:"help,omitempty"`
+	Kind    string           `json:"kind"`
+	Labels  []string         `json:"labels,omitempty"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// MetricSnapshot is one child of a family; exactly one of Counter,
+// Gauge and Histogram is set, matching the family kind.
+type MetricSnapshot struct {
+	LabelValues []string           `json:"label_values,omitempty"`
+	Counter     *uint64            `json:"counter,omitempty"`
+	Gauge       *int64             `json:"gauge,omitempty"`
+	Histogram   *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// HistogramSnapshot renders buckets cumulatively, Prometheus-style: the
+// count of bucket i includes every bucket below it.
+type HistogramSnapshot struct {
+	Count   uint64           `json:"count"`
+	Sum     uint64           `json:"sum"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket. The final bucket
+// has Inf set instead of an upper bound.
+type BucketSnapshot struct {
+	LE    uint64 `json:"le,omitempty"`
+	Inf   bool   `json:"inf,omitempty"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot captures the registry. Individual values are read with
+// atomic loads but the snapshot as a whole is not a consistent cut —
+// concurrent writers may land between families — which is the usual
+// (and here sufficient) monitoring contract. A nil registry yields the
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	for _, f := range r.sortedFamilies() {
+		fs := FamilySnapshot{
+			Name:   f.name,
+			Help:   f.help,
+			Kind:   f.kind.String(),
+			Labels: f.labels,
+		}
+		for _, c := range f.sortedChildren() {
+			m := MetricSnapshot{LabelValues: c.values}
+			switch f.kind {
+			case KindCounter:
+				v := c.counter.Value()
+				m.Counter = &v
+			case KindGauge:
+				v := c.gauge.Value()
+				m.Gauge = &v
+			case KindHistogram:
+				m.Histogram = c.hist.snapshot()
+			}
+			fs.Metrics = append(fs.Metrics, m)
+		}
+		s.Families = append(s.Families, fs)
+	}
+	return s
+}
+
+// snapshot reads one histogram into cumulative form.
+func (h *Histogram) snapshot() *HistogramSnapshot {
+	hs := &HistogramSnapshot{Sum: h.sum.Load()}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		b := BucketSnapshot{Count: cum}
+		if i < len(h.bounds) {
+			b.LE = h.bounds[i]
+		} else {
+			b.Inf = true
+		}
+		hs.Buckets = append(hs.Buckets, b)
+	}
+	hs.Count = cum
+	return hs
+}
+
+// WriteJSON writes the registry snapshot as indented JSON — the
+// -metrics-out format, designed for offline diffing of two runs.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers followed by one sample line
+// per child, histograms expanded into cumulative _bucket/_sum/_count
+// series. Output is byte-stable for a given instrument state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, fs := range r.Snapshot().Families {
+		if fs.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", fs.Name, escapeHelp(fs.Help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fs.Name, fs.Kind)
+		for _, m := range fs.Metrics {
+			switch {
+			case m.Counter != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", fs.Name, labelSet(fs.Labels, m.LabelValues, "", 0), *m.Counter)
+			case m.Gauge != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", fs.Name, labelSet(fs.Labels, m.LabelValues, "", 0), *m.Gauge)
+			case m.Histogram != nil:
+				for _, bk := range m.Histogram.Buckets {
+					le := "+Inf"
+					if !bk.Inf {
+						le = fmt.Sprintf("%d", bk.LE)
+					}
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", fs.Name, labelSetLE(fs.Labels, m.LabelValues, le), bk.Count)
+				}
+				fmt.Fprintf(&b, "%s_sum%s %d\n", fs.Name, labelSet(fs.Labels, m.LabelValues, "", 0), m.Histogram.Sum)
+				fmt.Fprintf(&b, "%s_count%s %d\n", fs.Name, labelSet(fs.Labels, m.LabelValues, "", 0), m.Histogram.Count)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// labelSet renders {k1="v1",k2="v2"} (empty string when unlabeled).
+// extraKV/extraUsed exist so labelSetLE can append le without slice
+// allocation gymnastics.
+func labelSet(names, values []string, extra string, extraUsed int) string {
+	if len(names) == 0 && extraUsed == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraUsed != 0 {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelSetLE renders the label set with a trailing le="..." pair.
+func labelSetLE(names, values []string, le string) string {
+	return labelSet(names, values, `le="`+escapeLabel(le)+`"`, 1)
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a help string per the text exposition format.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Monitor is a live observability endpoint for a running simulation:
+// an HTTP server exposing the registry as Prometheus text (/metrics)
+// and JSON (/metrics.json), plus whatever debug handler the caller
+// mounts (the CLIs pass prof.HTTPHandler for /debug/pprof/). It serves
+// until Close — typically the lifetime of the run.
+type Monitor struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (host:port; :0 picks a free port) and starts serving
+// r in the background. debug, when non-nil, receives every request
+// under /debug/.
+func Serve(addr string, r *Registry, debug http.Handler) (*Monitor, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: monitor listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	if debug != nil {
+		mux.Handle("/debug/", debug)
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "nbtinoc run monitor\n\n/metrics       Prometheus text exposition\n/metrics.json  JSON registry snapshot\n/debug/pprof/  live profiling (CPU, heap, goroutines, trace)\n")
+	})
+	m := &Monitor{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() {
+		// Serve returns ErrServerClosed (or a listener error) once the
+		// monitor closes; there is nobody left to tell by then.
+		_ = m.srv.Serve(ln)
+	}()
+	return m, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:41231" after
+// Serve(":0", ...).
+func (m *Monitor) Addr() string { return m.ln.Addr().String() }
+
+// Close stops the server immediately (in-flight scrapes are cut off;
+// the monitor dies with the run anyway).
+func (m *Monitor) Close() error {
+	if m == nil {
+		return nil
+	}
+	return m.srv.Close()
+}

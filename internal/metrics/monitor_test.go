@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMonitorServes(t *testing.T) {
+	r := New()
+	r.Counter("mon_total", "monitored").Add(7)
+	debug := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "debug here")
+	})
+	m, err := Serve("127.0.0.1:0", r, debug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	base := "http://" + m.Addr()
+
+	if code, body := get(t, base+"/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "mon_total 7") {
+		t.Errorf("/metrics: code %d, body %q", code, body)
+	}
+	if code, body := get(t, base+"/metrics.json"); code != http.StatusOK ||
+		!strings.Contains(body, `"mon_total"`) {
+		t.Errorf("/metrics.json: code %d, body %q", code, body)
+	}
+	if code, body := get(t, base+"/debug/pprof/"); code != http.StatusOK || body != "debug here" {
+		t.Errorf("/debug/: code %d, body %q", code, body)
+	}
+	if code, body := get(t, base+"/"); code != http.StatusOK ||
+		!strings.Contains(body, "run monitor") {
+		t.Errorf("index: code %d, body %q", code, body)
+	}
+	if code, _ := get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path: code %d, want 404", code)
+	}
+	if err := m.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	// Nil monitor close is a no-op (the CLIs close unconditionally).
+	var nilMon *Monitor
+	if err := nilMon.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	r := New()
+	cycles := r.Counter("p_cycles_total", "")
+	done := r.Counter("p_done_total", "")
+	total := r.Counter("p_total_total", "")
+	phase := "table 2"
+	p := &Progress{
+		R:         r,
+		Cycles:    "p_cycles_total",
+		JobsDone:  "p_done_total",
+		JobsTotal: "p_total_total",
+		Phase:     func() string { return phase },
+	}
+	p.Start(0)
+	cycles.Add(500_000)
+	total.Add(10)
+	done.Add(5)
+	// One second elapsed: 500k cycles/s, half the jobs done after 1s
+	// means another ~1s to go.
+	line := p.Line(1_000_000_000)
+	for _, want := range []string{"500k cycles", "(500k/s)", "jobs 5/10 (50%)", "eta 1s", "table 2"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+	// The rate window advances: no new cycles in the next second = 0/s.
+	line = p.Line(2_000_000_000)
+	if !strings.Contains(line, "(0/s)") {
+		t.Errorf("line %q should show a 0/s window rate", line)
+	}
+	// Jobs complete: no ETA.
+	done.Add(5)
+	line = p.Line(3_000_000_000)
+	if strings.Contains(line, "eta") {
+		t.Errorf("line %q must drop the ETA once jobs finish", line)
+	}
+
+	// A progress over the nil registry renders the empty state rather
+	// than panicking (the -v path without instrumentation).
+	empty := &Progress{R: nil, Cycles: "x", JobsDone: "y", JobsTotal: "z"}
+	empty.Start(0)
+	if line := empty.Line(1_000_000_000); !strings.Contains(line, "0 cycles") {
+		t.Errorf("nil-registry line %q", line)
+	}
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Progress renders the periodic one-line run summary the CLIs print to
+// stderr under -v: simulated cycles per second, job completion, an ETA
+// extrapolated from job throughput, and the current phase (e.g. which
+// table is regenerating). It only reads the registry; the caller owns
+// the ticker loop and injects wall-clock timestamps (nanoseconds), so
+// this package never touches the wall clock itself — the same division
+// of labour as cache.Store.Clock under the nbtilint wallclock rule.
+type Progress struct {
+	// R is the registry to read; the nil registry renders empty fields.
+	R *Registry
+	// Cycles names the counter of simulated cycles (noc.MetricCycles).
+	Cycles string
+	// JobsDone / JobsTotal name the scenario-job counters
+	// (sim.MetricJobsDone / sim.MetricJobsTotal).
+	JobsDone, JobsTotal string
+	// Phase, when non-nil, supplies the current phase label.
+	Phase func() string
+
+	startNS, lastNS int64
+	lastCycles      uint64
+}
+
+// Start records the run origin; the first Line call measures from here.
+func (p *Progress) Start(nowNS int64) {
+	p.startNS, p.lastNS = nowNS, nowNS
+	p.lastCycles = p.R.CounterValue(p.Cycles)
+}
+
+// Line renders one progress line and advances the rate window. The
+// cycles/sec figure covers the interval since the previous Line (or
+// Start); jobs and ETA cover the whole run.
+func (p *Progress) Line(nowNS int64) string {
+	cycles := p.R.CounterValue(p.Cycles)
+	var rate float64
+	if dt := nowNS - p.lastNS; dt > 0 {
+		rate = float64(cycles-p.lastCycles) / (float64(dt) / 1e9)
+	}
+	p.lastNS, p.lastCycles = nowNS, cycles
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s cycles (%s/s)", fmtCount(cycles), fmtCount(uint64(rate)))
+	done := p.R.CounterValue(p.JobsDone)
+	total := p.R.CounterValue(p.JobsTotal)
+	if total > 0 {
+		fmt.Fprintf(&b, ", jobs %d/%d (%d%%)", done, total, 100*done/total)
+		if done > 0 && done < total {
+			elapsed := nowNS - p.startNS
+			etaNS := int64(float64(elapsed) * float64(total-done) / float64(done))
+			fmt.Fprintf(&b, ", eta %s", fmtSeconds(etaNS))
+		}
+	}
+	if p.Phase != nil {
+		if ph := p.Phase(); ph != "" {
+			fmt.Fprintf(&b, ", %s", ph)
+		}
+	}
+	return b.String()
+}
+
+// fmtCount renders a count with k/M/G suffixes, keeping small numbers
+// exact.
+func fmtCount(n uint64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.2fG", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.0fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// fmtSeconds renders a nanosecond duration as whole seconds or m+s.
+func fmtSeconds(ns int64) string {
+	s := (ns + 500_000_000) / 1_000_000_000
+	if s < 60 {
+		return fmt.Sprintf("%ds", s)
+	}
+	if s < 3600 {
+		return fmt.Sprintf("%dm%02ds", s/60, s%60)
+	}
+	return fmt.Sprintf("%dh%02dm", s/3600, (s%3600)/60)
+}

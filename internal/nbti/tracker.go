@@ -16,6 +16,10 @@ type StressTracker struct {
 	// actually held at least one flit; it is diagnostic only and does not
 	// enter the duty-cycle.
 	busy uint64
+	// met mirrors span flushes into the process metrics registry,
+	// resolved when the tracker's Device is built; zero (all-nil
+	// handles) when instrumentation is disabled.
+	met trackerMetrics
 }
 
 // Stress records n powered cycles, of which busy held at least one flit.
@@ -26,10 +30,16 @@ func (t *StressTracker) Stress(n, busy uint64) {
 	}
 	t.stress += n
 	t.busy += busy
+	t.met.stressSpans.Inc()
+	t.met.spanLen.Observe(n)
 }
 
 // Recover records n power-gated cycles.
-func (t *StressTracker) Recover(n uint64) { t.recovery += n }
+func (t *StressTracker) Recover(n uint64) {
+	t.recovery += n
+	t.met.recoverySpans.Inc()
+	t.met.spanLen.Observe(n)
+}
 
 // StressCycles returns the accumulated stress cycle count.
 func (t *StressTracker) StressCycles() uint64 { return t.stress }
@@ -57,8 +67,10 @@ func (t *StressTracker) DutyCycle() float64 {
 // DutyCycle()/100, suitable for Params.DeltaVth.
 func (t *StressTracker) Alpha() float64 { return t.DutyCycle() / 100 }
 
-// Reset clears all counters, e.g. at the end of a warm-up window.
-func (t *StressTracker) Reset() { *t = StressTracker{} }
+// Reset clears all counters, e.g. at the end of a warm-up window. The
+// registry handles survive the reset: a warm-up boundary clears the
+// physics history, not the run's observability stream.
+func (t *StressTracker) Reset() { t.stress, t.recovery, t.busy = 0, 0, 0 }
 
 // Merge adds the counters of other into t.
 func (t *StressTracker) Merge(other *StressTracker) {
@@ -82,7 +94,9 @@ type Device struct {
 
 // NewDevice returns a Device with the given initial Vth and model.
 func NewDevice(vth0 float64, model Params) *Device {
-	return &Device{Vth0: vth0, Model: model}
+	d := &Device{Vth0: vth0, Model: model}
+	d.Tracker.met = newTrackerMetrics()
+	return d
 }
 
 // DeltaVth returns the device's accumulated threshold shift assuming its

@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"nbtinoc/internal/metrics"
 	"nbtinoc/internal/nbti"
 	"nbtinoc/internal/rng"
 	"nbtinoc/internal/sensor"
@@ -122,6 +123,9 @@ type InputUnit struct {
 	// when this unit emits something the upstream must observe (a
 	// credit, a changed Down_Up value); nil outside a network.
 	wakeUp func()
+	// mCredits mirrors credit returns into the process metrics registry;
+	// nil when instrumentation is disabled.
+	mCredits *metrics.Counter
 }
 
 // newInputUnit builds an input unit with the given per-VC depth and
@@ -132,10 +136,11 @@ func newInputUnit(owner NodeID, port Port, cfg *Config, depth int, vth0 []float6
 		panic(fmt.Sprintf("noc: %d Vth0 samples for %d VCs", len(vth0), total))
 	}
 	iu := &InputUnit{
-		owner: owner,
-		port:  port,
-		cfg:   cfg,
-		vcs:   make([]vcBuffer, total),
+		owner:    owner,
+		port:     port,
+		cfg:      cfg,
+		vcs:      make([]vcBuffer, total),
+		mCredits: creditsReturnedCounter(),
 	}
 	for i := range iu.vcs {
 		iu.vcs[i] = vcBuffer{
@@ -247,6 +252,7 @@ func (iu *InputUnit) popFlit(vc int, cycle uint64) Flit {
 		iu.pwrDirty = true
 	}
 	iu.creditOut.Send(vc)
+	iu.mCredits.Inc()
 	if iu.wakeUp != nil {
 		iu.wakeUp()
 	}

@@ -32,9 +32,9 @@ type Network struct {
 	// the one-cycle link delays. activeRtr/activeNI are the decoded id
 	// lists (ascending NodeID — a deterministic iteration order) reused
 	// across cycles.
-	rtrSnap, niSnap  []uint64
-	activeRtr        []int32
-	activeNI         []int32
+	rtrSnap, niSnap []uint64
+	activeRtr       []int32
+	activeNI        []int32
 	// nextSample is the next sensor-sampling cycle; between samples the
 	// banks hold their outputs, so the publish phase is skipped.
 	nextSample uint64
@@ -45,6 +45,9 @@ type Network struct {
 	deliverHook func(f Flit, cycle uint64)
 	// tracer, when set, receives flit-level pipeline events.
 	tracer Tracer
+	// met holds the observability handles resolved at construction;
+	// all-nil (one branch per site) when instrumentation is disabled.
+	met netMetrics
 	// lastProgress is the most recent cycle in which any flit moved
 	// (switch traversal, NI send, or ejection); it feeds the stall
 	// watchdog used to flag livelocked policy configurations.
@@ -65,7 +68,7 @@ func New(cfg Config) (*Network, error) {
 	if cfg.TotalVCs() > 64 {
 		return nil, fmt.Errorf("noc: %d VCs per port exceeds the 64-bit power mask", cfg.TotalVCs())
 	}
-	n := &Network{cfg: cfg}
+	n := &Network{cfg: cfg, met: newNetMetrics()}
 	nodes := cfg.Nodes()
 	n.vmap = pv.SampleNetwork(cfg.PV, cfg.PVSeed, nodes, int(NumPorts)+1, cfg.TotalVCs())
 
@@ -281,6 +284,12 @@ func (n *Network) Step() {
 	rtrs := decodeMask(n.activeRtr, n.rtrSnap)
 	nis := decodeMask(n.activeNI, n.niSnap)
 	n.activeRtr, n.activeNI = rtrs, nis
+
+	n.met.cycles.Inc()
+	n.met.routersActive.Add(uint64(len(rtrs)))
+	n.met.routersSkipped.Add(uint64(len(n.routers) - len(rtrs)))
+	n.met.nisActive.Add(uint64(len(nis)))
+	n.met.nisSkipped.Add(uint64(len(n.nis) - len(nis)))
 
 	for _, id := range rtrs {
 		n.routers[id].tickLinks()

@@ -1,6 +1,10 @@
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"nbtinoc/internal/metrics"
+)
 
 // outVC is one entry of the upstream outVCstate: the mirror of a
 // downstream VC's allocation state, its credit count, and — for the
@@ -48,6 +52,10 @@ type OutputUnit struct {
 	// flitsSent counts link traversals; gateEvents and wakeEvents count
 	// power-state transitions (1->0 and 0->1) commanded by the policy.
 	flitsSent, gateEvents, wakeEvents uint64
+	// mFlits, mGate and mWake are the observability handles mirroring
+	// the counters above into the process metrics registry (per-policy
+	// gate/wake children cached at construction); nil when disabled.
+	mFlits, mGate, mWake *metrics.Counter
 	// linkFreeAt is the first cycle the (possibly serialized) link is
 	// free again after the previous flit's phits.
 	linkFreeAt uint64
@@ -109,6 +117,8 @@ func newOutputUnit(owner NodeID, port Port, cfg *Config, depth int, factory Poli
 		ou.steady = ou.steady && PolicySteadyWhenIdle(ou.policies[vn])
 	}
 	ou.polDirty = true
+	ou.mFlits = flitsRoutedCounter()
+	ou.mGate, ou.mWake = gatingCounters(ou.policies[0].Name())
 	return ou
 }
 
@@ -221,6 +231,7 @@ func (ou *OutputUnit) sendFlit(f Flit, vc int, cycle uint64) {
 	f.VC = vc
 	ou.flitOut.Send(f)
 	ou.flitsSent++
+	ou.mFlits.Inc()
 	if ou.wakeDown != nil {
 		ou.wakeDown()
 	}
@@ -260,6 +271,7 @@ func (ou *OutputUnit) runPolicy(newTraffic []bool, cycle uint64) {
 				// wake-up ramp.
 				vc.wakeLeft = ou.cfg.WakeupLatency
 				ou.wakeEvents++
+				ou.mWake.Inc()
 				transition = true
 			case on && vc.wakeLeft > 0:
 				vc.wakeLeft--
@@ -267,6 +279,7 @@ func (ou *OutputUnit) runPolicy(newTraffic []bool, cycle uint64) {
 			case !on && vc.powered:
 				vc.wakeLeft = 0
 				ou.gateEvents++
+				ou.mGate.Inc()
 				transition = true
 			case !on:
 				vc.wakeLeft = 0

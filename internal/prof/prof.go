@@ -8,11 +8,30 @@ package prof
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
 )
+
+// HTTPHandler returns a handler serving the standard pprof surface
+// under /debug/pprof/ — the live counterpart of the -cpuprofile /
+// -memprofile file flags, mounted by the metrics monitor so a stuck or
+// slow run can be profiled over HTTP without restarting it. The
+// handlers are registered on a private mux; importing net/http/pprof
+// also touches http.DefaultServeMux, but nothing in this repository
+// serves that mux.
+func HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
 
 // Flags holds the requested profile destinations. Empty strings mean
 // the corresponding profiler stays off.

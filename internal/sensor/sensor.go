@@ -24,9 +24,14 @@ import (
 	"math"
 
 	"nbtinoc/internal/floats"
+	"nbtinoc/internal/metrics"
 	"nbtinoc/internal/nbti"
 	"nbtinoc/internal/rng"
 )
+
+// MetricSamples counts actual sensor measurements (bank refreshes times
+// bank size); held-value reads between sampling periods do not count.
+const MetricSamples = "sensor_samples_total"
 
 // Config describes the non-idealities of an NBTI sensor.
 type Config struct {
@@ -141,6 +146,9 @@ type Bank struct {
 	lastUpdate uint64
 	primed     bool
 	period     uint64
+	// mSamples mirrors actual measurements into the process metrics
+	// registry; nil when instrumentation is disabled.
+	mSamples *metrics.Counter
 }
 
 // NewBank builds a bank over the given devices, one sensor each. src is
@@ -149,7 +157,12 @@ func NewBank(devs []*nbti.Device, cfg Config, src *rng.Source) (*Bank, error) {
 	if len(devs) == 0 {
 		return nil, errors.New("sensor: empty bank")
 	}
-	b := &Bank{sensors: make([]*Sensor, len(devs)), period: cfg.SamplePeriod}
+	b := &Bank{
+		sensors: make([]*Sensor, len(devs)),
+		period:  cfg.SamplePeriod,
+		mSamples: metrics.Default().Counter(MetricSamples,
+			"Actual sensor measurements taken by bank refreshes."),
+	}
 	for i, d := range devs {
 		var child *rng.Source
 		if cfg.NoiseSigma > 0 {
@@ -190,6 +203,7 @@ func (b *Bank) refresh(cycle uint64) {
 	b.md, b.ld = maxI, minI
 	b.lastUpdate = cycle
 	b.primed = true
+	b.mSamples.Add(uint64(len(b.sensors)))
 }
 
 // MostDegraded returns the index of the VC whose sensor currently reads

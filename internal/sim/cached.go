@@ -208,15 +208,18 @@ type Runner struct {
 // directly — a func cannot participate in the content address, and
 // serving another factory's result would be silently wrong.
 func (r Runner) Run(spec Spec) (*RunSummary, error) {
+	met := newRunnerMetrics()
 	if r.Store.Mode() == cache.Off || spec.Net.Policy != nil {
+		met.computed.Inc()
 		return spec.Compute()
 	}
 	key, err := SpecKey(spec)
 	if err != nil {
+		met.computed.Inc()
 		return spec.Compute()
 	}
 	var sum RunSummary
-	if _, err := r.Store.Do(key,
+	cached, err := r.Store.Do(key,
 		func(data []byte) error { return json.Unmarshal(data, &sum) },
 		func() ([]byte, error) {
 			s, err := spec.Compute()
@@ -225,8 +228,14 @@ func (r Runner) Run(spec Spec) (*RunSummary, error) {
 			}
 			return json.Marshal(s)
 		},
-	); err != nil {
+	)
+	if err != nil {
 		return nil, err
+	}
+	if cached {
+		met.cached.Inc()
+	} else {
+		met.computed.Inc()
 	}
 	return &sum, nil
 }

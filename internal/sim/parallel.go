@@ -49,9 +49,15 @@ func (p Pool) Run(n int, job func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	met := newPoolMetrics()
+	met.jobsTotal.Add(uint64(n))
 	if p.workers(n) <= 1 {
 		for i := 0; i < n; i++ {
-			if err := job(i); err != nil {
+			met.busy.Inc()
+			err := job(i)
+			met.busy.Dec()
+			met.jobsDone.Inc()
+			if err != nil {
 				return err
 			}
 		}
@@ -72,7 +78,11 @@ func (p Pool) Run(n int, job func(i int) error) error {
 				if i >= n || stop.Load() {
 					return
 				}
-				if err := job(i); err != nil {
+				met.busy.Inc()
+				err := job(i)
+				met.busy.Dec()
+				met.jobsDone.Inc()
+				if err != nil {
 					errs[i] = err
 					stop.Store(true)
 				}
