@@ -368,6 +368,44 @@ func BenchmarkEngineLowLoad(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/cycle")
 }
 
+// benchMeshCycles measures the per-cycle cost of a loaded side×side
+// sensor-wise mesh — the big-mesh scaling points of the flat-arena
+// engine. The injection rate matches BenchmarkTableII's low-load row
+// so the active set stays sparse and the cost is dominated by the
+// routers actually carrying traffic, not the mesh size.
+func benchMeshCycles(b *testing.B, side int) {
+	cfg := noc.DefaultConfig()
+	cfg.Width, cfg.Height = side, side
+	cfg.Policy = core.NewSensorWise
+	n, err := noc.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
+		Pattern: traffic.Uniform, Width: side, Height: side,
+		Rate: 0.1, PacketLen: 4, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	emit := func(src, dst noc.NodeID, vnet, l int) {
+		_ = n.Inject(src, dst, vnet, l)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Tick(uint64(i), emit)
+		n.Step()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/cycle")
+}
+
+// BenchmarkMesh16 runs a 16×16 mesh (256 routers) under load.
+func BenchmarkMesh16(b *testing.B) { benchMeshCycles(b, 16) }
+
+// BenchmarkMesh32 runs a 32×32 mesh (1024 routers) under load.
+func BenchmarkMesh32(b *testing.B) { benchMeshCycles(b, 32) }
+
 // BenchmarkPolicyDecide measures one pre-VA decision of each policy.
 func BenchmarkPolicyDecide(b *testing.B) {
 	for _, tc := range []struct {

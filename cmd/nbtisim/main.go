@@ -6,6 +6,7 @@
 //
 //	nbtisim -cores 16 -vcs 4 -policy sensor-wise -rate 0.2
 //	nbtisim -cores 4 -vcs 2 -policy rr-no-sensor -workload app -seed 3
+//	nbtisim -mesh 32x32 -vcs 4 -policy sensor-wise -cycles 5000
 //	nbtisim -trace my.trace -policy sensor-wise -format json
 //	nbtisim -config a.json,b.json,c.json -j 0
 //
@@ -62,6 +63,7 @@ func run(args []string, out io.Writer) (err error) {
 	metFlags.Register(fs)
 	var (
 		cores    = fs.Int("cores", 16, "number of cores (square mesh)")
+		mesh     = fs.String("mesh", "", "mesh geometry WxH, e.g. 16x16 or 8x4 (overrides -cores; rectangular allowed)")
 		vcs      = fs.Int("vcs", 4, "virtual channels per vnet per input port")
 		vnets    = fs.Int("vnets", 1, "virtual networks")
 		policy   = fs.String("policy", "sensor-wise", "recovery policy: "+strings.Join(core.Names(), ", "))
@@ -119,10 +121,11 @@ func run(args []string, out io.Writer) (err error) {
 	}()
 	if *verbose {
 		stop := startProgress("nbtisim", &metrics.Progress{
-			R:         metrics.Default(),
-			Cycles:    noc.MetricCycles,
-			JobsDone:  sim.MetricJobsDone,
-			JobsTotal: sim.MetricJobsTotal,
+			R:          metrics.Default(),
+			Cycles:     noc.MetricCycles,
+			JobsDone:   sim.MetricJobsDone,
+			JobsTotal:  sim.MetricJobsTotal,
+			SampleHeap: true,
 		})
 		defer stop()
 	}
@@ -144,7 +147,7 @@ func run(args []string, out io.Writer) (err error) {
 			return fmt.Errorf("-config %q names no scenario files", *cfgPath)
 		}
 	} else {
-		scens = []*sim.Scenario{{
+		scen := &sim.Scenario{
 			Name:          "cli",
 			Cores:         *cores,
 			VCs:           *vcs,
@@ -160,7 +163,15 @@ func run(args []string, out io.Writer) (err error) {
 			Measure:       *measure,
 			Seed:          *seed,
 			PVSeed:        *pvSeed,
-		}}
+		}
+		if *mesh != "" {
+			m, err := sim.ParseMesh(*mesh)
+			if err != nil {
+				return err
+			}
+			scen.Width, scen.Height, scen.Cores = m.Width, m.Height, m.Cores()
+		}
+		scens = []*sim.Scenario{scen}
 	}
 	multi := len(scens) > 1
 	if multi && (*agingIn != "" || *agingOut != "" || *flitLog != "") {

@@ -210,6 +210,49 @@ func TestMultiScenarioConfig(t *testing.T) {
 	}
 }
 
+func TestMeshFlag(t *testing.T) {
+	// A rectangular geometry runs end to end.
+	out := runCLI(t, "-mesh", "4x2", "-vcs", "2", "-warmup", "500", "-cycles", "5000")
+	if !strings.Contains(out, "duty") || !strings.Contains(out, "ejected") {
+		t.Errorf("rectangular mesh run incomplete:\n%s", out)
+	}
+	// A square -mesh is exactly the -cores shorthand.
+	square := runCLI(t, "-mesh", "3x3", "-vcs", "2", "-warmup", "500", "-cycles", "5000")
+	cores := runCLI(t, "-cores", "9", "-vcs", "2", "-warmup", "500", "-cycles", "5000")
+	if square != cores {
+		t.Errorf("-mesh 3x3 and -cores 9 outputs differ:\n--- mesh\n%s\n--- cores\n%s",
+			square, cores)
+	}
+	// Malformed geometries are rejected.
+	for _, bad := range []string{"4", "0x4", "4x-1", "axb"} {
+		if err := run([]string{"-mesh", bad, "-cycles", "100"}, &bytes.Buffer{}); err == nil {
+			t.Errorf("-mesh %q accepted", bad)
+		}
+	}
+}
+
+// TestMesh32Golden pins a 32×32 run (1024 routers) byte-for-byte: the
+// flat-arena engine's largest supported scaling point completes and
+// stays deterministic. Regenerate for an intentional output change:
+//
+//	go run ./cmd/nbtisim -mesh 32x32 -vcs 2 -policy sensor-wise -rate 0.05 \
+//	  -warmup 100 -cycles 1000 > cmd/nbtisim/testdata/golden_mesh32.txt
+func TestMesh32Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 1100 cycles of a 1024-router mesh")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_mesh32.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runCLI(t, "-mesh", "32x32", "-vcs", "2", "-policy", "sensor-wise",
+		"-rate", "0.05", "-warmup", "100", "-cycles", "1000")
+	if got != string(want) {
+		t.Errorf("32x32 output diverged from golden_mesh32.txt:\n--- want\n%s\n--- got\n%s",
+			want, got)
+	}
+}
+
 func TestTechFlag(t *testing.T) {
 	out45 := runCLI(t, shortArgs("-tech", "45", "-format", "json")...)
 	out32 := runCLI(t, shortArgs("-tech", "32", "-format", "json")...)

@@ -20,8 +20,10 @@ import (
 // new version's pins here.
 var goldenPins = map[string]map[string]string{
 	"nbtinoc-engine-1": {
-		"golden_table2_quick.txt": "a9cf96945fe9f6637f17c63774aea200b91d2342405e526ad34b066edd5e17ca",
-		"golden_coop_quick.txt":   "40d579cb705fc5d647d4515aec6d0a9609c62634e3823643dafd1630f0e7ad5c",
+		"golden_table2_quick.txt":        "a9cf96945fe9f6637f17c63774aea200b91d2342405e526ad34b066edd5e17ca",
+		"golden_coop_quick.txt":          "40d579cb705fc5d647d4515aec6d0a9609c62634e3823643dafd1630f0e7ad5c",
+		"golden_table2_mesh16_quick.txt": "e662872c32ac7b05110e8b4d00f5f7138b79a61ebc50797df2d08246271ccd6b",
+		"golden_all_quick.txt":           "8850fc9d44f046973c97b67a78862cab4772269d95a66251adcb84f9c11deaf7",
 	},
 }
 

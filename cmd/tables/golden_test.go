@@ -18,6 +18,8 @@ import (
 //
 //	go run ./cmd/tables -table 2 -quick > cmd/tables/testdata/golden_table2_quick.txt
 //	go run ./cmd/tables -table coop -quick > cmd/tables/testdata/golden_coop_quick.txt
+//	go run ./cmd/tables -table 2 -mesh 16x16 -quick > cmd/tables/testdata/golden_table2_mesh16_quick.txt
+//	go run ./cmd/tables -table all -quick | grep -v '^\[table' > cmd/tables/testdata/golden_all_quick.txt
 func TestGoldenOutputs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("quick simulation windows still simulate ~22k cycles per scenario")
@@ -29,6 +31,11 @@ func TestGoldenOutputs(t *testing.T) {
 	}{
 		{"table2", "golden_table2_quick.txt", []string{"-table", "2", "-quick"}},
 		{"coop", "golden_coop_quick.txt", []string{"-table", "coop", "-quick"}},
+		// The flat-arena engine's big-mesh scaling point: 256 routers,
+		// quick windows. Slow (~1 min on one core), but it is the only
+		// pin proving large meshes stay deterministic.
+		{"table2-mesh16", "golden_table2_mesh16_quick.txt",
+			[]string{"-table", "2", "-mesh", "16x16", "-quick"}},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -45,6 +52,39 @@ func TestGoldenOutputs(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestAllTablesGolden pins every table of -table all at -quick -seed 1
+// against the fixture captured on the pre-flat-arena engine, with the
+// wall-clock "[table ...]" annotations stripped — the whole-output
+// determinism guarantee across engine rewrites, in one run.
+func TestAllTablesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every table at quick windows (~20s on one core)")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_all_quick.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stripTimings(runTables(t, "-table", "all", "-quick"))
+	if got != string(want) {
+		t.Errorf("-table all diverged from golden_all_quick.txt (want sha256 %s, got %s)\n%s",
+			shortHash(want), shortHash([]byte(got)), firstDiff(string(want), got))
+	}
+}
+
+// stripTimings drops the per-table wall-clock lines ("[table 2: ...]"),
+// the only nondeterministic part of -table all output.
+func stripTimings(s string) string {
+	var b []byte
+	for _, line := range splitLines(s) {
+		if len(line) > 6 && line[:6] == "[table" {
+			continue
+		}
+		b = append(b, line...)
+		b = append(b, '\n')
+	}
+	return string(b)
 }
 
 func shortHash(b []byte) string {

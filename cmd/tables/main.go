@@ -17,7 +17,9 @@
 //	-table all   everything above
 //
 // The -quick flag shortens the simulation windows for smoke runs; -full
-// uses the paper's 30e6-cycle windows (slow).
+// uses the paper's 30e6-cycle windows (slow). -mesh WxH swaps the
+// paper's 4-/16-core sweep of the synthetic tables for one explicit
+// mesh geometry, for big-mesh scaling runs (e.g. -mesh 32x32).
 //
 // Independent scenarios within a table run concurrently on a bounded
 // worker pool; -j caps the workers (0 = one per core, 1 = sequential).
@@ -71,6 +73,7 @@ func run(args []string, out io.Writer) (err error) {
 		seed    = fs.Uint64("seed", 1, "base seed for PV and traffic")
 		years   = fs.Float64("years", 3, "ΔVth projection horizon in years")
 		wakeup  = fs.Int("wakeup", 0, "sleep-transistor wake-up latency for -table perf")
+		mesh    = fs.String("mesh", "", "run the synthetic tables (2, 3) on one mesh geometry WxH, e.g. 16x16 (default: the paper's 4- and 16-core sweep)")
 		quick   = fs.Bool("quick", false, "short windows for a fast smoke run")
 		full    = fs.Bool("full", false, "paper-length 30e6-cycle windows (slow)")
 		phits   = fs.Int("phits", 2, "link serialization (64-bit flits over 32-bit links = 2)")
@@ -118,11 +121,12 @@ func run(args []string, out io.Writer) (err error) {
 	phase.Store("")
 	if *verbose {
 		stop := startProgress("tables", &metrics.Progress{
-			R:         metrics.Default(),
-			Cycles:    noc.MetricCycles,
-			JobsDone:  sim.MetricJobsDone,
-			JobsTotal: sim.MetricJobsTotal,
-			Phase:     func() string { s, _ := phase.Load().(string); return s },
+			R:          metrics.Default(),
+			Cycles:     noc.MetricCycles,
+			JobsDone:   sim.MetricJobsDone,
+			JobsTotal:  sim.MetricJobsTotal,
+			SampleHeap: true,
+			Phase:      func() string { s, _ := phase.Load().(string); return s },
 		})
 		defer stop()
 	}
@@ -141,6 +145,13 @@ func run(args []string, out io.Writer) (err error) {
 	opt.Phits = *phits
 	opt.Parallelism = *jobs
 	opt.Cache = store
+	if *mesh != "" {
+		m, err := sim.ParseMesh(*mesh)
+		if err != nil {
+			return err
+		}
+		opt.Meshes = []sim.Mesh{m}
+	}
 
 	writeCSV := func(name, content string) error {
 		if *csvDir == "" {

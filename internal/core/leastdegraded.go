@@ -66,5 +66,9 @@ func (p *SensorWiseLD) DesiredPower(in *noc.PolicyInput, out []bool) {
 // pure function of the sensor feedback and idle states.
 func (p *SensorWiseLD) SteadyWhenIdle() bool { return true }
 
+// CycleFree implements noc.CycleFreePolicy: the decision never reads
+// the cycle for any NewTraffic value and keeps no per-call state.
+func (p *SensorWiseLD) CycleFree() bool { return true }
+
 // NewSensorWiseLD is the factory for the least-degraded-keep extension.
 func NewSensorWiseLD() noc.Policy { return &SensorWiseLD{} }

@@ -81,6 +81,18 @@ func (p *RRNoSensor) DesiredPower(in *noc.PolicyInput, out []bool) {
 // every cycle and must keep running.
 func (p *RRNoSensor) SteadyWhenIdle() bool { return !p.AssumeTraffic }
 
+// Phase implements noc.PhasePolicy: Algorithm 1 reads the cycle only to
+// derive its rotating candidate, int(cycle/period) % numVCs, and is
+// otherwise a pure function of the idle states and the traffic bit — so
+// its decision may be memoised per candidate position.
+func (p *RRNoSensor) Phase(cycle uint64, numVCs int) (int, int) {
+	period := p.RotatePeriod
+	if period == 0 {
+		period = DefaultRotatePeriod
+	}
+	return int(cycle/period) % numVCs, numVCs
+}
+
 // NewRRNoSensor is the noc.PolicyFactory for the cooperative Algorithm 1.
 func NewRRNoSensor() noc.Policy {
 	return &RRNoSensor{RotatePeriod: DefaultRotatePeriod}
@@ -146,6 +158,11 @@ func (p *SensorWise) DesiredPower(in *noc.PolicyInput, out []bool) {
 // SteadyWhenIdle implements noc.SteadyPolicy: Algorithm 2 ranks by the
 // Down_Up feedback and never reads the cycle, in either variant.
 func (p *SensorWise) SteadyWhenIdle() bool { return true }
+
+// CycleFree implements noc.CycleFreePolicy: Algorithm 2's decision is a
+// pure function of the sensor feedback, idle states and the traffic
+// bit — it never reads the cycle for any NewTraffic value.
+func (p *SensorWise) CycleFree() bool { return true }
 
 // NewSensorWise is the factory for the cooperative Algorithm 2 — the
 // paper's proposed policy.

@@ -51,6 +51,9 @@ func (f *CLIFlags) Setup(force bool, debug http.Handler, logf func(format string
 	}
 	out := f.Out
 	return func() error {
+		// A final heap sample so the peak gauge reaches the snapshot
+		// even when no -v progress ticker sampled during the run.
+		SampleHeapPeak(reg)
 		// Uninstall the registry so a host process (tests drive run()
 		// repeatedly in one binary) returns to the disabled state.
 		SetDefault(nil)

@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSampleHeapPeak(t *testing.T) {
+	r := New()
+	peak := SampleHeapPeak(r)
+	if peak == 0 {
+		t.Fatal("SampleHeapPeak returned 0 on a live process")
+	}
+	if got := r.GaugeValue(MetricHeapPeak); uint64(got) != peak {
+		t.Errorf("gauge = %d, returned peak = %d", got, peak)
+	}
+
+	// The gauge is monotone: a sample below the recorded peak must not
+	// lower it.
+	r.Gauge(MetricHeapPeak, "").Set(1 << 62)
+	if got := SampleHeapPeak(r); got != 1<<62 {
+		t.Errorf("peak regressed to %d after a lower sample", got)
+	}
+
+	// The nil registry records nothing but still reports the live heap.
+	if got := SampleHeapPeak(nil); got == 0 {
+		t.Error("nil-registry sample returned 0")
+	}
+}
+
+func TestProgressLineHeapPeak(t *testing.T) {
+	r := New()
+	r.Counter("h_cycles_total", "")
+	p := &Progress{R: r, Cycles: "h_cycles_total", SampleHeap: true}
+	p.Start(0)
+	line := p.Line(1_000_000_000)
+	if !strings.Contains(line, "heap ") || !strings.Contains(line, " peak") {
+		t.Errorf("line %q missing the heap peak field", line)
+	}
+	if r.GaugeValue(MetricHeapPeak) == 0 {
+		t.Error("Line with SampleHeap did not raise the peak gauge")
+	}
+	// Without SampleHeap the field stays absent and the gauge untouched.
+	q := &Progress{R: New(), Cycles: "h_cycles_total"}
+	q.Start(0)
+	if line := q.Line(1_000_000_000); strings.Contains(line, "heap") {
+		t.Errorf("line %q has a heap field without SampleHeap", line)
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want string
+	}{
+		{512, "512B"},
+		{8 << 10, "8KiB"},
+		{3 << 20, "3.0MiB"},
+		{5 << 30, "5.00GiB"},
+	}
+	for _, tc := range cases {
+		if got := fmtBytes(tc.in); got != tc.want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -20,6 +20,10 @@ type Progress struct {
 	// JobsDone / JobsTotal name the scenario-job counters
 	// (sim.MetricJobsDone / sim.MetricJobsTotal).
 	JobsDone, JobsTotal string
+	// SampleHeap, when true, samples the live heap on every Line via
+	// SampleHeapPeak (raising the MetricHeapPeak gauge) and appends the
+	// peak to the rendered line.
+	SampleHeap bool
 	// Phase, when non-nil, supplies the current phase label.
 	Phase func() string
 
@@ -56,6 +60,9 @@ func (p *Progress) Line(nowNS int64) string {
 			fmt.Fprintf(&b, ", eta %s", fmtSeconds(etaNS))
 		}
 	}
+	if p.SampleHeap {
+		fmt.Fprintf(&b, ", heap %s peak", fmtBytes(SampleHeapPeak(p.R)))
+	}
 	if p.Phase != nil {
 		if ph := p.Phase(); ph != "" {
 			fmt.Fprintf(&b, ", %s", ph)
@@ -76,6 +83,20 @@ func fmtCount(n uint64) string {
 		return fmt.Sprintf("%.0fk", float64(n)/1e3)
 	default:
 		return fmt.Sprintf("%d", n)
+	}
+}
+
+// fmtBytes renders a byte count with binary suffixes.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.0fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
 	}
 }
 

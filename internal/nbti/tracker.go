@@ -94,9 +94,16 @@ type Device struct {
 
 // NewDevice returns a Device with the given initial Vth and model.
 func NewDevice(vth0 float64, model Params) *Device {
-	d := &Device{Vth0: vth0, Model: model}
-	d.Tracker.met = newTrackerMetrics()
+	d := &Device{}
+	d.Init(vth0, model)
 	return d
+}
+
+// Init initialises the device in place with the given initial Vth and
+// model — the constructor for devices living in caller-owned arenas.
+func (d *Device) Init(vth0 float64, model Params) {
+	*d = Device{Vth0: vth0, Model: model}
+	d.Tracker.met = newTrackerMetrics()
 }
 
 // DeltaVth returns the device's accumulated threshold shift assuming its

@@ -1,13 +1,13 @@
 package noc
 
-import "math/bits"
-
 // The active set makes one simulated cycle cost proportional to
 // activity instead of mesh size: Step sweeps only the units whose
 // per-cycle phases can have an effect. Membership is tracked in plain
-// bitmasks indexed by NodeID and decoded into an ascending id list once
-// per cycle, so iteration order is deterministic by construction (no
-// map ranges anywhere near the simulation state).
+// bitmasks indexed by NodeID; each Step phase iterates the snapshot's
+// set bits directly (TrailingZeros64, clearing the lowest bit) in
+// ascending id order, so iteration is deterministic by construction (no
+// map ranges anywhere near the simulation state) and needs no decoded
+// id list.
 //
 // The protocol has three rules:
 //
@@ -35,21 +35,6 @@ func newFullMask(nodes, words int) []uint64 {
 		m[id>>6] |= 1 << uint(id&63)
 	}
 	return m
-}
-
-// decodeMask appends the set bit positions of mask to dst[:0] in
-// ascending order and returns the slice — the ordered-slice rebuild the
-// Step phases iterate.
-func decodeMask(dst []int32, mask []uint64) []int32 {
-	dst = dst[:0]
-	for w, word := range mask {
-		base := int32(w << 6)
-		for word != 0 {
-			dst = append(dst, base+int32(bits.TrailingZeros64(word)))
-			word &= word - 1
-		}
-	}
-	return dst
 }
 
 // routerWaker returns the wake hook for router id.

@@ -39,7 +39,8 @@ func portFromName(s string) (Port, error) {
 func (n *Network) AgingSnapshot() AgingState {
 	n.flushNBTI()
 	st := AgingState{Cycle: n.cycle}
-	for _, r := range n.routers {
+	for i := range n.routers {
+		r := &n.routers[i]
 		for p := Port(0); p < NumPorts; p++ {
 			iu := r.in[p]
 			if iu == nil {

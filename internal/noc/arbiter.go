@@ -1,5 +1,7 @@
 package noc
 
+import "math/bits"
+
 // RoundRobin is a rotating-priority arbiter over n requesters, matching
 // the matrix/rotating arbiters used in VC and switch allocators. The
 // zero value is not ready; use NewRoundRobin.
@@ -50,4 +52,33 @@ func (a *RoundRobin) Peek(req []bool) int {
 		}
 	}
 	return -1
+}
+
+// pickMask returns the requester the rotating priority selects from a
+// packed request mask (bit i = requester i, valid only for n <= 64):
+// the lowest set bit at or after the priority pointer, wrapping to the
+// lowest set bit overall — identical to the modular scan of Peek.
+func (a *RoundRobin) pickMask(req uint64) int {
+	if hi := req >> uint(a.next); hi != 0 {
+		return a.next + bits.TrailingZeros64(hi)
+	}
+	return bits.TrailingZeros64(req)
+}
+
+// PeekMask is Peek over a packed request mask; -1 when empty.
+func (a *RoundRobin) PeekMask(req uint64) int {
+	if req == 0 {
+		return -1
+	}
+	return a.pickMask(req)
+}
+
+// GrantMask is Grant over a packed request mask; -1 when empty.
+func (a *RoundRobin) GrantMask(req uint64) int {
+	if req == 0 {
+		return -1
+	}
+	idx := a.pickMask(req)
+	a.next = (idx + 1) % a.n
+	return idx
 }

@@ -27,11 +27,22 @@ func TestFigure1(t *testing.T) {
 		// mesh link direction. 2x2 mesh: 4 horizontal + 4 vertical
 		// directed links + 8 local channels = 16.
 		wantChannels := 16
-		if got := len(n.powerLinks); got != wantChannels {
-			t.Errorf("Up_Down links = %d, want %d", got, wantChannels)
+		upDown, downUp := 0, 0
+		for i := range n.ounits {
+			if n.ounits[i].powerOut != nil {
+				upDown++
+			}
 		}
-		if got := len(n.mdLinks); got != wantChannels {
-			t.Errorf("Down_Up links = %d, want %d", got, wantChannels)
+		for i := range n.iunits {
+			if n.iunits[i].mdOut != nil {
+				downUp++
+			}
+		}
+		if upDown != wantChannels {
+			t.Errorf("Up_Down links = %d, want %d", upDown, wantChannels)
+		}
+		if downUp != wantChannels {
+			t.Errorf("Down_Up links = %d, want %d", downUp, wantChannels)
 		}
 	})
 

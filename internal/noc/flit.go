@@ -47,16 +47,18 @@ type Flit struct {
 	// Src and Dst are the injecting and receiving node ids.
 	Src, Dst NodeID
 	// VNet is the virtual network the packet travels on.
-	VNet int
+	VNet int32
 	// VC is the virtual channel at the *current* downstream input port;
 	// it is rewritten at every hop when the flit is sent.
-	VC int
-	// Type marks the flit's position in its packet.
-	Type FlitType
+	VC int32
 	// Seq is the flit's index within the packet (0 = head).
-	Seq int
+	Seq int32
 	// Len is the packet length in flits.
-	Len int
+	Len int32
+	// Type marks the flit's position in its packet. (Kept after the
+	// 32-bit fields so the struct packs into a single 64-byte cache
+	// line — flits are copied by value through every pipeline hop.)
+	Type FlitType
 	// InjectCycle is the cycle the packet entered its NI source queue.
 	InjectCycle uint64
 	// NetInjectCycle is the cycle the head flit left the NI into the
@@ -93,10 +95,10 @@ func (p Packet) Flits() []Flit {
 			PacketID:    p.ID,
 			Src:         p.Src,
 			Dst:         p.Dst,
-			VNet:        p.VNet,
+			VNet:        int32(p.VNet),
 			Type:        t,
-			Seq:         i,
-			Len:         p.Len,
+			Seq:         int32(i),
+			Len:         int32(p.Len),
 			InjectCycle: p.InjectCycle,
 		}
 	}

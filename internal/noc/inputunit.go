@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"nbtinoc/internal/metrics"
 	"nbtinoc/internal/nbti"
@@ -10,63 +11,49 @@ import (
 )
 
 // vcBuffer is one virtual-channel buffer of an input unit: a flit FIFO
-// plus allocation state, power state and the NBTI device model of its
-// critical PMOS network.
+// plus allocation state and the NBTI device model of its critical PMOS
+// network. Power state lives in the owning InputUnit's poweredMask, so
+// the buffer itself stays a compact, arena-friendly record.
 type vcBuffer struct {
-	fifo  []Flit
-	head  int
-	size  int
-	state VCState
-	// outPort is the output port computed by RC for the resident packet.
-	outPort Port
+	fifo []Flit
+	head int32
+	size int32
+	// headArrive caches fifo[head].Arrive while size > 0, so the hot
+	// headReady checks of the VA/SA sweeps touch only this record
+	// instead of dereferencing the FIFO slot every cycle.
+	headArrive uint64
 	// outVC is the downstream VC allocated by this router's VA for the
 	// resident packet's next hop; -1 while unallocated or not needed
 	// (ejection).
-	outVC int
-	// powered is the buffer's supply state: false = power gated
-	// (NBTI recovery).
-	powered bool
+	outVC int32
+	state VCState
+	// outPort is the output port computed by RC for the resident packet.
+	outPort Port
 	// acc is the last cycle whose stress/recovery has been charged to
 	// the device tracker. Accounting is span-batched: between state
 	// transitions the (powered, busy) pair is constant, so the whole
 	// span [acc+1, transition cycle-1] is charged in one call at the
 	// moment the state changes (and on demand at read points).
 	acc uint64
-	// device accumulates the buffer's NBTI stress history.
+	// device accumulates the buffer's NBTI stress history. It points
+	// into the network's flat device arena (or a private slice for
+	// standalone units).
 	device *nbti.Device
 }
 
-// flush charges the open accounting span up to and including cycle upTo
-// with the buffer's current (powered, busy) state. Callers flush with
-// upTo = cycle-1 immediately before mutating powered or the
-// empty/non-empty status, so every cycle is charged with its
-// end-of-cycle state exactly as the per-cycle accounting did.
-func (b *vcBuffer) flush(upTo uint64) {
-	if upTo <= b.acc {
-		return
-	}
-	n := upTo - b.acc
-	b.acc = upTo
-	if b.powered {
-		busy := uint64(0)
-		if b.size > 0 {
-			busy = n
-		}
-		b.device.Tracker.Stress(n, busy)
-	} else {
-		b.device.Tracker.Recover(n)
-	}
-}
-
-func (b *vcBuffer) len() int    { return b.size }
+func (b *vcBuffer) len() int    { return int(b.size) }
 func (b *vcBuffer) empty() bool { return b.size == 0 }
-func (b *vcBuffer) full() bool  { return b.size == len(b.fifo) }
+func (b *vcBuffer) full() bool  { return int(b.size) == len(b.fifo) }
 
-func (b *vcBuffer) push(f Flit) {
+func (b *vcBuffer) push(f *Flit) {
 	if b.full() {
 		panic("noc: VC buffer overflow (credit protocol violated)")
 	}
-	b.fifo[(b.head+b.size)%len(b.fifo)] = f
+	idx := b.head + b.size
+	if int(idx) >= len(b.fifo) {
+		idx -= int32(len(b.fifo))
+	}
+	b.fifo[idx] = *f
 	b.size++
 }
 
@@ -77,9 +64,15 @@ func (b *vcBuffer) peek() *Flit {
 	return &b.fifo[b.head]
 }
 
-func (b *vcBuffer) pop() Flit {
-	f := *b.peek()
-	b.head = (b.head + 1) % len(b.fifo)
+// pop returns a pointer to the departing head flit. The pointed-to slot
+// stays valid until the next push wraps onto it, which cannot happen
+// before the caller consumes the flit within the same cycle phase.
+func (b *vcBuffer) pop() *Flit {
+	f := b.peek()
+	b.head++
+	if int(b.head) == len(b.fifo) {
+		b.head = 0
+	}
 	b.size--
 	return f
 }
@@ -87,34 +80,65 @@ func (b *vcBuffer) pop() Flit {
 // InputUnit is the set of VC buffers of one input port, downstream end
 // of a channel. It receives flits and the Up_Down power commands, sends
 // credits back, and hosts the NBTI sensor banks that drive the Down_Up
-// link.
+// link. Per-VC status is tracked in packed bitmasks (bit v = flattened
+// VC v) so the router stages sweep set bits instead of scanning every
+// VC.
 type InputUnit struct {
 	owner NodeID
 	port  Port
 	cfg   *Config
 	vcs   []vcBuffer
-	// creditOut returns freed buffer slots to the upstream output unit.
+	// flitIn is the inbound flit pipeline. The receiving end of every
+	// channel is embedded in its reader so the per-cycle receive pass
+	// touches only unit-resident cache lines; the upstream holds a
+	// pointer (OutputUnit.flitOut).
+	flitIn Pipeline[Flit]
+	// power is the downstream end of the Up_Down channel carrying the
+	// desired power mask; the upstream writes through powerOut.
+	power powerLink
+	// creditOut returns freed buffer slots to the upstream output unit
+	// (points at the upstream's embedded creditIn pipeline).
 	creditOut *Pipeline[int]
-	// powerIn is the Up_Down channel carrying the desired power mask.
-	powerIn *powerLink
-	// mdOut is the Down_Up channel publishing the most degraded VC.
+	// mdOut is the Down_Up channel publishing the most degraded VC
+	// (points at the upstream's embedded mdIn link).
 	mdOut *mdLink
 	// banks are the per-vnet sensor banks (nil when sensors disabled).
 	banks []*sensor.Bank
 	// writes and reads count buffer write/read events (flits in/out),
 	// feeding the energy model.
 	writes, reads uint64
-	// occupied counts VCs with at least one buffered flit; vaPending
-	// counts VCs holding a routed head that still needs a downstream VC
-	// (state VCActive, outVC -1); activeVCs counts VCs hosting a resident
-	// packet (state VCActive, which implies occupied <= activeVCs). They
-	// let the router stages and the quiescence check skip whole ports
-	// without sweeping every VC.
-	occupied, vaPending, activeVCs int
+	// occMask marks VCs with at least one buffered flit; activeMask
+	// marks VCs hosting a resident packet (state VCActive — a superset
+	// of occMask); vaPendMask marks VCs holding a routed head that still
+	// needs a downstream VC (state VCActive, outVC -1). The router
+	// stages iterate the set bits, so ports contribute cost proportional
+	// to their live VCs.
+	occMask, activeMask, vaPendMask uint64
+	// poweredMask is the buffers' supply state: a clear bit is a power
+	// gated VC (NBTI recovery).
+	poweredMask uint64
+	// vcAll has one bit per existing VC (TotalVCs low bits).
+	vcAll uint64
 	// pwrDirty marks that the next applyPower call can act: the Up_Down
 	// mask ticked to a new value or a VC left the active state. While
 	// clear, applyPower is a provable no-op and returns immediately.
 	pwrDirty bool
+	// occPorts/pendPorts/actPorts point at the owning router's
+	// port-summary masks (nil for NI ejection units and standalone test
+	// units); portBit is this unit's bit. The unit keeps each summary
+	// exact across every empty <-> non-empty transition of occMask /
+	// vaPendMask / activeMask.
+	occPorts, pendPorts, actPorts *uint64
+	portBit                       uint64
+	// ownPow points at the owning router's powPorts summary (shares
+	// portBit); popFlit arms it when a tail retire leaves a pending
+	// applyPower. upCred/upMD point at the UPSTREAM router's credPorts
+	// and mdPorts summaries (upBit is this channel's port bit there):
+	// credit and Down_Up sends arm the upstream port so its next
+	// receive pass processes them. All nil when the respective consumer
+	// is not a port-gated router.
+	ownPow, upCred, upMD *uint64
+	upBit                uint64
 	// clk points at the owning network's cycle counter so read accessors
 	// can flush open accounting spans transparently; nil outside a
 	// network (bare unit tests flush explicitly).
@@ -128,30 +152,78 @@ type InputUnit struct {
 	mCredits *metrics.Counter
 }
 
-// newInputUnit builds an input unit with the given per-VC depth and
-// initial Vth values (one per flattened VC, from process variation).
-func newInputUnit(owner NodeID, port Port, cfg *Config, depth int, vth0 []float64) *InputUnit {
+// initInputUnit initialises an input unit in place over caller-owned
+// backing storage: vcs (TotalVCs buffers), fifo (TotalVCs*depth flits)
+// and devs (TotalVCs devices), all typically subslices of the network's
+// flat arenas. vth0 supplies the per-VC initial threshold voltages.
+func initInputUnit(iu *InputUnit, owner NodeID, port Port, cfg *Config,
+	vcs []vcBuffer, fifo []Flit, devs []nbti.Device, depth int, vth0 []float64) {
 	total := cfg.TotalVCs()
 	if len(vth0) != total {
 		panic(fmt.Sprintf("noc: %d Vth0 samples for %d VCs", len(vth0), total))
 	}
-	iu := &InputUnit{
+	*iu = InputUnit{
 		owner:    owner,
 		port:     port,
 		cfg:      cfg,
-		vcs:      make([]vcBuffer, total),
+		vcs:      vcs[:total:total],
+		vcAll:    vcAllMask(total),
+		power:    powerLink{cur: ^uint64(0), next: ^uint64(0)},
 		mCredits: creditsReturnedCounter(),
 	}
-	for i := range iu.vcs {
+	iu.flitIn.slots = make([][]Flit, cfg.LinkLatency+cfg.PhitsPerFlit-1)
+	for i := 0; i < total; i++ {
+		devs[i].Init(vth0[i], cfg.NBTI)
 		iu.vcs[i] = vcBuffer{
-			fifo:    make([]Flit, depth),
-			outVC:   -1,
-			powered: true,
-			device:  nbti.NewDevice(vth0[i], cfg.NBTI),
+			fifo:   fifo[i*depth : (i+1)*depth : (i+1)*depth],
+			outVC:  -1,
+			device: &devs[i],
 		}
 	}
+	iu.poweredMask = iu.vcAll
 	iu.pwrDirty = true
+}
+
+// newInputUnit builds a standalone input unit (unit tests); networks
+// initialise units in place over their flat arenas instead.
+func newInputUnit(owner NodeID, port Port, cfg *Config, depth int, vth0 []float64) *InputUnit {
+	total := cfg.TotalVCs()
+	iu := &InputUnit{}
+	initInputUnit(iu, owner, port, cfg,
+		make([]vcBuffer, total), make([]Flit, total*depth), make([]nbti.Device, total),
+		depth, vth0)
 	return iu
+}
+
+// vcAllMask returns the mask with the total low bits set.
+func vcAllMask(total int) uint64 {
+	if total >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(total) - 1
+}
+
+// flushVC charges VC vc's open accounting span up to and including cycle
+// upTo with the buffer's current (powered, busy) state. Callers flush
+// with upTo = cycle-1 immediately before mutating the supply state or
+// the empty/non-empty status, so every cycle is charged with its
+// end-of-cycle state exactly as the per-cycle accounting did.
+func (iu *InputUnit) flushVC(vc int, upTo uint64) {
+	b := &iu.vcs[vc]
+	if upTo <= b.acc {
+		return
+	}
+	n := upTo - b.acc
+	b.acc = upTo
+	if iu.poweredMask>>uint(vc)&1 != 0 {
+		busy := uint64(0)
+		if b.size > 0 {
+			busy = n
+		}
+		b.device.Tracker.Stress(n, busy)
+	} else {
+		b.device.Tracker.Recover(n)
+	}
 }
 
 // attachSensors instantiates one sensor bank per vnet over the unit's
@@ -182,13 +254,13 @@ func (iu *InputUnit) NumVCs() int { return len(iu.vcs) }
 // accounting span flushed so the tracker is current.
 func (iu *InputUnit) Device(vc int) *nbti.Device {
 	if iu.clk != nil {
-		iu.vcs[vc].flush(*iu.clk)
+		iu.flushVC(vc, *iu.clk)
 	}
 	return iu.vcs[vc].device
 }
 
 // Powered reports the current power state of flattened VC vc.
-func (iu *InputUnit) Powered(vc int) bool { return iu.vcs[vc].powered }
+func (iu *InputUnit) Powered(vc int) bool { return iu.poweredMask>>uint(vc)&1 != 0 }
 
 // VCStateOf returns the allocation state of flattened VC vc.
 func (iu *InputUnit) VCStateOf(vc int) VCState { return iu.vcs[vc].state }
@@ -198,9 +270,12 @@ func (iu *InputUnit) Occupancy(vc int) int { return iu.vcs[vc].len() }
 
 // bufferWrite performs the BW stage for an arriving flit. route gives
 // the output port for head flits (RC); it is ignored for body/tail.
-func (iu *InputUnit) bufferWrite(f Flit, cycle uint64, route Port) {
+// The flit is read through f and copied into the buffer exactly once;
+// f.Arrive is stamped in place.
+func (iu *InputUnit) bufferWrite(f *Flit, cycle uint64, route Port) {
+	bit := uint64(1) << uint(f.VC)
 	vc := &iu.vcs[f.VC]
-	if !vc.powered {
+	if iu.poweredMask&bit == 0 {
 		panic(fmt.Sprintf("noc: flit arrived at gated VC %d of node %d port %v",
 			f.VC, iu.owner, iu.port))
 	}
@@ -212,46 +287,77 @@ func (iu *InputUnit) bufferWrite(f Flit, cycle uint64, route Port) {
 		vc.state = VCActive
 		vc.outPort = route
 		vc.outVC = -1
-		iu.vaPending++
-		iu.activeVCs++
+		iu.vaPendMask |= bit
+		iu.activeMask |= bit
+		if iu.pendPorts != nil {
+			*iu.pendPorts |= iu.portBit
+			*iu.actPorts |= iu.portBit
+		}
 	} else if vc.state != VCActive {
 		panic("noc: body/tail flit into idle VC")
 	}
 	if vc.size == 0 {
 		// Empty -> busy transition: close the idle-stress span.
-		vc.flush(cycle - 1)
-		iu.occupied++
+		iu.flushVC(int(f.VC), cycle-1)
+		iu.occMask |= bit
+		if iu.occPorts != nil {
+			*iu.occPorts |= iu.portBit
+		}
 	}
 	f.Arrive = cycle
 	vc.push(f)
+	if vc.size == 1 {
+		vc.headArrive = cycle
+	}
 	iu.writes++
 }
 
 // popFlit removes the head flit of vc (the ST stage of the downstream
 // router or the NI ejection drain), returns it, and sends a credit back
-// upstream. When the tail leaves, the VC returns to idle.
-func (iu *InputUnit) popFlit(vc int, cycle uint64) Flit {
+// upstream. When the tail leaves, the VC returns to idle. The returned
+// pointer aliases the FIFO slot and stays valid until the buffer is
+// pushed again.
+func (iu *InputUnit) popFlit(vc int, cycle uint64) *Flit {
+	bit := uint64(1) << uint(vc)
 	b := &iu.vcs[vc]
 	if b.size == 1 {
 		// Busy -> empty transition: close the busy-stress span.
-		b.flush(cycle - 1)
-		iu.occupied--
+		iu.flushVC(vc, cycle-1)
+		iu.occMask &^= bit
+		if iu.occMask == 0 && iu.occPorts != nil {
+			*iu.occPorts &^= iu.portBit
+		}
 	}
 	f := b.pop()
+	if b.size > 0 {
+		b.headArrive = b.fifo[b.head].Arrive
+	}
 	iu.reads++
 	if f.Type.IsTail() {
 		if b.outVC == -1 {
 			// Only ejection VCs retire without a VA grant; router VCs
 			// left vaPending at the grant.
-			iu.vaPending--
+			iu.vaPendMask &^= bit
+			if iu.vaPendMask == 0 && iu.pendPorts != nil {
+				*iu.pendPorts &^= iu.portBit
+			}
 		}
 		b.state = VCIdle
 		b.outVC = -1
-		iu.activeVCs--
+		iu.activeMask &^= bit
 		// The VC may now be gated by the current mask.
 		iu.pwrDirty = true
+		if iu.ownPow != nil {
+			*iu.ownPow |= iu.portBit
+			if iu.activeMask == 0 {
+				*iu.actPorts &^= iu.portBit
+			}
+		}
 	}
 	iu.creditOut.Send(vc)
+	if iu.upCred != nil {
+		*iu.upCred |= iu.upBit
+	}
 	iu.mCredits.Inc()
 	if iu.wakeUp != nil {
 		iu.wakeUp()
@@ -264,12 +370,14 @@ func (iu *InputUnit) popFlit(vc int, cycle uint64) Flit {
 // a flit arriving at cycle t can be allocated/switched at t+1).
 func (iu *InputUnit) headReady(vc int, cycle uint64) bool {
 	b := &iu.vcs[vc]
-	return !b.empty() && b.peek().Arrive < cycle
+	return b.size > 0 && b.headArrive < cycle
 }
 
 // applyPower enacts this cycle's Up_Down mask. The mask is authoritative
 // for idle VCs; busy VCs are always powered (and the mask, being derived
 // from the upstream outVCstate, always keeps them on — asserted here).
+// The whole update is three mask operations plus one span flush per
+// supply transition.
 func (iu *InputUnit) applyPower(cycle uint64) {
 	if !iu.pwrDirty {
 		// Neither the mask nor any VC's active state changed since the
@@ -279,29 +387,26 @@ func (iu *InputUnit) applyPower(cycle uint64) {
 		return
 	}
 	iu.pwrDirty = false
-	mask := iu.powerIn.Current()
-	for i := range iu.vcs {
-		b := &iu.vcs[i]
-		on := mask&(1<<uint(i)) != 0
-		if !on && (b.state != VCIdle || !b.empty()) {
-			panic(fmt.Sprintf("noc: power mask gates busy VC %d of node %d port %v",
-				i, iu.owner, iu.port))
-		}
-		on = on || b.state != VCIdle
-		if on != b.powered {
-			// Power transition: close the span charged under the old
-			// supply state.
-			b.flush(cycle - 1)
-			b.powered = on
-		}
+	mask := iu.power.Current() & iu.vcAll
+	busy := iu.activeMask | iu.occMask
+	if bad := busy &^ mask; bad != 0 {
+		panic(fmt.Sprintf("noc: power mask gates busy VC %d of node %d port %v",
+			bits.TrailingZeros64(bad), iu.owner, iu.port))
 	}
+	on := mask | busy
+	// Flush transitioning VCs (ascending, as the per-VC sweep did) under
+	// their pre-transition supply state, then commit the new mask.
+	for diff := on ^ iu.poweredMask; diff != 0; diff &= diff - 1 {
+		iu.flushVC(bits.TrailingZeros64(diff), cycle-1)
+	}
+	iu.poweredMask = on
 }
 
 // flushNBTI closes the open accounting span of every VC up to and
 // including upTo — the read-side barrier used before any tracker access.
 func (iu *InputUnit) flushNBTI(upTo uint64) {
 	for i := range iu.vcs {
-		iu.vcs[i].flush(upTo)
+		iu.flushVC(i, upTo)
 	}
 }
 
@@ -320,6 +425,9 @@ func (iu *InputUnit) publishMostDegraded(cycle uint64) {
 		}
 		iu.mdOut.Send(vn, md, ld)
 	}
+	if iu.upMD != nil && !iu.mdOut.settled() {
+		*iu.upMD |= iu.upBit
+	}
 }
 
 // Writes returns the number of buffer-write events (flits received).
@@ -332,7 +440,7 @@ func (iu *InputUnit) Reads() uint64 { return iu.reads }
 func (iu *InputUnit) bufferedFlits() int {
 	n := 0
 	for i := range iu.vcs {
-		n += iu.vcs[i].len()
+		n += int(iu.vcs[i].size)
 	}
 	return n
 }

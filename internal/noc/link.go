@@ -25,7 +25,10 @@ func NewPipeline[T any](latency int) *Pipeline[T] {
 // Send enqueues v for delivery latency cycles after the current one.
 // It must be called after this cycle's Receive.
 func (p *Pipeline[T]) Send(v T) {
-	idx := (p.head + len(p.slots) - 1) % len(p.slots)
+	idx := p.head + len(p.slots) - 1
+	if idx >= len(p.slots) {
+		idx -= len(p.slots)
+	}
 	p.slots[idx] = append(p.slots[idx], v)
 	p.n++
 }
@@ -38,8 +41,11 @@ func (p *Pipeline[T]) Receive() []T {
 		return nil
 	}
 	out := p.slots[p.head]
-	p.slots[p.head] = p.slots[p.head][:0]
-	p.head = (p.head + 1) % len(p.slots)
+	p.slots[p.head] = out[:0]
+	p.head++
+	if p.head == len(p.slots) {
+		p.head = 0
+	}
 	p.n -= len(out)
 	return out
 }
@@ -92,6 +98,13 @@ func (l *powerLink) settled() bool { return l.cur == l.next }
 // upstream outVCstate one cycle later. A valid VC id is always present
 // (the link needs no enable line, as the paper notes).
 type mdLink struct {
+	// stale is set by Send whenever a pending value differs from the one
+	// in effect and cleared by Tick; while clear, next == cur holds for
+	// every vnet, so Tick and settled are O(1) instead of a slice scan.
+	// It leads the struct so that, embedded in an OutputUnit, the
+	// per-cycle settled check lands on the same cache line as the
+	// neighbouring credit pipeline's hot fields.
+	stale         bool
 	curMD, nextMD []int
 	curLD, nextLD []int
 }
@@ -110,12 +123,17 @@ func newMDLink(vnets int) *mdLink {
 func (l *mdLink) Send(vnet, md, ld int) {
 	l.nextMD[vnet] = md
 	l.nextLD[vnet] = ld
+	l.stale = l.stale || md != l.curMD[vnet] || ld != l.curLD[vnet]
 }
 
 // Tick advances the one-cycle delay and reports whether any in-effect
 // value changed — the reader uses this to invalidate a held policy
 // decision.
 func (l *mdLink) Tick() bool {
+	if !l.stale {
+		return false
+	}
+	l.stale = false
 	changed := false
 	for i := range l.curMD {
 		if l.curMD[i] != l.nextMD[i] || l.curLD[i] != l.nextLD[i] {
@@ -131,14 +149,7 @@ func (l *mdLink) Tick() bool {
 func (l *mdLink) Current(vnet int) int { return l.curMD[vnet] }
 
 // settled reports whether ticking the link is a no-op.
-func (l *mdLink) settled() bool {
-	for i := range l.curMD {
-		if l.curMD[i] != l.nextMD[i] || l.curLD[i] != l.nextLD[i] {
-			return false
-		}
-	}
-	return true
-}
+func (l *mdLink) settled() bool { return !l.stale }
 
 // CurrentLD returns the least degraded VC for the vnet as seen upstream.
 func (l *mdLink) CurrentLD(vnet int) int { return l.curLD[vnet] }

@@ -2,22 +2,43 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
+	"nbtinoc/internal/nbti"
 	"nbtinoc/internal/pv"
 	"nbtinoc/internal/rng"
 )
 
 // Network is a complete mesh NoC instance: routers, network interfaces
 // and all flit/credit/control channels, advanced one cycle at a time.
+//
+// All hot per-(router, port, vc) state lives in flat contiguous arenas
+// owned by the network — routers, NIs, input/output units, VC buffers,
+// flit FIFOs, NBTI devices, link pipelines and control links are value
+// slices, and units hold subslices into them. The packed index scheme is
+//
+//	unit slot = node*(NumPorts+1) + port   (port NumPorts = NI side)
+//	vc slot   = unit slot*TotalVCs + vc
+//
+// so the active-set sweep walks memory nearly linearly instead of
+// chasing per-unit heap objects.
 type Network struct {
 	cfg     Config
-	routers []*Router
-	nis     []*NI
+	routers []Router
+	nis     []NI
 
-	powerLinks []*powerLink
-	mdLinks    []*mdLink
-	flitPipes  []*Pipeline[Flit]
-	credPipes  []*Pipeline[int]
+	// Unit and VC-state arenas; see the packed index scheme above.
+	// Channel endpoint state (flit/credit pipelines, Up_Down and Down_Up
+	// links) is embedded in the unit that reads it — the writing end
+	// holds a pointer — so the per-cycle receive pass touches only the
+	// reader's own cache lines.
+	iunits  []InputUnit
+	ounits  []OutputUnit
+	vcbufs  []vcBuffer
+	outvcs  []outVC
+	devices []nbti.Device
+	fifos   []Flit
+	flows   []niFlow
 
 	cycle        uint64
 	nextPacketID uint64
@@ -29,12 +50,10 @@ type Network struct {
 	rtrMask, niMask []uint64
 	// rtrSnap/niSnap capture the active sets at the top of each Step so
 	// units woken mid-cycle join the sweep the following cycle, matching
-	// the one-cycle link delays. activeRtr/activeNI are the decoded id
-	// lists (ascending NodeID — a deterministic iteration order) reused
-	// across cycles.
+	// the one-cycle link delays. Each phase iterates the snapshot's set
+	// bits directly (ascending NodeID — a deterministic order by
+	// construction).
 	rtrSnap, niSnap []uint64
-	activeRtr       []int32
-	activeNI        []int32
 	// nextSample is the next sensor-sampling cycle; between samples the
 	// banks hold their outputs, so the publish phase is skipped.
 	nextSample uint64
@@ -54,9 +73,14 @@ type Network struct {
 	lastProgress uint64
 }
 
-// ejPort is the pseudo-port index used when sampling process variation
-// for the NI ejection buffers.
+// ejPort is the pseudo-port index used for the NI-side unit slot of each
+// node: the ejection input buffers and the injection output unit, and
+// the index used when sampling their process variation.
 const ejPort = int(NumPorts)
+
+// unitSlots is the per-node unit-arena stride: the five router ports
+// plus the NI-side slot.
+const unitSlots = int(NumPorts) + 1
 
 // New builds a network from the configuration. The same PVSeed yields
 // the same initial Vth values regardless of the policy, as the paper's
@@ -70,7 +94,8 @@ func New(cfg Config) (*Network, error) {
 	}
 	n := &Network{cfg: cfg, met: newNetMetrics()}
 	nodes := cfg.Nodes()
-	n.vmap = pv.SampleNetwork(cfg.PV, cfg.PVSeed, nodes, int(NumPorts)+1, cfg.TotalVCs())
+	total := cfg.TotalVCs()
+	n.vmap = pv.SampleNetwork(cfg.PV, cfg.PVSeed, nodes, unitSlots, total)
 
 	sensorSrc := rng.New(cfg.SensorSeed)
 	seeder := func() *rng.Source {
@@ -80,27 +105,45 @@ func New(cfg Config) (*Network, error) {
 		return nil
 	}
 
-	n.routers = make([]*Router, nodes)
-	n.nis = make([]*NI, nodes)
+	// Unit arenas: slots for absent edge ports stay zero values (the
+	// uniform stride keeps indexing branch-free; the waste is small).
+	slots := nodes * unitSlots
+	n.iunits = make([]InputUnit, slots)
+	n.ounits = make([]OutputUnit, slots)
+	n.vcbufs = make([]vcBuffer, slots*total)
+	n.outvcs = make([]outVC, slots*total)
+	n.devices = make([]nbti.Device, slots*total)
+	// FIFO storage: router-port slots use BufferDepth, the NI-side slot
+	// EjectBufferDepth.
+	nodeFifo := (int(NumPorts)*cfg.BufferDepth + cfg.EjectBufferDepth) * total
+	n.fifos = make([]Flit, nodes*nodeFifo)
+	n.flows = make([]niFlow, nodes*total)
+
+	n.routers = make([]Router, nodes)
+	n.nis = make([]NI, nodes)
+	coords := make([]Coord, nodes)
 	for id := 0; id < nodes; id++ {
-		n.routers[id] = newRouter(NodeID(id), CoordOf(NodeID(id), cfg.Width), &n.cfg)
+		coords[id] = CoordOf(NodeID(id), cfg.Width)
+	}
+	for id := 0; id < nodes; id++ {
+		initRouter(&n.routers[id], NodeID(id), coords[id], &n.cfg)
 		n.routers[id].net = n
-		n.nis[id] = newNI(NodeID(id), &n.cfg)
+		n.routers[id].coords = coords
+		initNI(&n.nis[id], NodeID(id), &n.cfg, n.flows[id*total:(id+1)*total])
 		n.nis[id].net = n
 	}
 
 	for id := 0; id < nodes; id++ {
-		r := n.routers[id]
-		ni := n.nis[id]
+		r := &n.routers[id]
+		ni := &n.nis[id]
 
 		// NI → router Local input port (gated like any router port).
-		ni.out = newOutputUnit(NodeID(id), Local, &n.cfg, cfg.BufferDepth, cfg.Policy)
-		r.in[Local] = newInputUnit(NodeID(id), Local, &n.cfg, cfg.BufferDepth,
+		ni.out = n.initOU(id, ejPort, NodeID(id), Local, cfg.BufferDepth, cfg.Policy)
+		r.in[Local] = n.initIU(id, int(Local), NodeID(id), Local, cfg.BufferDepth,
 			n.vmap.PortVths(id, int(Local)))
-		flit, cred := n.connect(ni.out, r.in[Local])
-		r.flitIn[Local] = flit
-		_ = cred
+		n.connect(ni.out, r.in[Local])
 		ni.out.wakeDown = n.routerWaker(id)
+		ni.out.dnFlit, ni.out.dnPow, ni.out.dnBit = &r.flitPorts, &r.powPorts, 1<<uint(Local)
 		r.in[Local].wakeUp = n.niWaker(id)
 
 		// Router Local output port → NI ejection buffers.
@@ -108,13 +151,13 @@ func New(cfg Config) (*Network, error) {
 		if cfg.GateEjection && cfg.Policy != nil {
 			ejPolicy = cfg.Policy
 		}
-		r.out[Local] = newOutputUnit(NodeID(id), Local, &n.cfg, cfg.EjectBufferDepth, ejPolicy)
-		ni.ej = newInputUnit(NodeID(id), Local, &n.cfg, cfg.EjectBufferDepth,
+		r.out[Local] = n.initOU(id, int(Local), NodeID(id), Local, cfg.EjectBufferDepth, ejPolicy)
+		ni.ej = n.initIU(id, ejPort, NodeID(id), Local, cfg.EjectBufferDepth,
 			n.vmap.PortVths(id, ejPort))
-		flit, _ = n.connect(r.out[Local], ni.ej)
-		ni.ejFlitIn = flit
+		n.connect(r.out[Local], ni.ej)
 		r.out[Local].wakeDown = n.niWaker(id)
 		ni.ej.wakeUp = n.routerWaker(id)
+		ni.ej.upCred, ni.ej.upMD, ni.ej.upBit = &r.credPorts, &r.mdPorts, 1<<uint(Local)
 
 		// Mesh links: create the outgoing channel for each direction.
 		c := r.Coord()
@@ -123,21 +166,39 @@ func New(cfg Config) (*Network, error) {
 			if !ok {
 				continue
 			}
-			down := n.routers[nb]
+			down := &n.routers[nb]
 			inPort := dir.Opposite()
-			r.out[dir] = newOutputUnit(NodeID(id), dir, &n.cfg, cfg.BufferDepth, cfg.Policy)
-			down.in[inPort] = newInputUnit(nb, inPort, &n.cfg, cfg.BufferDepth,
+			r.out[dir] = n.initOU(id, int(dir), NodeID(id), dir, cfg.BufferDepth, cfg.Policy)
+			down.in[inPort] = n.initIU(int(nb), int(inPort), nb, inPort, cfg.BufferDepth,
 				n.vmap.PortVths(int(nb), int(inPort)))
-			flit, _ = n.connect(r.out[dir], down.in[inPort])
-			down.flitIn[inPort] = flit
+			n.connect(r.out[dir], down.in[inPort])
 			r.out[dir].wakeDown = n.routerWaker(int(nb))
+			r.out[dir].dnFlit, r.out[dir].dnPow, r.out[dir].dnBit = &down.flitPorts, &down.powPorts, 1<<uint(inPort)
 			down.in[inPort].wakeUp = n.routerWaker(id)
+			down.in[inPort].upCred, down.in[inPort].upMD, down.in[inPort].upBit = &r.credPorts, &r.mdPorts, 1<<uint(dir)
 		}
 	}
 
-	// Every unit starts on the active set: the initial policy runs and
-	// gating transitions must execute before a unit can prove itself
-	// quiescent and drop off.
+	// Every unit starts on the active set (and every present port on its
+	// router's receive summary): the initial policy runs and gating
+	// transitions must execute before a unit can prove itself quiescent
+	// and drop off.
+	for id := 0; id < nodes; id++ {
+		r := &n.routers[id]
+		r.steadyAll = true
+		for p := Port(0); p < NumPorts; p++ {
+			if r.in[p] != nil {
+				r.flitPorts |= 1 << uint(p)
+				r.powPorts |= 1 << uint(p)
+			}
+			if r.out[p] != nil {
+				r.credPorts |= 1 << uint(p)
+				r.mdPorts |= 1 << uint(p)
+				r.polPorts |= 1 << uint(p)
+				r.steadyAll = r.steadyAll && r.out[p].steady
+			}
+		}
+	}
 	words := (nodes + 63) / 64
 	n.rtrMask = newFullMask(nodes, words)
 	n.niMask = newFullMask(nodes, words)
@@ -146,6 +207,9 @@ func New(cfg Config) (*Network, error) {
 	n.nextSample = 1
 
 	// Attach sensors to every input unit (router ports and NI ejection).
+	// The iteration order fixes the rng split sequence and must not
+	// change: nodes ascending, router ports 0..NumPorts-1, then the NI
+	// ejection unit.
 	for id := 0; id < nodes; id++ {
 		for p := Port(0); p < NumPorts; p++ {
 			if iu := n.routers[id].in[p]; iu != nil {
@@ -161,34 +225,72 @@ func New(cfg Config) (*Network, error) {
 	return n, nil
 }
 
-// connect wires an upstream output unit to a downstream input unit with
-// flit, credit and control channels, returning the flit and credit
-// pipelines (the downstream end keeps the flit pipe, the upstream keeps
-// the credit pipe).
-func (n *Network) connect(ou *OutputUnit, iu *InputUnit) (*Pipeline[Flit], *Pipeline[int]) {
-	// A serialized flit is fully received LinkLatency + phits - 1 cycles
-	// after switch traversal begins; credits travel on dedicated narrow
-	// wires at plain link latency.
-	flit := NewPipeline[Flit](n.cfg.LinkLatency + n.cfg.PhitsPerFlit - 1)
-	cred := NewPipeline[int](n.cfg.LinkLatency)
-	power := newPowerLink()
-	md := newMDLink(n.cfg.VNets)
+// fifoOf returns the FIFO arena slice of a unit slot: router ports use
+// BufferDepth flits per VC, the NI-side slot EjectBufferDepth.
+func (n *Network) fifoOf(node, slot int) []Flit {
+	total := n.cfg.TotalVCs()
+	nodeFifo := (int(NumPorts)*n.cfg.BufferDepth + n.cfg.EjectBufferDepth) * total
+	base := node * nodeFifo
+	var off, size int
+	if slot < int(NumPorts) {
+		off = slot * n.cfg.BufferDepth * total
+		size = n.cfg.BufferDepth * total
+	} else {
+		off = int(NumPorts) * n.cfg.BufferDepth * total
+		size = n.cfg.EjectBufferDepth * total
+	}
+	return n.fifos[base+off : base+off+size : base+off+size]
+}
 
-	ou.flitOut = flit
-	ou.creditIn = cred
-	ou.powerOut = power
-	ou.mdIn = md
-
-	iu.creditOut = cred
-	iu.powerIn = power
-	iu.mdOut = md
+// initIU initialises the input unit at arena slot (node, slot) over its
+// arena subslices and returns it. Router-port slots (slot < NumPorts)
+// are wired into their router's port-summary masks; the NI ejection
+// slot has no router and leaves the back pointers nil.
+func (n *Network) initIU(node, slot int, owner NodeID, port Port, depth int, vth0 []float64) *InputUnit {
+	total := n.cfg.TotalVCs()
+	u := node*unitSlots + slot
+	iu := &n.iunits[u]
+	initInputUnit(iu, owner, port, &n.cfg,
+		n.vcbufs[u*total:(u+1)*total], n.fifoOf(node, slot),
+		n.devices[u*total:(u+1)*total], depth, vth0)
 	iu.clk = &n.cycle
+	if slot < int(NumPorts) {
+		r := &n.routers[node]
+		iu.occPorts = &r.occPorts
+		iu.pendPorts = &r.pendPorts
+		iu.actPorts = &r.busyIn
+		iu.ownPow = &r.powPorts
+		iu.portBit = 1 << uint(slot)
+	}
+	return iu
+}
 
-	n.flitPipes = append(n.flitPipes, flit)
-	n.credPipes = append(n.credPipes, cred)
-	n.powerLinks = append(n.powerLinks, power)
-	n.mdLinks = append(n.mdLinks, md)
-	return flit, cred
+// initOU initialises the output unit at arena slot (node, slot) over its
+// arena subslice and returns it.
+func (n *Network) initOU(node, slot int, owner NodeID, port Port, depth int, factory PolicyFactory) *OutputUnit {
+	total := n.cfg.TotalVCs()
+	u := node*unitSlots + slot
+	ou := &n.ounits[u]
+	initOutputUnit(ou, owner, port, &n.cfg, n.outvcs[u*total:(u+1)*total], depth, factory)
+	if slot < int(NumPorts) {
+		r := &n.routers[node]
+		ou.ownPol = &r.polPorts
+		ou.ownAct = &r.busyOut
+		ou.ownPolBit = 1 << uint(slot)
+	}
+	return ou
+}
+
+// connect wires an upstream output unit to a downstream input unit.
+// Each channel's endpoint state is embedded in its reader (flit pipeline
+// and power link in the input unit, credit pipeline and Down_Up link in
+// the output unit), so wiring is pure pointer exchange.
+func (n *Network) connect(ou *OutputUnit, iu *InputUnit) {
+	ou.flitOut = &iu.flitIn
+	ou.powerOut = &iu.power
+	iu.creditOut = &ou.creditIn
+	iu.mdOut = &ou.mdIn
+	iu.clk = &n.cycle
 }
 
 // neighbour returns the node id in direction dir from c, if it exists.
@@ -217,10 +319,10 @@ func (n *Network) Config() Config { return n.cfg }
 func (n *Network) Cycle() uint64 { return n.cycle }
 
 // Router returns router id.
-func (n *Network) Router(id NodeID) *Router { return n.routers[id] }
+func (n *Network) Router(id NodeID) *Router { return &n.routers[id] }
 
 // NI returns the network interface of node id.
-func (n *Network) NI(id NodeID) *NI { return n.nis[id] }
+func (n *Network) NI(id NodeID) *NI { return &n.nis[id] }
 
 // Nodes returns the node count.
 func (n *Network) Nodes() int { return len(n.routers) }
@@ -259,105 +361,93 @@ func (n *Network) Inject(src, dst NodeID, vnet, length int) error {
 	n.wakeNI(src)
 	if n.tracer != nil {
 		n.trace(EvInject, src, Local, -1, Flit{
-			PacketID: p.ID, Src: src, Dst: dst, VNet: vnet,
-			Type: HeadFlit, Len: length, InjectCycle: n.cycle,
+			PacketID: p.ID, Src: src, Dst: dst, VNet: int32(vnet),
+			Type: HeadFlit, Len: int32(length), InjectCycle: n.cycle,
 		})
 	}
 	n.nextPacketID++
 	return nil
 }
 
-// Step advances the network by one cycle. Phase order emulates the
-// synchronous hardware: control/credit/flit deliveries land first, then
-// ST executes last cycle's switch grants, then VA/SA compute this
-// cycle's allocations, then the pre-VA recovery policies publish next
-// cycle's power commands, and finally the sensor banks sample at their
-// due cycles (NBTI accounting itself is span-batched and flushed
-// lazily). Each phase sweeps only the units on this cycle's active-set
-// snapshot; see activeset.go for why skipping the rest is exact.
+// Step advances the network by one cycle. The cycle is split into a
+// receive pass and a compute pass: the receive pass lands every
+// control/credit/flit delivery (link ticks, credit returns, BW/RC,
+// power-mask application), then the compute pass executes last cycle's
+// switch grants (ST), this cycle's allocations (VA/SA), the NI drains
+// and launches, and the pre-VA recovery policies. The split is exact
+// because all cross-unit communication flows through links with at
+// least one cycle of delay: receive passes only consume from channels
+// and compute passes only send into them, so within a pass the unit
+// order cannot matter — which lets each pass run fused per unit (one
+// cache-resident visit) instead of one sweep per pipeline stage.
+// Finally the sensor banks sample at their due cycles (NBTI accounting
+// itself is span-batched and flushed lazily). Each pass sweeps the set
+// bits of this cycle's active-set snapshot in ascending id order; see
+// activeset.go for why skipping the rest is exact.
 func (n *Network) Step() {
 	n.cycle++
 	cycle := n.cycle
 
-	copy(n.rtrSnap, n.rtrMask)
-	copy(n.niSnap, n.niMask)
-	rtrs := decodeMask(n.activeRtr, n.rtrSnap)
-	nis := decodeMask(n.activeNI, n.niSnap)
-	n.activeRtr, n.activeNI = rtrs, nis
+	nRtr, nNI := 0, 0
+	for w := range n.rtrSnap {
+		n.rtrSnap[w] = n.rtrMask[w]
+		nRtr += bits.OnesCount64(n.rtrSnap[w])
+		n.niSnap[w] = n.niMask[w]
+		nNI += bits.OnesCount64(n.niSnap[w])
+	}
 
 	n.met.cycles.Inc()
-	n.met.routersActive.Add(uint64(len(rtrs)))
-	n.met.routersSkipped.Add(uint64(len(n.routers) - len(rtrs)))
-	n.met.nisActive.Add(uint64(len(nis)))
-	n.met.nisSkipped.Add(uint64(len(n.nis) - len(nis)))
+	n.met.routersActive.Add(uint64(nRtr))
+	n.met.routersSkipped.Add(uint64(len(n.routers) - nRtr))
+	n.met.nisActive.Add(uint64(nNI))
+	n.met.nisSkipped.Add(uint64(len(n.nis) - nNI))
 
-	for _, id := range rtrs {
-		n.routers[id].tickLinks()
+	for w, word := range n.rtrSnap {
+		for b := word; b != 0; b &= b - 1 {
+			n.routers[w<<6+bits.TrailingZeros64(b)].phaseRecv(cycle)
+		}
 	}
-	for _, id := range nis {
-		n.nis[id].tickLinks()
+	for w, word := range n.niSnap {
+		for b := word; b != 0; b &= b - 1 {
+			n.nis[w<<6+bits.TrailingZeros64(b)].phaseRecv(cycle)
+		}
 	}
-	for _, id := range rtrs {
-		n.routers[id].creditTick()
+	for w, word := range n.rtrSnap {
+		for b := word; b != 0; b &= b - 1 {
+			n.routers[w<<6+bits.TrailingZeros64(b)].phaseCompute(cycle)
+		}
 	}
-	for _, id := range nis {
-		n.nis[id].out.creditTick()
-	}
-	for _, id := range rtrs {
-		n.routers[id].deliverFlits(cycle)
-	}
-	for _, id := range nis {
-		n.nis[id].deliverEject(cycle)
-	}
-	for _, id := range rtrs {
-		n.routers[id].applyPower(cycle)
-	}
-	for _, id := range nis {
-		n.nis[id].ej.applyPower(cycle)
-	}
-	for _, id := range rtrs {
-		n.routers[id].stageST(cycle)
-	}
-	for _, id := range nis {
-		ni := n.nis[id]
-		ni.drainEject(cycle)
-		ni.stageSend(cycle)
-	}
-	for _, id := range rtrs {
-		n.routers[id].stageVA(cycle)
-	}
-	for _, id := range nis {
-		n.nis[id].stageVA(cycle)
-	}
-	for _, id := range rtrs {
-		n.routers[id].stageSA(cycle)
-	}
-	for _, id := range rtrs {
-		n.routers[id].stagePolicy(cycle)
-	}
-	for _, id := range nis {
-		n.nis[id].stagePolicy(cycle)
+	for w, word := range n.niSnap {
+		for b := word; b != 0; b &= b - 1 {
+			n.nis[w<<6+bits.TrailingZeros64(b)].phaseCompute(cycle)
+		}
 	}
 	if cycle == n.nextSample {
 		// The sampling sweep covers every unit, active or not: sensor
 		// cadence is global, and a changed comparator output wakes the
 		// upstream consumer.
-		for _, r := range n.routers {
-			r.samplePhase(cycle)
+		for i := range n.routers {
+			n.routers[i].samplePhase(cycle)
 		}
-		for _, ni := range n.nis {
-			ni.samplePhase(cycle)
+		for i := range n.nis {
+			n.nis[i].samplePhase(cycle)
 		}
 		n.nextSample += n.cfg.Sensor.SamplePeriod
 	}
-	for _, id := range rtrs {
-		if n.routers[id].quiescent() {
-			n.rtrMask[id>>6] &^= 1 << uint(id&63)
+	for w, word := range n.rtrSnap {
+		for b := word; b != 0; b &= b - 1 {
+			id := w<<6 + bits.TrailingZeros64(b)
+			if n.routers[id].quiescent() {
+				n.rtrMask[w] &^= 1 << uint(id&63)
+			}
 		}
 	}
-	for _, id := range nis {
-		if n.nis[id].quiescent() {
-			n.niMask[id>>6] &^= 1 << uint(id&63)
+	for w, word := range n.niSnap {
+		for b := word; b != 0; b &= b - 1 {
+			id := w<<6 + bits.TrailingZeros64(b)
+			if n.nis[id].quiescent() {
+				n.niMask[w] &^= 1 << uint(id&63)
+			}
 		}
 	}
 	if nbtiDebug {
@@ -392,22 +482,24 @@ func (n *Network) Stalled(threshold uint64) bool {
 // InFlightFlits returns the number of flits buffered or on links.
 func (n *Network) InFlightFlits() int {
 	total := 0
-	for _, p := range n.flitPipes {
-		total += p.InFlight()
+	// Every flit pipeline is embedded in exactly one input unit, so the
+	// unit arena covers all links (unwired edge slots hold empty pipes).
+	for i := range n.iunits {
+		total += n.iunits[i].flitIn.InFlight()
 	}
-	for _, r := range n.routers {
-		total += r.bufferedFlits()
+	for i := range n.routers {
+		total += n.routers[i].bufferedFlits()
 	}
-	for _, ni := range n.nis {
-		total += ni.ej.bufferedFlits() + ni.pendingFlits()
+	for i := range n.nis {
+		total += n.nis[i].ej.bufferedFlits() + n.nis[i].pendingFlits()
 	}
 	return total
 }
 
 // Quiescent reports whether no packet is queued, buffered or in flight.
 func (n *Network) Quiescent() bool {
-	for _, ni := range n.nis {
-		if ni.QueuedPackets() > 0 {
+	for i := range n.nis {
+		if n.nis[i].QueuedPackets() > 0 {
 			return false
 		}
 	}
@@ -418,15 +510,16 @@ func (n *Network) Quiescent() bool {
 // input and NI ejection buffers) up to the current cycle — the
 // network-level read barrier before any bulk tracker access.
 func (n *Network) flushNBTI() {
-	for _, r := range n.routers {
+	for i := range n.routers {
+		r := &n.routers[i]
 		for p := Port(0); p < NumPorts; p++ {
 			if iu := r.in[p]; iu != nil {
 				iu.flushNBTI(n.cycle)
 			}
 		}
 	}
-	for _, ni := range n.nis {
-		ni.ej.flushNBTI(n.cycle)
+	for i := range n.nis {
+		n.nis[i].ej.flushNBTI(n.cycle)
 	}
 }
 
@@ -435,7 +528,8 @@ func (n *Network) flushNBTI() {
 // cycle; the flushed charges are then discarded with the rest.
 func (n *Network) ResetNBTIStats() {
 	n.flushNBTI()
-	for _, r := range n.routers {
+	for i := range n.routers {
+		r := &n.routers[i]
 		for p := Port(0); p < NumPorts; p++ {
 			if iu := r.in[p]; iu != nil {
 				for vc := range iu.vcs {
@@ -444,9 +538,10 @@ func (n *Network) ResetNBTIStats() {
 			}
 		}
 	}
-	for _, ni := range n.nis {
-		for vc := range ni.ej.vcs {
-			ni.ej.vcs[vc].device.Tracker.Reset()
+	for i := range n.nis {
+		ej := n.nis[i].ej
+		for vc := range ej.vcs {
+			ej.vcs[vc].device.Tracker.Reset()
 		}
 	}
 }
@@ -475,7 +570,8 @@ type EventCounts struct {
 func (n *Network) Events() EventCounts {
 	n.flushNBTI()
 	var e EventCounts
-	for _, r := range n.routers {
+	for i := range n.routers {
+		r := &n.routers[i]
 		e.CrossbarTraversals += r.stFlits
 		e.VAGrants += r.vaGrants
 		e.SAGrants += r.saGrants
@@ -495,7 +591,8 @@ func (n *Network) Events() EventCounts {
 			}
 		}
 	}
-	for _, ni := range n.nis {
+	for i := range n.nis {
+		ni := &n.nis[i]
 		e.LinkFlits += ni.out.flitsSent
 		e.GateEvents += ni.out.gateEvents
 		e.WakeEvents += ni.out.wakeEvents
@@ -505,7 +602,8 @@ func (n *Network) Events() EventCounts {
 
 // ResetEventCounters clears the microarchitectural event counters.
 func (n *Network) ResetEventCounters() {
-	for _, r := range n.routers {
+	for i := range n.routers {
+		r := &n.routers[i]
 		r.stFlits, r.vaGrants, r.saGrants = 0, 0, 0
 		for p := Port(0); p < NumPorts; p++ {
 			if iu := r.in[p]; iu != nil {
@@ -516,7 +614,8 @@ func (n *Network) ResetEventCounters() {
 			}
 		}
 	}
-	for _, ni := range n.nis {
+	for i := range n.nis {
+		ni := &n.nis[i]
 		ni.out.flitsSent, ni.out.gateEvents, ni.out.wakeEvents = 0, 0, 0
 		ni.ej.writes, ni.ej.reads = 0, 0
 	}
@@ -524,8 +623,8 @@ func (n *Network) ResetEventCounters() {
 
 // ResetTrafficStats clears all NI traffic statistics.
 func (n *Network) ResetTrafficStats() {
-	for _, ni := range n.nis {
-		ni.ResetStats()
+	for i := range n.nis {
+		n.nis[i].ResetStats()
 	}
 }
 
@@ -554,8 +653,8 @@ func (n *Network) Vth0(node NodeID, port Port, vc int) float64 {
 // all NIs.
 func (n *Network) LatencyHistogramAll() LatencyHistogram {
 	var h LatencyHistogram
-	for _, ni := range n.nis {
-		h.Merge(&ni.stats.Latency)
+	for i := range n.nis {
+		h.Merge(&n.nis[i].stats.Latency)
 	}
 	return h
 }
@@ -563,8 +662,8 @@ func (n *Network) LatencyHistogramAll() LatencyHistogram {
 // TotalEjectedPackets sums ejected packets across all NIs.
 func (n *Network) TotalEjectedPackets() uint64 {
 	var total uint64
-	for _, ni := range n.nis {
-		total += ni.stats.EjectedPackets
+	for i := range n.nis {
+		total += n.nis[i].stats.EjectedPackets
 	}
 	return total
 }
@@ -572,8 +671,8 @@ func (n *Network) TotalEjectedPackets() uint64 {
 // TotalInjectedPackets sums packets accepted into source queues.
 func (n *Network) TotalInjectedPackets() uint64 {
 	var total uint64
-	for _, ni := range n.nis {
-		total += ni.stats.InjectedPackets
+	for i := range n.nis {
+		total += n.nis[i].stats.InjectedPackets
 	}
 	return total
 }

@@ -1,6 +1,9 @@
 package noc
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // NIStats aggregates per-node traffic statistics.
 type NIStats struct {
@@ -62,33 +65,35 @@ type NI struct {
 	// input port).
 	out *OutputUnit
 	// ej holds the ejection buffers (downstream of the router's Local
-	// output port).
-	ej       *InputUnit
-	ejFlitIn *Pipeline[Flit]
-	ejArb    *RoundRobin
+	// output port); its embedded flitIn is the router→NI flit pipeline.
+	ej    *InputUnit
+	ejArb RoundRobin
 
-	srcQ    [][]Packet // per-vnet source queues
-	flows   []niFlow   // per flattened local-port VC
-	flowArb *RoundRobin
-	// openFlows counts flows with unlaunched flits, so stageSend can
-	// skip its VC sweep when nothing is mid-injection.
-	openFlows int
-
-	newTraffic []bool
+	srcQ [][]Packet // per-vnet source queues
+	// queued counts packets across all source queues, so the per-cycle
+	// quiescence check is O(1) instead of a sweep over the queue slices.
+	queued  int
+	flows   []niFlow // per flattened local-port VC
+	flowArb RoundRobin
+	// flowMask marks VCs whose flow still has unlaunched flits, so
+	// stageSend sweeps only live flows (and skips entirely when zero).
+	flowMask uint64
 
 	stats NIStats
 }
 
-func newNI(id NodeID, cfg *Config) *NI {
+// initNI initialises the NI shell in place; its output unit and ejection
+// input unit are attached by the network wiring. flows is caller-owned
+// backing storage with TotalVCs entries.
+func initNI(ni *NI, id NodeID, cfg *Config, flows []niFlow) {
 	total := cfg.TotalVCs()
-	return &NI{
-		id:         id,
-		cfg:        cfg,
-		srcQ:       make([][]Packet, cfg.VNets),
-		flows:      make([]niFlow, total),
-		flowArb:    NewRoundRobin(total),
-		ejArb:      NewRoundRobin(total),
-		newTraffic: make([]bool, cfg.VNets),
+	*ni = NI{
+		id:      id,
+		cfg:     cfg,
+		srcQ:    make([][]Packet, cfg.VNets),
+		flows:   flows[:total:total],
+		flowArb: RoundRobin{n: total},
+		ejArb:   RoundRobin{n: total},
 	}
 }
 
@@ -108,20 +113,14 @@ func (ni *NI) Ejection() *InputUnit { return ni.ej }
 func (ni *NI) InjectionOutput() *OutputUnit { return ni.out }
 
 // QueuedPackets returns the number of packets waiting in source queues.
-func (ni *NI) QueuedPackets() int {
-	n := 0
-	for _, q := range ni.srcQ {
-		n += len(q)
-	}
-	return n
-}
+func (ni *NI) QueuedPackets() int { return ni.queued }
 
 // pendingFlits returns flits buffered in open flows (allocated but not
 // yet launched).
 func (ni *NI) pendingFlits() int {
 	n := 0
-	for i := range ni.flows {
-		fl := &ni.flows[i]
+	for m := ni.flowMask; m != 0; m &= m - 1 {
+		fl := &ni.flows[bits.TrailingZeros64(m)]
 		n += len(fl.flits) - fl.next
 	}
 	return n
@@ -136,6 +135,7 @@ func (ni *NI) inject(p Packet) error {
 		return fmt.Errorf("noc: packet length %d", p.Len)
 	}
 	ni.srcQ[p.VNet] = append(ni.srcQ[p.VNet], p)
+	ni.queued++
 	ni.stats.InjectedPackets++
 	if q := ni.QueuedPackets(); q > ni.stats.MaxQueueLen {
 		ni.stats.MaxQueueLen = q
@@ -146,22 +146,34 @@ func (ni *NI) inject(p Packet) error {
 // deliverEject writes flits arriving from the router into the ejection
 // buffers.
 func (ni *NI) deliverEject(cycle uint64) {
-	for _, f := range ni.ejFlitIn.Receive() {
-		ni.ej.bufferWrite(f, cycle, Local)
+	flits := ni.ej.flitIn.Receive()
+	for i := range flits {
+		ni.ej.bufferWrite(&flits[i], cycle, Local)
 	}
 }
 
+// pickEject returns the first VC of mask (ascending bit order) whose
+// head flit is ready, or -1.
+func (ni *NI) pickEject(mask, cycle uint64) int {
+	for ; mask != 0; mask &= mask - 1 {
+		if vc := bits.TrailingZeros64(mask); ni.ej.headReady(vc, cycle) {
+			return vc
+		}
+	}
+	return -1
+}
+
 // drainEject consumes up to EjectRate flits from the ejection buffers,
-// completing packets and recording latency.
+// completing packets and recording latency. The rotating scan sweeps the
+// occupied-VC mask from the arbiter pointer upward, then wraps —
+// identical to the modular scan over all VCs.
 func (ni *NI) drainEject(cycle uint64) {
 	for k := 0; k < ni.cfg.EjectRate; k++ {
-		vc := -1
-		for i := 0; i < ni.ej.NumVCs(); i++ {
-			cand := (ni.ejArb.next + i) % ni.ej.NumVCs()
-			if ni.ej.headReady(cand, cycle) {
-				vc = cand
-				break
-			}
+		occ := ni.ej.occMask
+		low := uint64(1)<<uint(ni.ejArb.next) - 1
+		vc := ni.pickEject(occ&^low, cycle)
+		if vc < 0 {
+			vc = ni.pickEject(occ&low, cycle)
 		}
 		if vc < 0 {
 			return
@@ -173,7 +185,7 @@ func (ni *NI) drainEject(cycle uint64) {
 			ni.net.noteProgress()
 		}
 		if ni.net != nil && ni.net.tracer != nil {
-			ni.net.trace(EvEject, ni.id, Local, vc, f)
+			ni.net.trace(EvEject, ni.id, Local, vc, *f)
 		}
 		if f.Type.IsTail() {
 			ni.stats.EjectedPackets++
@@ -182,33 +194,39 @@ func (ni *NI) drainEject(cycle uint64) {
 			ni.stats.Latency.Add(cycle - f.InjectCycle)
 			ni.stats.NetLatency.Add(cycle - f.NetInjectCycle)
 			if ni.net != nil && ni.net.deliverHook != nil {
-				ni.net.deliverHook(f, cycle)
+				ni.net.deliverHook(*f, cycle)
 			}
 		}
 	}
 }
 
+// pickFlow returns the first VC of mask (ascending bit order) that can
+// send this cycle, or -1.
+func (ni *NI) pickFlow(mask, cycle uint64) int {
+	for ; mask != 0; mask &= mask - 1 {
+		if vc := bits.TrailingZeros64(mask); ni.out.canSend(vc, cycle) {
+			return vc
+		}
+	}
+	return -1
+}
+
 // stageSend launches at most one flit from an open flow (the NI's ST).
 func (ni *NI) stageSend(cycle uint64) {
-	if ni.openFlows == 0 {
+	if ni.flowMask == 0 {
 		return
 	}
-	total := ni.cfg.TotalVCs()
-	picked := -1
-	for i := 0; i < total; i++ {
-		vc := (ni.flowArb.next + i) % total
-		fl := &ni.flows[vc]
-		if fl.next < len(fl.flits) && ni.out.canSend(vc, cycle) {
-			picked = vc
-			break
-		}
+	low := uint64(1)<<uint(ni.flowArb.next) - 1
+	picked := ni.pickFlow(ni.flowMask&^low, cycle)
+	if picked < 0 {
+		picked = ni.pickFlow(ni.flowMask&low, cycle)
 	}
 	if picked < 0 {
 		return
 	}
-	ni.flowArb.next = (picked + 1) % total
+	ni.flowArb.next = (picked + 1) % ni.cfg.TotalVCs()
 	fl := &ni.flows[picked]
-	ni.out.sendFlit(fl.flits[fl.next], picked, cycle)
+	ni.out.sendFlit(&fl.flits[fl.next], picked, cycle)
 	fl.next++
 	ni.stats.InjectedFlits++
 	if ni.net != nil {
@@ -216,7 +234,7 @@ func (ni *NI) stageSend(cycle uint64) {
 	}
 	if fl.next == len(fl.flits) {
 		*fl = niFlow{}
-		ni.openFlows--
+		ni.flowMask &^= 1 << uint(picked)
 	}
 }
 
@@ -234,12 +252,13 @@ func (ni *NI) stageVA(cycle uint64) {
 		pkt := ni.srcQ[vn][0]
 		copy(ni.srcQ[vn], ni.srcQ[vn][1:])
 		ni.srcQ[vn] = ni.srcQ[vn][:len(ni.srcQ[vn])-1]
+		ni.queued--
 		flits := pkt.Flits()
 		for i := range flits {
 			flits[i].NetInjectCycle = cycle
 		}
 		ni.flows[vc] = niFlow{flits: flits}
-		ni.openFlows++
+		ni.flowMask |= 1 << uint(vc)
 		if ni.net != nil && ni.net.tracer != nil {
 			ni.net.trace(EvNIAlloc, ni.id, Local, vc, flits[0])
 		}
@@ -247,25 +266,49 @@ func (ni *NI) stageVA(cycle uint64) {
 }
 
 // stagePolicy runs the injection-side pre-VA recovery policy: new
-// traffic exists for a vnet whenever a packet waits in its source queue.
+// traffic exists for a vnet (bit vn of the packed mask) whenever a
+// packet waits in its source queue.
 func (ni *NI) stagePolicy(cycle uint64) {
-	for vn := 0; vn < ni.cfg.VNets; vn++ {
-		ni.newTraffic[vn] = len(ni.srcQ[vn]) > 0
+	var nt uint64
+	if ni.queued > 0 {
+		for vn := 0; vn < ni.cfg.VNets; vn++ {
+			if len(ni.srcQ[vn]) > 0 {
+				nt |= 1 << uint(vn)
+			}
+		}
 	}
-	if !ni.out.policyHolds(ni.newTraffic) {
-		ni.out.runPolicy(ni.newTraffic, cycle)
+	if !ni.out.policyHolds(nt) {
+		ni.out.runPolicy(nt, cycle)
 	}
 }
 
-// tickLinks advances the control links this NI reads: the ejection
-// side's Up_Down mask and the injection side's Down_Up feedback.
-func (ni *NI) tickLinks() {
-	if ni.ej.powerIn.Tick() {
+// phaseRecv is the receive half of a cycle for this NI: it ticks the
+// control links the NI reads (the ejection side's Up_Down mask, the
+// injection side's Down_Up feedback), consumes returned credits,
+// buffers arriving ejection flits and enacts the power mask. Like
+// Router.phaseRecv it never sends into a channel.
+func (ni *NI) phaseRecv(cycle uint64) {
+	if ni.ej.power.Tick() {
 		ni.ej.pwrDirty = true
 	}
 	if ni.out.mdIn.Tick() {
 		ni.out.polDirty = true
 	}
+	if ni.out.creditIn.n != 0 {
+		ni.out.creditTick()
+	}
+	ni.deliverEject(cycle)
+	ni.ej.applyPower(cycle)
+}
+
+// phaseCompute is the send half of a cycle: drain the ejection buffers,
+// launch at most one flit from an open flow, allocate local-port VCs to
+// queued packets, and run the injection-side recovery policy.
+func (ni *NI) phaseCompute(cycle uint64) {
+	ni.drainEject(cycle)
+	ni.stageSend(cycle)
+	ni.stageVA(cycle)
+	ni.stagePolicy(cycle)
 }
 
 // samplePhase flushes the ejection buffers' NBTI spans and publishes
@@ -282,13 +325,8 @@ func (ni *NI) samplePhase(cycle uint64) {
 // nothing buffered or in flight on the ejection side, and the
 // injection output unit idle under a settled, steady policy.
 func (ni *NI) quiescent() bool {
-	for _, q := range ni.srcQ {
-		if len(q) > 0 {
-			return false
-		}
-	}
-	if ni.pendingFlits() > 0 || ni.ejFlitIn.InFlight() > 0 ||
-		!ni.ej.powerIn.settled() || ni.ej.activeVCs > 0 {
+	if ni.queued > 0 || ni.flowMask != 0 || ni.ej.flitIn.InFlight() > 0 ||
+		!ni.ej.power.settled() || ni.ej.activeMask != 0 {
 		return false
 	}
 	return ni.out.quiescent()

@@ -85,6 +85,40 @@ func PolicySteadyWhenIdle(p Policy) bool {
 	return false
 }
 
+// CycleFreePolicy is a strictly stronger declaration than SteadyPolicy:
+// DesiredPower never reads PolicyInput.Cycle and keeps no per-call
+// state for ANY NewTraffic value, so its output is a pure function of
+// (Idle, Powered, MostDegraded, LeastDegraded, NewTraffic). An output
+// unit whose per-vnet policies all make this declaration may elide a
+// settled policy run whenever those inputs are bit-identical to the
+// previous executed run — even while traffic waits. Time-rotating
+// policies (RRNoSensor under traffic) must not implement this.
+type CycleFreePolicy interface {
+	CycleFree() bool
+}
+
+// PolicyCycleFree returns p's declaration, defaulting to false for
+// policies that do not implement CycleFreePolicy.
+func PolicyCycleFree(p Policy) bool {
+	if c, ok := p.(CycleFreePolicy); ok {
+		return c.CycleFree()
+	}
+	return false
+}
+
+// PhasePolicy is the cycle-dependent counterpart of CycleFreePolicy: the
+// policy declares that DesiredPower reads PolicyInput.Cycle only through
+// the phase equivalence class returned by Phase, and is otherwise a pure
+// function of its PolicyInput with no per-call state. The engine may then
+// memoise decisions per (inputs, phase) row instead of re-running the
+// policy every cycle: a time-rotating policy in a periodic steady state
+// revisits each phase with identical inputs after one rotation.
+type PhasePolicy interface {
+	// Phase maps a cycle to its equivalence class in [0, count). count
+	// must be a constant for a given policy instance and VC count.
+	Phase(cycle uint64, numVCs int) (phase, count int)
+}
+
 // BaselinePolicy keeps every VC buffer powered at all times: the paper's
 // reference NoC that is not NBTI aware. Its duty-cycle is 100% on every
 // VC and it anchors the absolute ΔVth-saving comparison.
@@ -103,6 +137,9 @@ func (BaselinePolicy) DesiredPower(in *PolicyInput, out []bool) {
 // SteadyWhenIdle implements SteadyPolicy: the all-on decision never
 // reads the cycle.
 func (BaselinePolicy) SteadyWhenIdle() bool { return true }
+
+// CycleFree implements CycleFreePolicy: all-on is input-independent.
+func (BaselinePolicy) CycleFree() bool { return true }
 
 // NewBaseline is the PolicyFactory for BaselinePolicy.
 func NewBaseline() Policy { return BaselinePolicy{} }

@@ -228,7 +228,7 @@ func TestFlitExpansion(t *testing.T) {
 		if f.Type != wantTypes[i] {
 			t.Errorf("flit %d type = %v, want %v", i, f.Type, wantTypes[i])
 		}
-		if f.Seq != i || f.Len != 4 || f.PacketID != 9 || f.InjectCycle != 100 {
+		if int(f.Seq) != i || f.Len != 4 || f.PacketID != 9 || f.InjectCycle != 100 {
 			t.Errorf("flit %d metadata wrong: %+v", i, f)
 		}
 	}

@@ -96,7 +96,7 @@ func (s VCState) String() string {
 }
 
 // NodeID identifies a tile (router + network interface) in the mesh.
-type NodeID int
+type NodeID int32
 
 // Coord is a mesh coordinate; x grows eastward, y grows southward, so
 // node 0 is the upper-left tile as in the paper's figures.

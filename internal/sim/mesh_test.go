@@ -1,0 +1,107 @@
+package sim
+
+import "testing"
+
+func TestParseMesh(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Mesh
+	}{
+		{"16x16", Mesh{16, 16}},
+		{"8x4", Mesh{8, 4}},
+		{"1x1", Mesh{1, 1}},
+	}
+	for _, tc := range cases {
+		got, err := ParseMesh(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseMesh(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "16", "x", "4x", "x4", "0x4", "4x0", "-2x4", "axb", "4X4"} {
+		if _, err := ParseMesh(bad); err == nil {
+			t.Errorf("ParseMesh(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMeshHelpers(t *testing.T) {
+	m := Mesh{Width: 8, Height: 4}
+	if m.Cores() != 32 || m.Square() || m.String() != "8x4" || m.Label() != "8x4" {
+		t.Errorf("rectangular helpers wrong: %+v", m)
+	}
+	sq := Mesh{Width: 4, Height: 4}
+	if !sq.Square() || sq.Label() != "16core" {
+		t.Errorf("square Label = %q, want 16core", sq.Label())
+	}
+	if _, err := SquareMesh(6); err == nil {
+		t.Error("SquareMesh(6) accepted")
+	}
+	if got, err := SquareMesh(16); err != nil || got != sq {
+		t.Errorf("SquareMesh(16) = %v, %v", got, err)
+	}
+}
+
+func TestMeshConfig(t *testing.T) {
+	cfg, err := Mesh{Width: 16, Height: 8}.Config(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Width != 16 || cfg.Height != 8 || cfg.VCsPerVNet != 2 {
+		t.Errorf("MeshConfig = %dx%d vcs %d", cfg.Width, cfg.Height, cfg.VCsPerVNet)
+	}
+	if _, err := (Mesh{}).Config(2); err == nil {
+		t.Error("zero mesh accepted")
+	}
+}
+
+func TestScenarioMeshGeometry(t *testing.T) {
+	// Explicit geometry: cores derived, rectangular allowed.
+	s := Scenario{Name: "m", Width: 8, Height: 4, VCs: 2, Measure: 1000, Workload: "uniform"}
+	cfg, err := s.BuildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Width != 8 || cfg.Height != 4 || s.Cores != 32 {
+		t.Errorf("geometry not threaded: %dx%d cores %d", cfg.Width, cfg.Height, s.Cores)
+	}
+	gs, err := s.GenSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Width != 8 || gs.Height != 4 {
+		t.Errorf("GenSpec geometry = %dx%d", gs.Width, gs.Height)
+	}
+
+	// Cores disagreeing with the geometry is rejected; agreeing passes.
+	bad := Scenario{Name: "b", Cores: 30, Width: 8, Height: 4, VCs: 2, Measure: 1000}
+	if err := bad.Validate(); err == nil {
+		t.Error("cores/geometry mismatch accepted")
+	}
+	ok := Scenario{Name: "ok", Cores: 32, Width: 8, Height: 4, VCs: 2, Measure: 1000}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("consistent cores+geometry rejected: %v", err)
+	}
+
+	// Half-specified geometry is rejected.
+	half := Scenario{Name: "h", Width: 8, VCs: 2, Measure: 1000}
+	if err := half.Validate(); err == nil {
+		t.Error("width without height accepted")
+	}
+}
+
+func TestSyntheticTableMeshOverride(t *testing.T) {
+	opt := DefaultTableOptions()
+	opt.Warmup, opt.Measure = 200, 1_000
+	opt.Rates = []float64{0.1}
+	opt.Meshes = []Mesh{{Width: 4, Height: 2}}
+	tbl, err := RunSyntheticTable(2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(tbl.Rows))
+	}
+	if tbl.Rows[0].Scenario != "4x2-inj0.10" || tbl.Rows[0].Cores != 8 {
+		t.Errorf("mesh row = %q cores %d", tbl.Rows[0].Scenario, tbl.Rows[0].Cores)
+	}
+}

@@ -130,7 +130,7 @@ func Run(rc RunConfig, probes []PortProbe) (*RunResult, error) {
 	// Closed-loop generators observe packet deliveries.
 	if listener, ok := rc.Gen.(traffic.DeliveryListener); ok {
 		net.SetDeliveryHook(func(f noc.Flit, cycle uint64) {
-			listener.OnDeliver(f.Src, f.Dst, f.VNet, cycle)
+			listener.OnDeliver(f.Src, f.Dst, int(f.VNet), cycle)
 		})
 	}
 

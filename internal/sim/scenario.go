@@ -20,6 +20,12 @@ type Scenario struct {
 	Name string `json:"name"`
 	// Cores is the tile count of the square mesh.
 	Cores int `json:"cores"`
+	// Width and Height, when both set, give the mesh geometry
+	// explicitly (rectangular allowed); Cores then defaults to
+	// Width*Height and, if given too, must agree. The CLIs' -mesh WxH
+	// flag fills them.
+	Width  int `json:"width,omitempty"`
+	Height int `json:"height,omitempty"`
 	// VCs is the VC count per vnet per input port.
 	VCs int `json:"vcs"`
 	// VNets is the virtual-network count (default 1).
@@ -50,11 +56,27 @@ type Scenario struct {
 
 // Validate normalises defaults and reports structural problems.
 func (s *Scenario) Validate() error {
-	if s.Cores == 0 {
-		return fmt.Errorf("sim: scenario %q missing cores", s.Name)
+	if (s.Width != 0) != (s.Height != 0) {
+		return fmt.Errorf("sim: scenario %q needs both width and height (or neither)", s.Name)
 	}
-	if _, err := MeshSide(s.Cores); err != nil {
-		return err
+	if s.Width != 0 {
+		m := Mesh{Width: s.Width, Height: s.Height}
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		if s.Cores == 0 {
+			s.Cores = m.Cores()
+		} else if s.Cores != m.Cores() {
+			return fmt.Errorf("sim: scenario %q: cores %d disagrees with %s mesh",
+				s.Name, s.Cores, m)
+		}
+	} else {
+		if s.Cores == 0 {
+			return fmt.Errorf("sim: scenario %q missing cores", s.Name)
+		}
+		if _, err := MeshSide(s.Cores); err != nil {
+			return err
+		}
 	}
 	if s.VCs < 1 {
 		return fmt.Errorf("sim: scenario %q needs vcs >= 1", s.Name)
@@ -90,12 +112,25 @@ func (s *Scenario) Validate() error {
 	return nil
 }
 
+// mesh returns the scenario's geometry: the explicit Width×Height when
+// present, otherwise the square mesh of Cores. Call after Validate.
+func (s *Scenario) mesh() (Mesh, error) {
+	if s.Width != 0 {
+		return Mesh{Width: s.Width, Height: s.Height}, nil
+	}
+	return SquareMesh(s.Cores)
+}
+
 // BuildConfig materialises the network configuration.
 func (s *Scenario) BuildConfig() (noc.Config, error) {
 	if err := s.Validate(); err != nil {
 		return noc.Config{}, err
 	}
-	cfg, err := BaseConfig(s.Cores, s.VCs)
+	m, err := s.mesh()
+	if err != nil {
+		return noc.Config{}, err
+	}
+	cfg, err := m.Config(s.VCs)
 	if err != nil {
 		return noc.Config{}, err
 	}
@@ -117,15 +152,15 @@ func (s *Scenario) GenSpec() (GenSpec, error) {
 	if err := s.Validate(); err != nil {
 		return GenSpec{}, err
 	}
-	side, err := MeshSide(s.Cores)
+	m, err := s.mesh()
 	if err != nil {
 		return GenSpec{}, err
 	}
 	switch s.Workload {
 	case "app":
-		return GenSpec{Kind: "app", Width: side, Height: side, Seed: s.Seed}, nil
+		return GenSpec{Kind: "app", Width: m.Width, Height: m.Height, Seed: s.Seed}, nil
 	case "req-resp":
-		return GenSpec{Kind: "req-resp", Width: side, Height: side,
+		return GenSpec{Kind: "req-resp", Width: m.Width, Height: m.Height,
 			Rate: s.Rate, Seed: s.Seed}, nil
 	default:
 		if _, err := traffic.ParsePattern(s.Workload); err != nil {
@@ -134,8 +169,8 @@ func (s *Scenario) GenSpec() (GenSpec, error) {
 		return GenSpec{
 			Kind:            "synthetic",
 			Pattern:         s.Workload,
-			Width:           side,
-			Height:          side,
+			Width:           m.Width,
+			Height:          m.Height,
 			Rate:            s.Rate,
 			PacketLen:       s.PacketLen,
 			Seed:            s.Seed,

@@ -15,6 +15,11 @@ var SyntheticPolicies = []string{"rr-no-sensor", "sensor-wise-no-traffic", "sens
 type TableOptions struct {
 	// Cores lists the evaluated architectures (paper: 4 and 16).
 	Cores []int
+	// Meshes, when non-empty, overrides Cores with explicit mesh
+	// geometries for the synthetic tables (rectangular allowed). The
+	// CLIs' -mesh WxH flag sets it; drivers that need the paper's
+	// hardwired probe sets (Table IV, the ΔVth analysis) ignore it.
+	Meshes []Mesh
 	// Rates lists the injection rates in flits/cycle/node
 	// (paper: 0.1, 0.2, 0.3).
 	Rates []float64
@@ -63,6 +68,28 @@ func (o TableOptions) apply(cfg *noc.Config) {
 	}
 }
 
+// meshes returns the evaluated geometries: the explicit Meshes
+// override when present, otherwise the square meshes of the Cores list.
+func (o TableOptions) meshes() ([]Mesh, error) {
+	if len(o.Meshes) > 0 {
+		for _, m := range o.Meshes {
+			if err := m.Validate(); err != nil {
+				return nil, err
+			}
+		}
+		return o.Meshes, nil
+	}
+	ms := make([]Mesh, 0, len(o.Cores))
+	for _, cores := range o.Cores {
+		m, err := SquareMesh(cores)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+	}
+	return ms, nil
+}
+
 // pool returns the scheduler configured by the Parallelism knob.
 func (o TableOptions) pool() Pool { return Pool{Workers: o.Parallelism} }
 
@@ -80,15 +107,23 @@ func (o TableOptions) runner() Runner { return Runner{Store: o.Cache} }
 // mutable state.
 func (o TableOptions) runSynthetic(cores, vcs int, rate float64, policy PolicySpec,
 	probes []PortProbe, mutate func(*noc.Config)) (*RunSummary, error) {
-	side, err := MeshSide(cores)
+	m, err := SquareMesh(cores)
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := BaseConfig(cores, vcs)
+	return o.runSyntheticMesh(m, vcs, rate, policy, probes, mutate)
+}
+
+// runSyntheticMesh is runSynthetic on an explicit geometry. The seeds
+// derive from the tile count, so the square path is bit-identical to
+// the historical cores-based one.
+func (o TableOptions) runSyntheticMesh(m Mesh, vcs int, rate float64, policy PolicySpec,
+	probes []PortProbe, mutate func(*noc.Config)) (*RunSummary, error) {
+	cfg, err := m.Config(vcs)
 	if err != nil {
 		return nil, err
 	}
-	cfg.PVSeed = scenarioSeed(o.SeedBase, cores, rate, 11)
+	cfg.PVSeed = scenarioSeed(o.SeedBase, m.Cores(), rate, 11)
 	o.apply(&cfg)
 	if mutate != nil {
 		mutate(&cfg)
@@ -99,11 +134,11 @@ func (o TableOptions) runSynthetic(cores, vcs int, rate float64, policy PolicySp
 		Gen: GenSpec{
 			Kind:      "synthetic",
 			Pattern:   "uniform",
-			Width:     side,
-			Height:    side,
+			Width:     m.Width,
+			Height:    m.Height,
 			Rate:      rate,
 			PacketLen: o.PacketLen,
-			Seed:      scenarioSeed(o.SeedBase, cores, rate, 13),
+			Seed:      scenarioSeed(o.SeedBase, m.Cores(), rate, 13),
 		},
 		Warmup:  o.Warmup,
 		Measure: o.Measure,
@@ -139,22 +174,25 @@ func scenarioSeed(base uint64, cores int, rate float64, salt uint64) uint64 {
 
 // RunSyntheticTable reproduces Table II (vcs=4) / Table III (vcs=2):
 // uniform traffic on 4- and 16-core meshes at three injection rates,
-// observed at the east input port of the upper-left router.
+// observed at the east input port of the upper-left router. Setting
+// opt.Meshes swaps the paper's core sweep for explicit geometries
+// (e.g. 16x16 or 32x32 scaling studies).
 func RunSyntheticTable(vcs int, opt TableOptions) (*SyntheticTable, error) {
 	tbl := &SyntheticTable{VCs: vcs, Policies: append([]string(nil), SyntheticPolicies...)}
+	meshes, err := opt.meshes()
+	if err != nil {
+		return nil, err
+	}
 	type job struct {
-		cores  int
+		mesh   Mesh
 		rate   float64
 		policy string
 	}
 	var jobs []job
-	for _, cores := range opt.Cores {
-		if _, err := MeshSide(cores); err != nil {
-			return nil, err
-		}
+	for _, m := range meshes {
 		for _, rate := range opt.Rates {
 			for _, policy := range tbl.Policies {
-				jobs = append(jobs, job{cores, rate, policy})
+				jobs = append(jobs, job{m, rate, policy})
 			}
 		}
 	}
@@ -162,7 +200,7 @@ func RunSyntheticTable(vcs int, opt TableOptions) (*SyntheticTable, error) {
 	readings := make([]PortReading, len(jobs))
 	if err := opt.pool().Run(len(jobs), func(i int) error {
 		j := jobs[i]
-		res, err := opt.runSynthetic(j.cores, vcs, j.rate, PolicySpec{Name: j.policy},
+		res, err := opt.runSyntheticMesh(j.mesh, vcs, j.rate, PolicySpec{Name: j.policy},
 			[]PortProbe{probe}, nil)
 		if err != nil {
 			return err
@@ -173,11 +211,11 @@ func RunSyntheticTable(vcs int, opt TableOptions) (*SyntheticTable, error) {
 		return nil, err
 	}
 	next := 0
-	for _, cores := range opt.Cores {
+	for _, m := range meshes {
 		for _, rate := range opt.Rates {
 			row := SyntheticRow{
-				Scenario: fmt.Sprintf("%dcore-inj%.2f", cores, rate),
-				Cores:    cores,
+				Scenario: fmt.Sprintf("%s-inj%.2f", m.Label(), rate),
+				Cores:    m.Cores(),
 				Rate:     rate,
 				Duty:     make(map[string][]float64, len(tbl.Policies)),
 				MDVC:     -1,
