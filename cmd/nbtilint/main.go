@@ -1,6 +1,7 @@
 // Command nbtilint is the multichecker for the repository's custom
-// static analyzers (internal/lint): detmap, wallclock, rngsource and
-// floatcmp — the machine-checked form of the determinism invariants
+// static analyzers (internal/lint): detmap, wallclock, rngsource,
+// floatcmp, netshare, arenaalias, packedidx and globalmut — the
+// machine-checked form of the determinism and engine-safety invariants
 // documented in DESIGN.md.
 //
 // It runs in two modes:
@@ -15,6 +16,19 @@
 //
 //     go run ./cmd/nbtilint ./...
 //
+// The fact-based analyzers (netshare, arenaalias) exchange
+// gob-serialized facts through the .vetx files the protocol already
+// passes between units: each unit decodes the facts of its
+// dependencies (PackageVetx), analyzes with them in scope, and writes
+// the union of inherited and newly exported facts to VetxOutput, so
+// observations propagate transitively across the package graph.
+// Fact-only dependency runs (VetxOnly) execute just the fact analyzers
+// with diagnostics discarded — and skip even that when the unit
+// neither inherits facts nor contains an //nbtilint: directive.
+//
+// Individual analyzers can be disabled per invocation with the
+// standard vet flag mechanism: go vet -vettool=... -netshare=false.
+//
 // `make lint` builds the binary and runs it over ./...; the target is
 // chained into `make all`, so the whole tree stays at zero diagnostics.
 //
@@ -23,8 +37,10 @@
 package main
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -35,6 +51,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"nbtinoc/internal/lint"
@@ -46,22 +63,24 @@ func main() {
 	case len(args) == 1 && args[0] == "-V=full":
 		printVersion()
 	case len(args) == 1 && args[0] == "-flags":
-		// The go command probes a vet tool for extra flags; nbtilint
-		// deliberately has none — the suite always runs whole.
-		fmt.Println("[]")
+		printFlags(os.Stdout)
 	case len(args) == 1 && (args[0] == "-list" || args[0] == "--list"):
 		printAnalyzers(os.Stdout)
-	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
-		os.Exit(runUnit(args[0]))
+	case len(args) >= 1 && strings.HasSuffix(args[len(args)-1], ".cfg"):
+		enabled := parseUnitFlags(args[:len(args)-1])
+		os.Exit(runUnit(args[len(args)-1], enabled))
 	default:
 		os.Exit(standalone(args))
 	}
 }
 
 // printVersion implements -V=full in the exact shape cmd/go's buildID
-// parser expects ("<name> version devel buildID=<hex>"). Hashing the
-// executable makes go vet's result cache invalidate whenever the
-// analyzers change.
+// parser expects ("<name> version devel buildID=<hex>"). The hash mixes
+// the executable bytes with the suite fingerprint (analyzer names plus
+// fact schemas), so go vet's result cache — and any CI cache keyed on
+// this output — invalidates when the analyzers change behavior or when
+// a fact's wire shape changes even without a behavioral difference on
+// some package.
 func printVersion() {
 	exe, err := os.Executable()
 	if err != nil {
@@ -71,8 +90,61 @@ func printVersion() {
 	if err != nil {
 		fatalf("cannot read own executable: %v", err)
 	}
-	sum := sha256.Sum256(data)
-	fmt.Printf("%s version devel buildID=%02x\n", filepath.Base(exe), sum)
+	h := sha256.New()
+	h.Write(data)
+	io.WriteString(h, lint.SuiteFingerprint())
+	fmt.Printf("%s version devel buildID=%02x\n", filepath.Base(exe), h.Sum(nil))
+}
+
+// printFlags implements the -flags probe: cmd/go interrogates a vet
+// tool for the flags it accepts and forwards matching command-line
+// flags ahead of the .cfg argument. nbtilint exposes one boolean per
+// analyzer so individual checks can be switched off per invocation.
+func printFlags(w io.Writer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := make([]jsonFlag, 0, len(lint.All()))
+	for _, a := range lint.All() {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: "enable the " + a.Name + " analyzer"})
+	}
+	if err := json.NewEncoder(w).Encode(flags); err != nil {
+		fatalf("encoding -flags output: %v", err)
+	}
+}
+
+// parseUnitFlags consumes the per-analyzer boolean flags cmd/go passes
+// before the unit config path, returning the enabled-analyzer set.
+func parseUnitFlags(args []string) map[string]bool {
+	fs := flag.NewFlagSet("nbtilint", flag.ContinueOnError)
+	vals := make(map[string]*bool, len(lint.All()))
+	for _, a := range lint.All() {
+		vals[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
+	}
+	if err := fs.Parse(args); err != nil {
+		fatalf("parsing analyzer flags: %v", err)
+	}
+	if fs.NArg() != 0 {
+		fatalf("unexpected arguments before unit config: %v", fs.Args())
+	}
+	enabled := make(map[string]bool, len(vals))
+	for _, a := range lint.All() {
+		enabled[a.Name] = *vals[a.Name]
+	}
+	return enabled
+}
+
+// enabledAnalyzers filters the suite by the flag set.
+func enabledAnalyzers(enabled map[string]bool) []*lint.Analyzer {
+	var out []*lint.Analyzer
+	for _, a := range lint.All() {
+		if enabled == nil || enabled[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 func printAnalyzers(w io.Writer) {
@@ -84,7 +156,8 @@ func printAnalyzers(w io.Writer) {
 
 // standalone re-executes nbtilint through "go vet -vettool", which
 // loads packages, produces export data for dependencies, and calls this
-// same binary back in unitchecker mode once per package.
+// same binary back in unitchecker mode once per package. Analyzer
+// flags in args (e.g. -netshare=false) pass through go vet untouched.
 func standalone(patterns []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -129,7 +202,7 @@ type unitConfig struct {
 // runUnit analyzes one package unit and returns the process exit code
 // (0 clean, 1 tool failure, 2 diagnostics reported — the same contract
 // as x/tools' unitchecker).
-func runUnit(cfgPath string) int {
+func runUnit(cfgPath string, enabled map[string]bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fatalf("reading unit config: %v", err)
@@ -138,29 +211,121 @@ func runUnit(cfgPath string) int {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		fatalf("parsing unit config %s: %v", cfgPath, err)
 	}
-	// nbtilint's analyzers export no facts, so the vetx output is
-	// always an empty placeholder, and fact-only runs for dependencies
-	// can skip analysis entirely.
-	writeVetx := func() {
-		if cfg.VetxOutput != "" {
-			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-				fatalf("writing facts placeholder: %v", err)
+	suite := enabledAnalyzers(enabled)
+	imported := importFacts(&cfg)
+	writeVetx := func(facts *lint.FactSet) {
+		if cfg.VetxOutput == "" {
+			return
+		}
+		var payload []byte
+		if facts != nil && facts.Len() > 0 {
+			payload, err = facts.Encode()
+			if err != nil {
+				fatalf("%v", err)
 			}
 		}
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
+			fatalf("writing facts: %v", err)
+		}
 	}
+
 	if cfg.VetxOnly {
-		writeVetx()
+		factSuite := lint.FactAnalyzers(suite)
+		// Fast path: with no inherited facts and no //nbtilint: directive
+		// anywhere in the sources, the fact analyzers cannot derive
+		// anything — skip parsing and typechecking entirely. This keeps
+		// the dependency passes over the standard library near-free.
+		if len(factSuite) == 0 || (imported.Len() == 0 && !sourcesHaveDirectives(cfg.GoFiles)) {
+			writeVetx(imported)
+			return 0
+		}
+		res, ok := analyzeUnit(&cfg, factSuite, imported)
+		if !ok {
+			writeVetx(nil)
+			return 0 // SucceedOnTypecheckFailure
+		}
+		// Diagnostics are deliberately discarded: a fact-only pass
+		// answers for the unit's dependents, not for the unit itself.
+		imported.Merge(res.Facts)
+		writeVetx(imported)
 		return 0
 	}
 
+	res, ok := analyzeUnit(&cfg, suite, imported)
+	if !ok {
+		writeVetx(nil)
+		return 0 // SucceedOnTypecheckFailure
+	}
+	// Re-export inherited facts alongside this unit's own, so the
+	// property flows transitively even through packages that add
+	// nothing themselves.
+	imported.Merge(res.Facts)
+	writeVetx(imported)
+	if len(res.Diagnostics) == 0 {
+		return 0
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	return 2
+}
+
+// importFacts decodes and merges the .vetx payloads of every direct
+// dependency, in sorted import-path order for determinism.
+func importFacts(cfg *unitConfig) *lint.FactSet {
+	imported := lint.NewFactSet()
+	paths := make([]string, 0, len(cfg.PackageVetx))
+	for p := range cfg.PackageVetx {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		data, err := os.ReadFile(cfg.PackageVetx[p])
+		if err != nil {
+			// A dependency whose facts pass produced nothing writes an
+			// empty file; a missing file means the build system did not
+			// schedule a facts pass for it at all. Either way there is
+			// nothing to import.
+			continue
+		}
+		facts, err := lint.DecodeFacts(data)
+		if err != nil {
+			fatalf("facts of dependency %s: %v", p, err)
+		}
+		imported.Merge(facts)
+	}
+	return imported
+}
+
+// sourcesHaveDirectives reports whether any unit source file contains
+// an //nbtilint: directive — a cheap byte scan that gates the VetxOnly
+// fast path.
+func sourcesHaveDirectives(files []string) bool {
+	needle := []byte("//nbtilint:")
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			// Let the real parse produce the authoritative error.
+			return true
+		}
+		if bytes.Contains(data, needle) {
+			return true
+		}
+	}
+	return false
+}
+
+// analyzeUnit parses, typechecks and runs the given analyzers over one
+// unit. ok is false when the unit fails to parse or typecheck and the
+// config says to succeed anyway; hard failures exit via fatalf.
+func analyzeUnit(cfg *unitConfig, suite []*lint.Analyzer, imported *lint.FactSet) (lint.SuiteResult, bool) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				writeVetx()
-				return 0
+				return lint.SuiteResult{}, false
 			}
 			fatalf("parsing %s: %v", name, err)
 		}
@@ -187,31 +352,24 @@ func runUnit(cfgPath string) int {
 		tconf.GoVersion = cfg.GoVersion
 	}
 	info := &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Defs:  map[*ast.Ident]types.Object{},
-		Uses:  map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
 	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			writeVetx()
-			return 0
+			return lint.SuiteResult{}, false
 		}
 		fatalf("typechecking %s: %v", cfg.ImportPath, err)
 	}
 
-	diags, err := lint.RunSuite(lint.All(), fset, files, pkg, info, cfg.ImportPath)
+	res, err := lint.RunSuiteFacts(suite, fset, files, pkg, info, cfg.ImportPath, imported)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	writeVetx()
-	if len(diags) == 0 {
-		return 0
-	}
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s\n", d)
-	}
-	return 2
+	return res, true
 }
 
 func fatalf(format string, args ...any) {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -19,6 +20,41 @@ func TestPrintAnalyzersListsWholeSuite(t *testing.T) {
 		if !strings.Contains(out, a.Name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", a.Name, out)
 		}
+	}
+}
+
+func TestPrintFlagsDescribesEveryAnalyzer(t *testing.T) {
+	var buf bytes.Buffer
+	printFlags(&buf)
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &flags); err != nil {
+		t.Fatalf("-flags output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	byName := map[string]bool{}
+	for _, f := range flags {
+		if !f.Bool {
+			t.Errorf("flag %q is not boolean; cmd/go only forwards boolean vet flags correctly", f.Name)
+		}
+		byName[f.Name] = true
+	}
+	for _, a := range lint.All() {
+		if !byName[a.Name] {
+			t.Errorf("-flags output missing analyzer flag %q", a.Name)
+		}
+	}
+}
+
+func TestParseUnitFlags(t *testing.T) {
+	enabled := parseUnitFlags([]string{"-detmap=false", "-netshare=true"})
+	if enabled["detmap"] {
+		t.Error("-detmap=false did not disable detmap")
+	}
+	if !enabled["netshare"] || !enabled["wallclock"] {
+		t.Error("analyzers not mentioned on the command line must default to enabled")
 	}
 }
 
@@ -64,7 +100,7 @@ func keys(m map[string]int) string {
 	return ""
 }
 `, false)
-	if code := runUnit(cfgPath); code != 2 {
+	if code := runUnit(cfgPath, nil); code != 2 {
 		t.Errorf("runUnit on violating package = exit %d, want 2", code)
 	}
 	if _, err := os.Stat(vetxPath); err != nil {
@@ -83,7 +119,7 @@ func sum(xs []float64) float64 {
 	return total
 }
 `, false)
-	if code := runUnit(cfgPath); code != 0 {
+	if code := runUnit(cfgPath, nil); code != 0 {
 		t.Errorf("runUnit on clean package = exit %d, want 0", code)
 	}
 	if _, err := os.Stat(vetxPath); err != nil {
@@ -91,9 +127,28 @@ func sum(xs []float64) float64 {
 	}
 }
 
-func TestRunUnitVetxOnlySkipsAnalysis(t *testing.T) {
+func TestRunUnitDisabledAnalyzer(t *testing.T) {
+	// The same detmap violation as above, but with detmap switched off
+	// through the per-analyzer flag: the unit must analyze clean.
+	cfgPath, _ := writeUnit(t, `package p
+
+func keys(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+`, false)
+	if code := runUnit(cfgPath, parseUnitFlags([]string{"-detmap=false"})); code != 0 {
+		t.Errorf("runUnit with -detmap=false = exit %d, want 0", code)
+	}
+}
+
+func TestRunUnitVetxOnlyFastPath(t *testing.T) {
 	// Fact-only dependency runs must not report diagnostics even for a
-	// violating package — and must be cheap: no parse, no typecheck.
+	// violating package — and when the unit neither inherits facts nor
+	// contains an //nbtilint: directive, the fast path skips parsing
+	// entirely and writes an empty facts payload.
 	cfgPath, vetxPath := writeUnit(t, `package p
 
 func keys(m map[string]int) string {
@@ -103,11 +158,154 @@ func keys(m map[string]int) string {
 	return ""
 }
 `, true)
-	if code := runUnit(cfgPath); code != 0 {
+	if code := runUnit(cfgPath, nil); code != 0 {
 		t.Errorf("runUnit VetxOnly = exit %d, want 0", code)
 	}
-	if _, err := os.Stat(vetxPath); err != nil {
-		t.Errorf("facts placeholder not written: %v", err)
+	data, err := os.ReadFile(vetxPath)
+	if err != nil {
+		t.Fatalf("facts placeholder not written: %v", err)
+	}
+	if len(data) != 0 {
+		t.Errorf("fast path wrote %d bytes of facts, want empty placeholder", len(data))
+	}
+}
+
+func TestRunUnitVetxOnlyExportsFacts(t *testing.T) {
+	// A marked network type forces the slow VetxOnly path: the fact
+	// analyzers run (still exit 0 — diagnostics are for the unit's own
+	// full pass, not the fact pass) and the marker's facts land in the
+	// .vetx payload.
+	cfgPath, vetxPath := writeUnit(t, `package p
+
+//nbtilint:network simulation root
+type Network struct{ Cycle int }
+
+type Result struct{ Net *Network }
+
+var leaked *Network
+`, true)
+	if code := runUnit(cfgPath, nil); code != 0 {
+		t.Errorf("runUnit VetxOnly = exit %d, want 0", code)
+	}
+	data, err := os.ReadFile(vetxPath)
+	if err != nil {
+		t.Fatalf("facts not written: %v", err)
+	}
+	lint.All() // register fact types with gob before decoding
+	facts, err := lint.DecodeFacts(data)
+	if err != nil {
+		t.Fatalf("decoding facts: %v", err)
+	}
+	got := strings.Join(facts.Strings(), "\n")
+	for _, want := range []string{
+		"tmplint/p.Network: *lint.HoldsNetwork",
+		"tmplint/p.Result: *lint.HoldsNetwork",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("vetx payload missing fact %q; got:\n%s", want, got)
+		}
+	}
+}
+
+// TestFactsCrossUnitBoundary drives the full two-unit protocol: package
+// a declares a marked network type and exports facts through its .vetx;
+// package b — which contains no marker and no mention of a network —
+// imports a via compiled export data and is flagged only when a's .vetx
+// is wired into PackageVetx. Without it, the same unit analyzes clean:
+// the diagnostic demonstrably rides on the facts channel.
+func TestFactsCrossUnitBoundary(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	aGo := write("a.go", `package a
+
+//nbtilint:network simulation root
+type Network struct{ Cycle int }
+
+type Result struct{ Net *Network }
+`)
+	bGo := write("b.go", `package b
+
+import "tmplint/a"
+
+var last a.Result
+`)
+
+	// Compile a's export data the way the build system would.
+	aLib := filepath.Join(dir, "a.a")
+	cmd := exec.Command("go", "tool", "compile", "-p", "tmplint/a", "-o", aLib, aGo)
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go tool compile: %v\n%s", err, out)
+	}
+
+	writeCfg := func(name string, cfg unitConfig) string {
+		t.Helper()
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return write(name, string(data))
+	}
+
+	// Unit a: full analysis, facts written to a.vetx.
+	aVetx := filepath.Join(dir, "a.vetx")
+	aCfg := writeCfg("a.cfg", unitConfig{
+		ID: "tmplint/a", Compiler: "gc", Dir: dir, ImportPath: "tmplint/a",
+		GoFiles: []string{aGo}, VetxOutput: aVetx,
+	})
+	if code := runUnit(aCfg, nil); code != 0 {
+		t.Fatalf("unit a = exit %d, want 0", code)
+	}
+	if data, err := os.ReadFile(aVetx); err != nil || len(data) == 0 {
+		t.Fatalf("unit a exported no facts (err=%v, %d bytes)", err, len(data))
+	}
+
+	// Unit b with a's facts: the package-level var of a fact-holding
+	// type must be flagged, exit 2.
+	bCfg := writeCfg("b.cfg", unitConfig{
+		ID: "tmplint/b", Compiler: "gc", Dir: dir, ImportPath: "tmplint/b",
+		GoFiles:     []string{bGo},
+		ImportMap:   map[string]string{"tmplint/a": "tmplint/a"},
+		PackageFile: map[string]string{"tmplint/a": aLib},
+		PackageVetx: map[string]string{"tmplint/a": aVetx},
+		VetxOutput:  filepath.Join(dir, "b.vetx"),
+	})
+	if code := runUnit(bCfg, nil); code != 2 {
+		t.Errorf("unit b with dependency facts = exit %d, want 2", code)
+	}
+
+	// b's own vetx must re-export a's facts for transitive dependents.
+	lint.All()
+	data, err := os.ReadFile(filepath.Join(dir, "b.vetx"))
+	if err != nil {
+		t.Fatalf("unit b wrote no vetx: %v", err)
+	}
+	facts, err := lint.DecodeFacts(data)
+	if err != nil {
+		t.Fatalf("decoding b's vetx: %v", err)
+	}
+	if got := strings.Join(facts.Strings(), "\n"); !strings.Contains(got, "tmplint/a.Result: *lint.HoldsNetwork") {
+		t.Errorf("unit b did not re-export inherited facts; got:\n%s", got)
+	}
+
+	// Negative control: the identical unit without PackageVetx analyzes
+	// clean — the invariant crosses the boundary via facts alone.
+	bBare := writeCfg("b_bare.cfg", unitConfig{
+		ID: "tmplint/b", Compiler: "gc", Dir: dir, ImportPath: "tmplint/b",
+		GoFiles:     []string{bGo},
+		ImportMap:   map[string]string{"tmplint/a": "tmplint/a"},
+		PackageFile: map[string]string{"tmplint/a": aLib},
+		VetxOutput:  filepath.Join(dir, "b_bare.vetx"),
+	})
+	if code := runUnit(bBare, nil); code != 0 {
+		t.Errorf("unit b without dependency facts = exit %d, want 0", code)
 	}
 }
 
@@ -122,7 +320,7 @@ func keys(m map[string]int) string {
 	return ""
 }
 `, false)
-	if code := runUnit(cfgPath); code != 0 {
+	if code := runUnit(cfgPath, nil); code != 0 {
 		t.Errorf("runUnit on allow-annotated package = exit %d, want 0", code)
 	}
 }

@@ -19,10 +19,14 @@ const allowPrefix = "//nbtilint:allow"
 // (which would create an initialization cycle through Pass.Reportf).
 // TestKnownAnalyzersMatchesAll pins this set to All().
 var knownAnalyzers = map[string]bool{
-	"detmap":    true,
-	"wallclock": true,
-	"rngsource": true,
-	"floatcmp":  true,
+	"detmap":     true,
+	"wallclock":  true,
+	"rngsource":  true,
+	"floatcmp":   true,
+	"netshare":   true,
+	"arenaalias": true,
+	"packedidx":  true,
+	"globalmut":  true,
 }
 
 // KnownAnalyzerName reports whether //nbtilint:allow accepts name as a
@@ -128,11 +132,13 @@ func (p *Pass) fileContaining(pos token.Pos) *ast.File {
 	return nil
 }
 
-// malformedAllowDiagnostics reports every syntactically broken allow
-// directive in the given files as a diagnostic of the pseudo-analyzer
-// "allow". A waiver that cannot say what it waives, or why, must not
-// silently rot in the tree.
-func malformedAllowDiagnostics(fset *token.FileSet, files []*ast.File) []Diagnostic {
+// malformedDirectiveDiagnostics reports every syntactically broken
+// nbtilint directive in the given files as a diagnostic of the
+// pseudo-analyzer "allow": allow waivers missing their analyzer or
+// reason, and //nbtilint: comments with an unknown verb. A waiver that
+// cannot say what it waives, or why — or a typoed marker that would
+// silently disable an invariant — must not rot in the tree.
+func malformedDirectiveDiagnostics(fset *token.FileSet, files []*ast.File) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range files {
 		if strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go") {
@@ -145,6 +151,7 @@ func malformedAllowDiagnostics(fset *token.FileSet, files []*ast.File) []Diagnos
 				Message:  m.msg,
 			})
 		}
+		diags = append(diags, unknownDirectiveDiagnostics(fset, f)...)
 	}
 	return diags
 }

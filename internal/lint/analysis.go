@@ -7,10 +7,13 @@
 //
 // The package is a deliberately small, dependency-free re-implementation
 // of the golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass,
-// Diagnostic) built only on the standard library's go/ast and go/types,
-// because the build environment vendors no external modules. Analyzers
-// written against it are fact-free and side-effect-free, so a driver may
-// run them in any order over independently type-checked packages.
+// Diagnostic, and since v2 also Facts) built only on the standard
+// library's go/ast and go/types, because the build environment vendors
+// no external modules. Analyzers are side-effect-free; the ones that
+// need cross-package knowledge (netshare, arenaalias) export
+// gob-serialized facts (fact.go) that cmd/nbtilint threads through the
+// unitchecker .vetx files, so invariants propagate transitively across
+// the package graph exactly like go vet's own fact-based checkers.
 //
 // Diagnostics can be suppressed at the offending line (or the line
 // directly above it) with a directive comment carrying a mandatory
@@ -39,6 +42,11 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of what the analyzer enforces
 	// and which determinism invariant it guards.
 	Doc string
+	// FactTypes declares the concrete fact types (pointer values) the
+	// analyzer exports or imports. Analyzers with facts run even on
+	// fact-only dependency passes (unitchecker VetxOnly), so their
+	// observations reach dependent packages.
+	FactTypes []Fact
 	// Run executes the check over one package.
 	Run func(*Pass) error
 }
@@ -60,6 +68,8 @@ type Pass struct {
 	report func(Diagnostic)
 	// allows caches the parsed //nbtilint:allow directives per file.
 	allows map[*ast.File]*allowSet
+	// facts is the suite run's shared fact state (imports + exports).
+	facts *factEnv
 }
 
 // A Diagnostic is one finding.
@@ -108,9 +118,25 @@ func (p *Pass) NonTestFiles() []*ast.File {
 // All returns every nbtilint analyzer, sorted by name. This is the suite
 // cmd/nbtilint runs and the one the Makefile's lint target enforces.
 func All() []*Analyzer {
-	as := []*Analyzer{DetMap, WallClock, RNGSource, FloatCmp}
+	as := []*Analyzer{
+		DetMap, WallClock, RNGSource, FloatCmp,
+		NetShare, ArenaAlias, PackedIdx, GlobalMut,
+	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+	registerFactTypes(as)
 	return as
+}
+
+// FactAnalyzers returns the subset of as that exports or imports facts
+// — the analyzers a fact-only dependency pass must still run.
+func FactAnalyzers(as []*Analyzer) []*Analyzer {
+	var out []*Analyzer
+	for _, a := range as {
+		if len(a.FactTypes) > 0 {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // Lookup returns the analyzer with the given name, or nil.
@@ -131,6 +157,19 @@ func Lookup(name string) *Analyzer {
 // produced by the first analyzer executed for the package — run through
 // RunSuite to get them deduplicated across a whole suite).
 func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, importPath string) ([]Diagnostic, error) {
+	registerFactTypes([]*Analyzer{a})
+	env := newFactEnv(nil)
+	diags, err := runOne(a, fset, files, pkg, info, importPath, env)
+	if err != nil {
+		return nil, err
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// runOne drives a single analyzer over one package against the given
+// fact environment, returning its unsorted diagnostics.
+func runOne(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, importPath string, env *factEnv) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer:   a,
@@ -140,29 +179,54 @@ func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types
 		TypesInfo:  info,
 		ImportPath: importPath,
 		report:     func(d Diagnostic) { diags = append(diags, d) },
+		facts:      env,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)
 	}
-	sortDiagnostics(diags)
 	return diags, nil
 }
 
+// A SuiteResult is the outcome of one package's full suite run: the
+// surviving diagnostics plus the facts the package's analyzers
+// exported for dependents.
+type SuiteResult struct {
+	Diagnostics []Diagnostic
+	Facts       *FactSet
+}
+
 // RunSuite runs every analyzer in as over one package and returns the
-// combined diagnostics (including one entry per malformed allow
-// directive), sorted by position then analyzer name.
+// combined diagnostics (including one entry per malformed directive),
+// sorted by position then analyzer name. Facts from dependencies are
+// not visible and exported facts are discarded; drivers that thread
+// facts across packages use RunSuiteFacts.
 func RunSuite(as []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, importPath string) ([]Diagnostic, error) {
+	res, err := RunSuiteFacts(as, fset, files, pkg, info, importPath, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diagnostics, nil
+}
+
+// RunSuiteFacts is RunSuite with cross-package facts: imported holds
+// the decoded facts of the package's dependencies (nil for none), and
+// the result carries the facts this package's analyzers exported.
+// Within the run, every analyzer sees the imports plus all facts
+// exported earlier in the same run.
+func RunSuiteFacts(as []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, importPath string, imported *FactSet) (SuiteResult, error) {
+	registerFactTypes(as)
+	env := newFactEnv(imported)
 	var diags []Diagnostic
 	for _, a := range as {
-		ds, err := RunAnalyzer(a, fset, files, pkg, info, importPath)
+		ds, err := runOne(a, fset, files, pkg, info, importPath, env)
 		if err != nil {
-			return nil, err
+			return SuiteResult{}, err
 		}
 		diags = append(diags, ds...)
 	}
-	diags = append(diags, malformedAllowDiagnostics(fset, files)...)
+	diags = append(diags, malformedDirectiveDiagnostics(fset, files)...)
 	sortDiagnostics(diags)
-	return diags, nil
+	return SuiteResult{Diagnostics: diags, Facts: env.exported}, nil
 }
 
 func sortDiagnostics(diags []Diagnostic) {

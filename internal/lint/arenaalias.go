@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ArenaOwned is the object fact arenaalias attaches to a struct field:
+// the field holds a subslice of a flat arena owned elsewhere (the
+// network's struct-of-arrays state), so its backing array is shared
+// with writer back-pointers. Field records "Type.field" for
+// diagnostics in dependent packages.
+type ArenaOwned struct {
+	Field string
+}
+
+// AFact marks ArenaOwned as a lint fact.
+func (*ArenaOwned) AFact() {}
+
+// ArenaAlias enforces the flat-memory engine's subslice discipline on
+// fields marked //nbtilint:arena: an arena-owned subslice must never
+// be grown with append (growth reallocates, silently detaching the
+// unit from the arena every back-pointer still writes into), aliased
+// from another slice variable, or retained by storing it into another
+// slice, a channel, or package-level state. Construction carves
+// windows with slice expressions or dedicated helpers; that is the
+// only blessed way to (re)bind such a field. The marker is exported as
+// an ArenaOwned fact, so the rules follow the field across package
+// boundaries.
+var ArenaAlias = &Analyzer{
+	Name: "arenaalias",
+	Doc: "flags append/aliasing/retention of struct fields marked " +
+		"//nbtilint:arena (arena-owned subslices of the flat-memory engine); " +
+		"growing or re-pointing such a slice orphans the arena back-pointers " +
+		"and silently corrupts duty-cycle state",
+	FactTypes: []Fact{(*ArenaOwned)(nil)},
+	Run:       runArenaAlias,
+}
+
+func runArenaAlias(pass *Pass) error {
+	c := &arenaChecker{pass: pass, owned: map[*types.Var]string{}}
+	c.collectMarkers()
+	for _, f := range pass.NonTestFiles() {
+		c.checkFile(f)
+	}
+	return nil
+}
+
+type arenaChecker struct {
+	pass *Pass
+	// owned maps locally marked field objects to their "Type.field"
+	// label; consulted by direct lookup only.
+	owned map[*types.Var]string
+}
+
+// collectMarkers finds //nbtilint:arena markers on struct fields and
+// exports the ArenaOwned fact for each.
+func (c *arenaChecker) collectMarkers() {
+	pass := c.pass
+	for _, f := range pass.NonTestFiles() {
+		marked := markedLines(pass.Fset, f, "arena")
+		if len(marked) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				if !markerCovers(pass.Fset, marked, fld.Pos()) {
+					continue
+				}
+				for _, name := range fld.Names {
+					obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+						pass.Reportf(name.Pos(), "//nbtilint:arena marker on non-slice field %s; the arena discipline applies to subslice fields only", name.Name)
+						continue
+					}
+					label := ts.Name.Name + "." + name.Name
+					c.owned[obj] = label
+					if _, addressable := objectPath(obj); addressable {
+						pass.ExportObjectFact(obj, &ArenaOwned{Field: label})
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// arenaField resolves e to a marked arena field, returning its label.
+// It sees local markers directly and cross-package ones via the
+// ArenaOwned fact.
+func (c *arenaChecker) arenaField(e ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !obj.IsField() {
+		return "", false
+	}
+	if label, ok := c.owned[obj]; ok {
+		return label, true
+	}
+	var f ArenaOwned
+	if c.pass.ImportObjectFact(obj, &f) {
+		return f.Field, true
+	}
+	return "", false
+}
+
+func (c *arenaChecker) checkFile(f *ast.File) {
+	pass := c.pass
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.checkAppend(n)
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.CompositeLit:
+			c.checkComposite(n)
+		case *ast.SendStmt:
+			if label, ok := c.arenaField(n.Value); ok {
+				pass.Reportf(n.Arrow, "arena-owned slice %s sent on a channel: the receiver would retain a view into the arena past the owner's lifetime", label)
+			}
+		}
+		return true
+	})
+}
+
+// isAppend reports whether call invokes the append builtin.
+func (c *arenaChecker) isAppend(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// checkAppend flags append growth of an arena field and retention of
+// an arena field as an element of another slice. A spread append
+// (append(dst, f...)) copies the elements out and is fine.
+func (c *arenaChecker) checkAppend(call *ast.CallExpr) {
+	if !c.isAppend(call) || len(call.Args) == 0 {
+		return
+	}
+	pass := c.pass
+	if label, ok := c.arenaField(call.Args[0]); ok {
+		pass.Reportf(call.Pos(), "append grows arena-owned slice %s: growth reallocates the backing array and orphans every writer back-pointer into the arena; size the arena at construction instead", label)
+	}
+	if call.Ellipsis.IsValid() {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if label, ok := c.arenaField(arg); ok {
+			pass.Reportf(arg.Pos(), "arena-owned slice %s stored as an element of another slice: the retained view outlives the arena discipline", label)
+		}
+	}
+}
+
+// checkAssign flags rebinding an arena field to anything other than a
+// carved window (slice expression), a fresh allocation (make or a
+// helper call), or nil — and retention into package-level state.
+func (c *arenaChecker) checkAssign(as *ast.AssignStmt) {
+	pass := c.pass
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			if label, ok := c.arenaField(lhs); ok {
+				c.checkRebind(label, as.Rhs[i])
+			}
+		}
+	} else if len(as.Rhs) == 1 {
+		// Multi-value form: a call or map/chan read feeding several
+		// targets. A call result is a fresh window by the rebind rules,
+		// so only non-call sources count as aliasing.
+		if _, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); !isCall {
+			for _, lhs := range as.Lhs {
+				if label, ok := c.arenaField(lhs); ok {
+					pass.Reportf(as.Pos(), "arena-owned slice %s rebound from a multi-value source: the field must only hold windows carved from its arena", label)
+				}
+			}
+		}
+	}
+	// Retention: arena field assigned into a package-level variable.
+	for i, rhs := range as.Rhs {
+		label, ok := c.arenaField(rhs)
+		if !ok || i >= len(as.Lhs) {
+			continue
+		}
+		if base, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[base]; obj != nil && obj.Parent() == pass.Pkg.Scope() {
+				pass.Reportf(as.Pos(), "arena-owned slice %s stored in package-level variable %q: the retained view outlives the arena discipline", label, base.Name)
+			}
+		}
+	}
+}
+
+// checkRebind validates the right-hand side of an arena field binding.
+func (c *arenaChecker) checkRebind(label string, rhs ast.Expr) {
+	pass := c.pass
+	switch r := ast.Unparen(rhs).(type) {
+	case *ast.SliceExpr:
+		return // carving a window keeps the backing array
+	case *ast.Ident:
+		if r.Name == "nil" {
+			return // releasing the view is always safe
+		}
+	case *ast.CallExpr:
+		if !c.isAppend(r) {
+			return // make(...) or a packing helper returning a fresh window
+		}
+		if len(r.Args) > 0 {
+			if argLabel, ok := c.arenaField(r.Args[0]); ok && argLabel == label {
+				return // append growth of the field itself: checkAppend already reported it
+			}
+		}
+		pass.Reportf(rhs.Pos(), "arena-owned slice %s rebound to an append result: the field would alias whatever backing array append chose instead of the arena", label)
+		return
+	}
+	pass.Reportf(rhs.Pos(), "arena-owned slice %s rebound to another slice value: the field must only hold windows carved from its arena (slice expression, make, or a packing helper)", label)
+}
+
+// checkComposite applies the rebind rules to keyed struct literals
+// (`T{field: v}`), the engine's construction idiom.
+func (c *arenaChecker) checkComposite(lit *ast.CompositeLit) {
+	pass := c.pass
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		var fieldObj *types.Var
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i).Name() == key.Name {
+				fieldObj = st.Field(i)
+				break
+			}
+		}
+		if fieldObj == nil {
+			continue
+		}
+		label, ok := c.fieldLabel(fieldObj)
+		if !ok {
+			continue
+		}
+		c.checkRebind(label, kv.Value)
+	}
+}
+
+// fieldLabel resolves a field object (rather than a selector
+// expression) to its arena label, locally or via fact.
+func (c *arenaChecker) fieldLabel(obj *types.Var) (string, bool) {
+	if label, ok := c.owned[obj]; ok {
+		return label, true
+	}
+	var f ArenaOwned
+	if c.pass.ImportObjectFact(obj, &f) {
+		return f.Field, true
+	}
+	return "", false
+}

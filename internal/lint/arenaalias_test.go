@@ -1,0 +1,27 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"nbtinoc/internal/lint"
+	"nbtinoc/internal/lint/linttest"
+)
+
+func TestArenaAlias(t *testing.T) {
+	linttest.Run(t, lint.ArenaAlias, "arenaalias")
+}
+
+// TestArenaAliasFactsExported pins the ArenaOwned fact to the marked
+// slice field (and only it: the unmarked scratch field and the
+// mismarked non-slice field export nothing).
+func TestArenaAliasFactsExported(t *testing.T) {
+	facts := linttest.Facts(t, []*lint.Analyzer{lint.ArenaAlias}, "arenaalias")
+	got := strings.Join(facts, "\n")
+	if !strings.Contains(got, "arenaalias.unit.vcs: *lint.ArenaOwned") {
+		t.Errorf("exported facts missing unit.vcs ArenaOwned; got:\n%s", got)
+	}
+	if len(facts) != 1 {
+		t.Errorf("exported %d facts, want 1:\n%s", len(facts), got)
+	}
+}

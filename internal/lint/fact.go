@@ -1,0 +1,344 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// A Fact is a serializable observation about a program object (or a
+// whole package) that one package's analysis exports for the benefit
+// of every package that imports it — a dependency-free re-statement of
+// golang.org/x/tools/go/analysis facts. Concrete fact types must be
+// pointers to gob-encodable structs with at least one exported field,
+// and must be declared in their producing analyzer's FactTypes so the
+// driver can register them with gob and fold their schema into the
+// suite fingerprint (see SuiteFingerprint).
+type Fact interface {
+	// AFact is a marker method tying the implementation to this
+	// package's fact protocol.
+	AFact()
+}
+
+// factKey addresses one fact slot: the owning package, the object path
+// within it ("" for a package-level fact) and the concrete fact type.
+// Keying on the concrete type namespaces analyzers implicitly — an
+// import only matches facts of the exact type the caller asks for.
+type factKey struct {
+	Pkg string
+	Obj string
+	Typ string
+}
+
+// A FactSet is a collection of facts, either decoded from dependency
+// .vetx files (imports) or produced while analyzing one package
+// (exports). The zero value is not usable; call NewFactSet.
+type FactSet struct {
+	m map[factKey]Fact
+}
+
+// NewFactSet returns an empty fact collection.
+func NewFactSet() *FactSet { return &FactSet{m: map[factKey]Fact{}} }
+
+// Len reports the number of facts in the set.
+func (s *FactSet) Len() int { return len(s.m) }
+
+// Merge copies every fact of other into s (other's entries win on
+// collision; colliding entries are re-derivations of the same fact, so
+// the choice is immaterial).
+func (s *FactSet) Merge(other *FactSet) {
+	if other == nil {
+		return
+	}
+	for _, k := range other.sortedKeys() {
+		s.m[k] = other.m[k]
+	}
+}
+
+// Strings renders the set sorted, one "pkg.obj: type" line per fact —
+// for tests and debugging.
+func (s *FactSet) Strings() []string {
+	var out []string
+	for _, k := range s.sortedKeys() {
+		obj := k.Obj
+		if obj == "" {
+			obj = "(package)"
+		}
+		out = append(out, fmt.Sprintf("%s.%s: %s", k.Pkg, obj, k.Typ))
+	}
+	return out
+}
+
+// sortedKeys returns the set's keys in a stable order, so every
+// iteration over a FactSet is deterministic (the suite self-hosts
+// under detmap: collect, then sort).
+func (s *FactSet) sortedKeys() []factKey {
+	keys := make([]factKey, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		return a.Typ < b.Typ
+	})
+	return keys
+}
+
+func typeName(f Fact) string { return reflect.TypeOf(f).String() }
+
+// gobFact is the on-disk shape of one fact inside a .vetx payload.
+type gobFact struct {
+	Pkg  string
+	Obj  string
+	Fact Fact
+}
+
+// Encode serializes the set as the gob payload cmd/nbtilint writes into
+// the unitchecker .vetx file. The entry order is canonical, so two
+// identical sets encode byte-identically.
+func (s *FactSet) Encode() ([]byte, error) {
+	keys := s.sortedKeys()
+	payload := make([]gobFact, 0, len(keys))
+	for _, k := range keys {
+		payload = append(payload, gobFact{Pkg: k.Pkg, Obj: k.Obj, Fact: s.m[k]})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		return nil, fmt.Errorf("lint: encoding facts: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFacts parses a .vetx payload produced by Encode. Empty input —
+// the placeholder a fact-free analyzer run writes — decodes to an empty
+// set.
+func DecodeFacts(data []byte) (*FactSet, error) {
+	s := NewFactSet()
+	if len(data) == 0 {
+		return s, nil
+	}
+	var payload []gobFact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("lint: decoding facts: %w", err)
+	}
+	for _, g := range payload {
+		if g.Fact == nil {
+			continue
+		}
+		s.m[factKey{Pkg: g.Pkg, Obj: g.Obj, Typ: typeName(g.Fact)}] = g.Fact
+	}
+	return s, nil
+}
+
+// registerFactTypes makes every declared fact type known to gob. Safe
+// to call repeatedly: re-registering an identical type is a no-op.
+func registerFactTypes(as []*Analyzer) {
+	for _, a := range as {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+}
+
+// SuiteFingerprint returns a stable description of the analyzer suite
+// and its fact schemas: analyzer names plus, for each declared fact
+// type, its name and exported field list. cmd/nbtilint folds it into
+// the -V=full build ID, so go vet's result cache (and CI's .vetx
+// cache) invalidates whenever an analyzer is added or a fact schema
+// changes shape — even if the change would not alter the executable's
+// behavior on a given package.
+func SuiteFingerprint() string {
+	var parts []string
+	for _, a := range All() {
+		part := a.Name
+		for _, f := range a.FactTypes {
+			t := reflect.TypeOf(f)
+			for t.Kind() == reflect.Pointer {
+				t = t.Elem()
+			}
+			part += "+" + t.Name()
+			for i := 0; i < t.NumField(); i++ {
+				fld := t.Field(i)
+				if fld.IsExported() {
+					part += ":" + fld.Name + " " + fld.Type.String()
+				}
+			}
+		}
+		parts = append(parts, part)
+	}
+	return "nbtilint-facts/v1{" + strings.Join(parts, ";") + "}"
+}
+
+// objectPath encodes obj as a string that a dependent package can
+// resolve against obj's package from export data alone. Supported
+// shapes — the only ones nbtilint facts attach to:
+//
+//	Name             package-level object
+//	Type.Field       field of a package-level named struct type
+//	Type.Method      method of a package-level named type
+//
+// The bool result is false for objects outside those shapes (locals,
+// anonymous struct fields), which cannot carry facts.
+func objectPath(obj types.Object) (string, bool) {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	if obj.Parent() == pkg.Scope() {
+		return obj.Name(), true
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if st, ok := named.Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == obj {
+					return name + "." + obj.Name(), true
+				}
+			}
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if named.Method(i) == obj {
+				return name + "." + obj.Name(), true
+			}
+		}
+	}
+	return "", false
+}
+
+// resolveObjectPath is objectPath's inverse: it finds the object the
+// path denotes inside pkg, or nil.
+func resolveObjectPath(pkg *types.Package, path string) types.Object {
+	name, rest, qualified := strings.Cut(path, ".")
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil || !qualified {
+		return obj
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	if st, ok := named.Underlying().(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i).Name() == rest {
+				return st.Field(i)
+			}
+		}
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == rest {
+			return named.Method(i)
+		}
+	}
+	return nil
+}
+
+// factEnv is the per-driver-run fact state shared by every Pass of one
+// package's suite run: facts imported from dependencies plus the facts
+// the current package's analyzers have exported so far.
+type factEnv struct {
+	imported *FactSet
+	exported *FactSet
+}
+
+func newFactEnv(imported *FactSet) *factEnv {
+	if imported == nil {
+		imported = NewFactSet()
+	}
+	return &factEnv{imported: imported, exported: NewFactSet()}
+}
+
+// checkFactType panics unless the analyzer declared fact's concrete
+// type in FactTypes — an undeclared fact type would silently miss gob
+// registration and fingerprint coverage, so it is a programming error.
+func (p *Pass) checkFactType(fact Fact) {
+	want := typeName(fact)
+	for _, f := range p.Analyzer.FactTypes {
+		if typeName(f) == want {
+			return
+		}
+	}
+	panic(fmt.Sprintf("lint: analyzer %s exported/imported fact type %s not declared in FactTypes",
+		p.Analyzer.Name, want))
+}
+
+// ExportObjectFact attaches fact to obj, which must belong to the
+// package under analysis. The fact becomes visible to the remainder of
+// this suite run and, through the .vetx payload, to dependents.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.checkFactType(fact)
+	if obj == nil || obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("lint: analyzer %s exported a fact for object %v outside its package",
+			p.Analyzer.Name, obj))
+	}
+	path, ok := objectPath(obj)
+	if !ok {
+		panic(fmt.Sprintf("lint: analyzer %s exported a fact for unaddressable object %v",
+			p.Analyzer.Name, obj))
+	}
+	p.facts.exported.m[factKey{Pkg: p.Pkg.Path(), Obj: path, Typ: typeName(fact)}] = fact
+}
+
+// ImportObjectFact copies the fact of ptr's concrete type attached to
+// obj — by this package's earlier analysis or by a dependency's — into
+// *ptr and reports whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	p.checkFactType(ptr)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path, ok := objectPath(obj)
+	if !ok {
+		return false
+	}
+	return p.facts.lookup(factKey{Pkg: obj.Pkg().Path(), Obj: path, Typ: typeName(ptr)}, ptr)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.checkFactType(fact)
+	p.facts.exported.m[factKey{Pkg: p.Pkg.Path(), Typ: typeName(fact)}] = fact
+}
+
+// ImportPackageFact copies pkg's fact of ptr's concrete type into *ptr
+// and reports whether one existed.
+func (p *Pass) ImportPackageFact(pkg *types.Package, ptr Fact) bool {
+	p.checkFactType(ptr)
+	if pkg == nil {
+		return false
+	}
+	return p.facts.lookup(factKey{Pkg: pkg.Path(), Typ: typeName(ptr)}, ptr)
+}
+
+func (e *factEnv) lookup(k factKey, ptr Fact) bool {
+	f, ok := e.exported.m[k]
+	if !ok {
+		f, ok = e.imported.m[k]
+	}
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFactSetEncodeDecodeRoundTrip drives the gob payload both ways:
+// what Encode writes, DecodeFacts must reconstruct key-for-key, and the
+// canonical entry order must make encoding deterministic.
+func TestFactSetEncodeDecodeRoundTrip(t *testing.T) {
+	registerFactTypes(All())
+	s := NewFactSet()
+	s.m[factKey{Pkg: "a", Obj: "Network", Typ: typeName(&HoldsNetwork{})}] = &HoldsNetwork{Root: true}
+	s.m[factKey{Pkg: "a", Obj: "Result", Typ: typeName(&HoldsNetwork{})}] = &HoldsNetwork{Via: "field Net"}
+	s.m[factKey{Pkg: "b", Obj: "unit.vcs", Typ: typeName(&ArenaOwned{})}] = &ArenaOwned{Field: "unit.vcs"}
+
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeFacts(data)
+	if err != nil {
+		t.Fatalf("DecodeFacts: %v", err)
+	}
+	if gs, ws := strings.Join(got.Strings(), "\n"), strings.Join(s.Strings(), "\n"); gs != ws {
+		t.Errorf("round trip changed the set:\ngot:\n%s\nwant:\n%s", gs, ws)
+	}
+	var h HoldsNetwork
+	k := factKey{Pkg: "a", Obj: "Result", Typ: typeName(&HoldsNetwork{})}
+	f, ok := got.m[k].(*HoldsNetwork)
+	if !ok || f.Via != "field Net" {
+		t.Errorf("decoded fact for %v = %+v, want Via=field Net", k, got.m[k])
+	}
+	_ = h
+
+	again, err := s.Encode()
+	if err != nil {
+		t.Fatalf("second Encode: %v", err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("Encode is not deterministic: two encodings of the same set differ")
+	}
+}
+
+// TestDecodeFactsEmpty: the zero-byte placeholder written for packages
+// with nothing to say decodes to an empty, usable set.
+func TestDecodeFactsEmpty(t *testing.T) {
+	s, err := DecodeFacts(nil)
+	if err != nil {
+		t.Fatalf("DecodeFacts(nil): %v", err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("empty payload decoded to %d facts", s.Len())
+	}
+	s.Merge(nil) // merging nil must be a no-op, not a panic
+}
+
+// TestSuiteFingerprint pins the properties cmd/nbtilint's -V=full hash
+// depends on: every analyzer name appears, fact-carrying analyzers
+// contribute their schema (type and field list), and the string is
+// stable across calls.
+func TestSuiteFingerprint(t *testing.T) {
+	fp := SuiteFingerprint()
+	for _, a := range All() {
+		if !strings.Contains(fp, a.Name) {
+			t.Errorf("fingerprint omits analyzer %q: %s", a.Name, fp)
+		}
+	}
+	for _, want := range []string{
+		"HoldsNetwork:Root bool:Via string",
+		"ArenaOwned:Field string",
+	} {
+		if !strings.Contains(fp, want) {
+			t.Errorf("fingerprint omits fact schema %q: %s", want, fp)
+		}
+	}
+	if fp != SuiteFingerprint() {
+		t.Error("fingerprint is not stable across calls")
+	}
+}

@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// GlobalMut flags mutable package-level state in library packages — a
+// determinism hazard today (two runs in one process can observe each
+// other) and a multi-tenancy hazard the moment the engine serves
+// concurrent requests. A package-level var is accepted only when it is
+// provably configuration, not state:
+//
+//   - error sentinels (`var ErrX = errors.New(...)`) and compiled
+//     regexps (`var re = regexp.MustCompile(...)`) — read-only by
+//     universal convention;
+//   - unexported vars the package never writes after initialization
+//     (lookup tables); a write is any assignment, inc/dec, index or
+//     field store, delete/copy, taking the address, or calling a
+//     pointer-receiver method on the var;
+//   - exported vars that are never written in-package and whose type
+//     is not an aliasable aggregate (map/slice/chan) — the exported
+//     *Analyzer declaration idiom. Exported aggregates are flagged
+//     even if unwritten, because any importer can mutate them in
+//     place; hide them behind an accessor returning a copy.
+//
+// Everything else needs a constructor/accessor hoist or an explicit
+// //nbtilint:allow globalmut <reason> waiver (the construction-time
+// resolved metrics default registry is the canonical reasoned allow).
+var GlobalMut = &Analyzer{
+	Name: "globalmut",
+	Doc: "flags mutable package-level state in library packages (written vars, " +
+		"exported aggregate vars); process-global state couples runs and " +
+		"tenants — hoist it behind a constructor or accessor, or justify it " +
+		"with //nbtilint:allow globalmut <reason>",
+	Run: runGlobalMut,
+}
+
+func runGlobalMut(pass *Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		// Scope: package main owns its process; flags and CLI state are
+		// display plumbing, not engine state.
+		return nil
+	}
+	written := collectWrites(pass)
+	for _, f := range pass.NonTestFiles() {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.GenDecl)
+			if !ok || decl.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range decl.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					checkGlobal(pass, written, vs, i, name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkGlobal(pass *Pass, written map[types.Object]string, vs *ast.ValueSpec, i int, name *ast.Ident) {
+	obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+	if !ok || name.Name == "_" {
+		return
+	}
+	var init ast.Expr
+	if i < len(vs.Values) {
+		init = vs.Values[i]
+	}
+	if isErrorSentinel(obj) || isCompiledRegexp(pass, init) {
+		return
+	}
+	if how, wrote := written[obj]; wrote {
+		pass.Reportf(name.Pos(), "package-level variable %q is mutable state (%s); process-global state couples runs and tenants — hoist it behind a constructor, or annotate //nbtilint:allow globalmut <reason>", name.Name, how)
+		return
+	}
+	if obj.Exported() {
+		switch obj.Type().Underlying().(type) {
+		case *types.Map, *types.Slice, *types.Chan:
+			pass.Reportf(name.Pos(), "exported package-level %s %q can be mutated in place by any importer; expose an accessor returning a copy, or annotate //nbtilint:allow globalmut <reason>", aggregateKind(obj.Type()), name.Name)
+		}
+	}
+}
+
+func aggregateKind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Map:
+		return "map"
+	case *types.Slice:
+		return "slice"
+	case *types.Chan:
+		return "channel"
+	}
+	return "aggregate"
+}
+
+// isErrorSentinel accepts vars of type error: the ErrX convention.
+func isErrorSentinel(obj *types.Var) bool {
+	t := obj.Type()
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isCompiledRegexp accepts `regexp.MustCompile(...)` initializers.
+func isCompiledRegexp(pass *Pass, init ast.Expr) bool {
+	call, ok := ast.Unparen(init).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	return pkgName.Imported().Path() == "regexp" &&
+		(sel.Sel.Name == "MustCompile" || sel.Sel.Name == "MustCompilePOSIX")
+}
+
+// collectWrites scans the package's non-test files for anything that
+// writes (or could write) a package-level variable after its
+// initialization, and records a human-readable description of the
+// first write per object. Writes inside init functions count too:
+// init-order-coupled mutation is exactly the hazard the analyzer
+// exists to surface.
+func collectWrites(pass *Pass) map[types.Object]string {
+	written := map[types.Object]string{}
+	record := func(e ast.Expr, how string) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || obj.Parent() != pass.Pkg.Scope() {
+			return
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return
+		}
+		if _, dup := written[obj]; !dup {
+			written[obj] = how
+		}
+	}
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					switch l := ast.Unparen(lhs).(type) {
+					case *ast.Ident:
+						record(l, "assigned in "+posName(pass, n.Pos()))
+					case *ast.IndexExpr:
+						record(l.X, "element written in "+posName(pass, n.Pos()))
+					case *ast.SelectorExpr:
+						record(l.X, "field written in "+posName(pass, n.Pos()))
+					case *ast.StarExpr:
+						record(l.X, "written through pointer in "+posName(pass, n.Pos()))
+					}
+				}
+			case *ast.IncDecStmt:
+				record(n.X, "incremented in "+posName(pass, n.Pos()))
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					record(n.X, "address taken in "+posName(pass, n.Pos()))
+				}
+			case *ast.RangeStmt:
+				// `for i := range v` reads; no write.
+			case *ast.CallExpr:
+				checkCallWrites(pass, n, record)
+			}
+			return true
+		})
+	}
+	return written
+}
+
+// checkCallWrites records mutations performed through calls: the
+// delete and copy builtins, and pointer-receiver method calls on a
+// package-level var (v.Store(...), v.Lock()).
+func checkCallWrites(pass *Pass, call *ast.CallExpr, record func(ast.Expr, string)) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && len(call.Args) > 0 {
+			switch b.Name() {
+			case "delete":
+				record(call.Args[0], "delete() in "+posName(pass, call.Pos()))
+			case "copy":
+				record(call.Args[0], "copy() target in "+posName(pass, call.Pos()))
+			case "clear":
+				record(call.Args[0], "clear() in "+posName(pass, call.Pos()))
+			}
+		}
+	case *ast.SelectorExpr:
+		sel, ok := pass.TypesInfo.Selections[fun]
+		if !ok || sel.Kind() != types.MethodVal {
+			return
+		}
+		m, ok := sel.Obj().(*types.Func)
+		if !ok {
+			return
+		}
+		sig, ok := m.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return
+		}
+		if _, ptrRecv := sig.Recv().Type().(*types.Pointer); ptrRecv {
+			record(fun.X, "pointer-receiver method "+m.Name()+"() called in "+posName(pass, call.Pos()))
+		}
+	}
+}
+
+// posName renders a short location for write descriptions.
+func posName(pass *Pass, pos token.Pos) string {
+	p := pass.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

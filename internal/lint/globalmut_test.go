@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nbtinoc/internal/lint"
+	"nbtinoc/internal/lint/linttest"
+)
+
+func TestGlobalMut(t *testing.T) {
+	linttest.Run(t, lint.GlobalMut, "globalmut")
+}
+
+// TestGlobalMutSkipsMainPackages: package main owns its process, so its
+// flag vars and CLI state are not library state.
+func TestGlobalMutSkipsMainPackages(t *testing.T) {
+	diags := linttest.Diagnostics(t, []*lint.Analyzer{lint.GlobalMut}, "mainscope")
+	if len(diags) != 0 {
+		t.Errorf("globalmut reported %d findings in package main, want 0: %v", len(diags), diags)
+	}
+}
+
+// TestMarkerDirectives runs the full suite over the marker-grammar
+// fixture: a typoed marker verb is reported instead of silently
+// disabling an invariant.
+func TestMarkerDirectives(t *testing.T) {
+	linttest.RunSuite(t, lint.All(), "markerdir")
+}

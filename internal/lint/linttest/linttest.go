@@ -10,8 +10,13 @@
 // Each `// want` comment carries one or more backquoted or quoted
 // regular expressions; every reported diagnostic must match a want on
 // its exact line, and every want must be matched by some diagnostic.
-// Fixtures may import only the standard library — they are type-checked
-// with go/importer's source importer against GOROOT.
+//
+// Fixtures may import the standard library (type-checked with
+// go/importer's source importer against GOROOT) and each other: an
+// import path that names a sibling directory under testdata/src is
+// loaded recursively, its suite is run first, and the facts it exports
+// are made visible to the importing fixture — the same cross-package
+// fact flow cmd/nbtilint implements over .vetx files, in miniature.
 package linttest
 
 import (
@@ -56,10 +61,10 @@ func Run(t *testing.T, a *lint.Analyzer, pkgname string) {
 // directives via the "allow" pseudo-analyzer).
 func RunSuite(t *testing.T, as []*lint.Analyzer, pkgname string) {
 	t.Helper()
-	fset, files, diags := analyze(t, as, pkgname)
+	target := load(t, as, pkgname, true)
 
-	wants := collectWants(t, fset, files)
-	for _, d := range diags {
+	wants := collectWants(t, target.fset, target.files)
+	for _, d := range target.diags {
 		if !matchWant(wants, d) {
 			t.Errorf("unexpected diagnostic at %s:%d: %s: %s",
 				filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
@@ -75,57 +80,144 @@ func RunSuite(t *testing.T, as []*lint.Analyzer, pkgname string) {
 
 // Diagnostics loads a fixture and returns the raw findings without
 // matching them against // want comments — for tests probing scoping
-// rules or diagnostic ordering directly.
+// rules or diagnostic ordering directly. Dependency fixtures are
+// analyzed first and their facts flow into the target package.
 func Diagnostics(t *testing.T, as []*lint.Analyzer, pkgname string) []lint.Diagnostic {
 	t.Helper()
-	_, _, diags := analyze(t, as, pkgname)
-	return diags
+	return load(t, as, pkgname, true).diags
 }
 
-func analyze(t *testing.T, as []*lint.Analyzer, pkgname string) (*token.FileSet, []*ast.File, []lint.Diagnostic) {
+// DiagnosticsNoDepFacts is Diagnostics with the cross-package fact flow
+// severed: dependency fixtures are still loaded and type-checked (so
+// the target compiles) but the facts they export are withheld from the
+// target's suite run. Diagnostics that exist only because a dependency
+// exported a fact vanish under this mode — the negative control proving
+// an invariant really crosses the package boundary via facts rather
+// than via syntax the target could see locally.
+func DiagnosticsNoDepFacts(t *testing.T, as []*lint.Analyzer, pkgname string) []lint.Diagnostic {
 	t.Helper()
+	return load(t, as, pkgname, false).diags
+}
+
+// Facts loads a fixture like Diagnostics and returns the facts its
+// suite run exported, rendered with FactSet.Strings.
+func Facts(t *testing.T, as []*lint.Analyzer, pkgname string) []string {
+	t.Helper()
+	return load(t, as, pkgname, true).facts.Strings()
+}
+
+// fixturePkg is one loaded-and-analyzed fixture package.
+type fixturePkg struct {
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	diags []lint.Diagnostic
+	// facts holds everything visible after the package's suite run:
+	// the facts it exported plus those inherited from dependencies —
+	// the linttest equivalent of the re-exported .vetx payload.
+	facts *lint.FactSet
+}
+
+// loader resolves fixture import paths recursively, analyzing each
+// dependency before its importers, and accumulating exported facts.
+type loader struct {
+	t    *testing.T
+	as   []*lint.Analyzer
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*fixturePkg
+	// target and targetFacts control the negative mode: when the named
+	// package is analyzed with targetFacts false, dependency facts are
+	// withheld from its run.
+	target      string
+	targetFacts bool
+}
+
+func load(t *testing.T, as []*lint.Analyzer, pkgname string, depFacts bool) *fixturePkg {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{
+		t:           t,
+		as:          as,
+		fset:        fset,
+		std:         importer.ForCompiler(fset, "source", nil),
+		pkgs:        map[string]*fixturePkg{},
+		target:      pkgname,
+		targetFacts: depFacts,
+	}
+	return ld.load(pkgname)
+}
+
+// Import implements types.Importer over the fixture tree: sibling
+// fixture directories shadow nothing in GOROOT (fixture names are not
+// stdlib paths), everything else falls through to the source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join("testdata", "src", path)); err == nil {
+		return ld.load(path).pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) load(pkgname string) *fixturePkg {
+	ld.t.Helper()
+	if p, ok := ld.pkgs[pkgname]; ok {
+		return p
+	}
 	dir := filepath.Join("testdata", "src", pkgname)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		t.Fatalf("reading fixture dir: %v", err)
+		ld.t.Fatalf("reading fixture dir: %v", err)
 	}
-	fset := token.NewFileSet()
-	var files []*ast.File
 	var names []string
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
 		}
-		names = append(names, filepath.Join(dir, e.Name()))
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		t.Fatalf("fixture %s has no Go files", dir)
+		ld.t.Fatalf("fixture %s has no Go files", dir)
 	}
+	var files []*ast.File
 	for _, name := range names {
-		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments)
 		if err != nil {
-			t.Fatalf("parsing fixture: %v", err)
+			ld.t.Fatalf("parsing fixture: %v", err)
 		}
 		files = append(files, f)
 	}
 
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	conf := types.Config{Importer: ld}
 	info := &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Defs:  map[*ast.Ident]types.Object{},
-		Uses:  map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
-	pkg, err := conf.Check(pkgname, fset, files, info)
+	pkg, err := conf.Check(pkgname, ld.fset, files, info)
 	if err != nil {
-		t.Fatalf("typechecking fixture %s: %v", pkgname, err)
+		ld.t.Fatalf("typechecking fixture %s: %v", pkgname, err)
 	}
 
-	diags, err := lint.RunSuite(as, fset, files, pkg, info, pkgname)
-	if err != nil {
-		t.Fatalf("running analyzers: %v", err)
+	// Typechecking pulled in (and therefore analyzed) every fixture
+	// dependency through Import; gather the facts they exported.
+	imported := lint.NewFactSet()
+	if pkgname != ld.target || ld.targetFacts {
+		for _, dep := range pkg.Imports() {
+			if p, ok := ld.pkgs[dep.Path()]; ok {
+				imported.Merge(p.facts)
+			}
+		}
 	}
-	return fset, files, diags
+
+	res, err := lint.RunSuiteFacts(ld.as, ld.fset, files, pkg, info, pkgname, imported)
+	if err != nil {
+		ld.t.Fatalf("running analyzers: %v", err)
+	}
+	imported.Merge(res.Facts)
+	p := &fixturePkg{fset: ld.fset, files: files, pkg: pkg, diags: res.Diagnostics, facts: imported}
+	ld.pkgs[pkgname] = p
+	return p
 }
 
 func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {

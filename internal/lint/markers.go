@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Marker directives declare structural roles that the fact-based
+// analyzers export for the rest of the package graph. The grammar is
+//
+//	//nbtilint:network [note...]   on a type declaration:
+//	    values of this type are a simulation network root; netshare
+//	    propagates the property to every type that transitively holds
+//	    one and forbids sharing such values across goroutines.
+//	//nbtilint:arena [note...]     on a slice-typed struct field:
+//	    the field holds an arena-owned subslice; arenaalias forbids
+//	    growing, aliasing or retaining it.
+//	//nbtilint:packed [note...]    on a function declaration:
+//	    the function is a blessed packed-index helper; packedidx
+//	    permits multiply-add index arithmetic only inside such
+//	    helpers.
+//
+// Like //nbtilint:allow, a marker covers its own source line and the
+// line directly below it, so it works both as an end-of-line comment
+// and as a standalone comment above the declaration. Any //nbtilint:
+// comment whose verb is not a known directive is reported as
+// malformed — a typoed marker must not silently disable an invariant.
+
+// directivePrefix introduces every nbtilint source directive.
+const directivePrefix = "//nbtilint:"
+
+// markerVerbs lists the marker directives (allow is parsed separately
+// in allow.go).
+var markerVerbs = map[string]bool{
+	"network": true,
+	"arena":   true,
+	"packed":  true,
+}
+
+// directiveVerb splits an //nbtilint: comment into its verb and rest;
+// ok is false for comments that do not carry the directive prefix as a
+// whole token.
+func directiveVerb(text string) (verb, rest string, ok bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", "", false
+	}
+	body := strings.TrimPrefix(text, directivePrefix)
+	i := strings.IndexAny(body, " \t")
+	if i < 0 {
+		return body, "", true
+	}
+	return body[:i], strings.TrimSpace(body[i:]), true
+}
+
+// markedLines returns the set of source lines covered by the given
+// marker verb in f: each marker covers its own line and the next one.
+func markedLines(fset *token.FileSet, f *ast.File, verb string) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			v, _, ok := directiveVerb(c.Text)
+			if !ok || v != verb {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			lines[line] = true
+			lines[line+1] = true
+		}
+	}
+	return lines
+}
+
+// markerCovers reports whether a marker of the given verb in f covers
+// pos (the marker's line or the line above pos).
+func markerCovers(fset *token.FileSet, marked map[int]bool, pos token.Pos) bool {
+	return marked[fset.Position(pos).Line]
+}
+
+// unknownDirectiveDiagnostics reports every //nbtilint: comment whose
+// verb is neither allow nor a known marker.
+func unknownDirectiveDiagnostics(fset *token.FileSet, f *ast.File) []Diagnostic {
+	var diags []Diagnostic
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			verb, _, ok := directiveVerb(c.Text)
+			if !ok || verb == "allow" || markerVerbs[verb] {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      fset.Position(c.Pos()),
+				Analyzer: "allow",
+				Message: "unknown directive //nbtilint:" + verb +
+					" (known: allow, arena, network, packed)",
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HoldsNetwork is the object fact netshare attaches to a type name:
+// values of the type are, or transitively contain, a simulation
+// network. Root is true for types carrying the //nbtilint:network
+// marker themselves; propagated types record the field or element
+// chain that links them to a root in Via (for diagnostics).
+type HoldsNetwork struct {
+	Root bool
+	Via  string
+}
+
+// AFact marks HoldsNetwork as a lint fact.
+func (*HoldsNetwork) AFact() {}
+
+// NetShare enforces the engine's single-goroutine network discipline:
+// a noc.Network — or any value of a type that transitively holds one,
+// a property propagated across package boundaries via the HoldsNetwork
+// fact — must never be sent on a channel, captured or passed by a
+// go-spawned goroutine, or stored in package-level state. The blessed
+// concurrency idiom is sim.Pool's one-network-per-job pattern: each
+// pool job constructs, steps and discards its own network, and the
+// pool's completion edge is the only synchronisation. Root types are
+// declared with a //nbtilint:network marker on the type declaration.
+var NetShare = &Analyzer{
+	Name: "netshare",
+	Doc: "flags channel sends, goroutine captures/arguments and package-level " +
+		"storage of values whose type transitively holds a simulation network " +
+		"(//nbtilint:network roots, propagated cross-package via facts); a " +
+		"network aliased across goroutines silently corrupts duty-cycle " +
+		"accounting — use sim.Pool's one-network-per-job pattern instead",
+	FactTypes: []Fact{(*HoldsNetwork)(nil)},
+	Run:       runNetShare,
+}
+
+func runNetShare(pass *Pass) error {
+	c := &netChecker{pass: pass, holds: map[*types.TypeName]*HoldsNetwork{}}
+	c.collectRoots()
+	c.propagate()
+	c.exportFacts()
+	for _, f := range pass.NonTestFiles() {
+		c.checkFile(f)
+	}
+	return nil
+}
+
+type netChecker struct {
+	pass *Pass
+	// roots lists the locally marked type names in file order.
+	roots []*types.TypeName
+	// holds records the local verdict per package-level type name;
+	// only consulted by direct lookup, never ranged.
+	holds map[*types.TypeName]*HoldsNetwork
+}
+
+// collectRoots finds //nbtilint:network markers on type declarations.
+func (c *netChecker) collectRoots() {
+	for _, f := range c.pass.NonTestFiles() {
+		marked := markedLines(c.pass.Fset, f, "network")
+		if len(marked) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			if !markerCovers(c.pass.Fset, marked, ts.Pos()) {
+				return true
+			}
+			if tn, ok := c.pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+				c.roots = append(c.roots, tn)
+				c.holds[tn] = &HoldsNetwork{Root: true}
+			}
+			return true
+		})
+	}
+}
+
+// propagate computes the holds-network property for every package-level
+// named type as a fixpoint: named types cut the recursion, so mutually
+// recursive types converge in at most one pass per dependency link.
+func (c *netChecker) propagate() {
+	scope := c.pass.Pkg.Scope()
+	for changed := true; changed; {
+		changed = false
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || c.holds[tn] != nil {
+				continue
+			}
+			if via, yes := c.typeHolds(tn.Type().Underlying(), 0); yes {
+				c.holds[tn] = &HoldsNetwork{Via: via}
+				changed = true
+			}
+		}
+	}
+}
+
+// typeHolds reports whether a value of type t transitively contains a
+// network, with via naming the link that establishes it.
+func (c *netChecker) typeHolds(t types.Type, depth int) (via string, yes bool) {
+	if depth > 32 {
+		return "", false
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return c.namedHolds(t.Obj())
+	case *types.Alias:
+		return c.typeHolds(types.Unalias(t), depth+1)
+	case *types.Pointer:
+		return c.typeHolds(t.Elem(), depth+1)
+	case *types.Slice:
+		return c.typeHolds(t.Elem(), depth+1)
+	case *types.Array:
+		return c.typeHolds(t.Elem(), depth+1)
+	case *types.Chan:
+		return c.typeHolds(t.Elem(), depth+1)
+	case *types.Map:
+		if via, yes := c.typeHolds(t.Key(), depth+1); yes {
+			return via, yes
+		}
+		return c.typeHolds(t.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			fld := t.Field(i)
+			if via, yes := c.typeHolds(fld.Type(), depth+1); yes {
+				if via == "" {
+					return "field " + fld.Name(), true
+				}
+				return "field " + fld.Name() + " (" + via + ")", true
+			}
+		}
+	}
+	return "", false
+}
+
+// namedHolds resolves the property for a named type: local types via
+// the in-progress table, imported types via the HoldsNetwork fact their
+// own package exported.
+func (c *netChecker) namedHolds(tn *types.TypeName) (via string, yes bool) {
+	if tn == nil || tn.Pkg() == nil {
+		return "", false
+	}
+	if tn.Pkg() == c.pass.Pkg {
+		if h := c.holds[tn]; h != nil {
+			return "type " + tn.Name(), true
+		}
+		return "", false
+	}
+	var f HoldsNetwork
+	if c.pass.ImportObjectFact(tn, &f) {
+		return "type " + tn.Pkg().Name() + "." + tn.Name(), true
+	}
+	return "", false
+}
+
+// exportFacts publishes the verdicts for dependents, in scope order.
+func (c *netChecker) exportFacts() {
+	scope := c.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if h := c.holds[tn]; h != nil {
+			c.pass.ExportObjectFact(tn, h)
+		}
+	}
+}
+
+// exprHolds reports whether the expression's type holds a network.
+func (c *netChecker) exprHolds(e ast.Expr) (string, bool) {
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return "", false
+	}
+	return c.typeHolds(t, 0)
+}
+
+func (c *netChecker) checkFile(f *ast.File) {
+	pass := c.pass
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if via, yes := c.exprHolds(n.Value); yes {
+				pass.Reportf(n.Arrow, "channel send shares a value that holds a simulation network (%s); a network must stay confined to one goroutine — use sim.Pool's one-network-per-job pattern", via)
+			}
+		case *ast.GoStmt:
+			c.checkGo(n)
+		case *ast.GenDecl:
+			c.checkPackageVar(f, n)
+		case *ast.AssignStmt:
+			c.checkPackageStore(n)
+		}
+		return true
+	})
+}
+
+// checkGo flags networks crossing into a spawned goroutine, whether as
+// call arguments, as the method receiver, or captured by a closure.
+func (c *netChecker) checkGo(g *ast.GoStmt) {
+	pass := c.pass
+	for _, arg := range g.Call.Args {
+		if via, yes := c.exprHolds(arg); yes {
+			pass.Reportf(arg.Pos(), "goroutine argument carries a simulation network (%s); networks must not cross goroutines — use sim.Pool's one-network-per-job pattern", via)
+		}
+	}
+	switch fun := g.Call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if via, yes := c.exprHolds(fun.X); yes {
+			pass.Reportf(fun.Pos(), "goroutine method receiver holds a simulation network (%s); networks must not cross goroutines", via)
+		}
+	case *ast.FuncLit:
+		c.checkCapture(fun)
+	}
+}
+
+// checkCapture flags free variables of a go-spawned closure whose type
+// holds a network.
+func (c *netChecker) checkCapture(lit *ast.FuncLit) {
+	pass := c.pass
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || seen[obj] {
+			return true
+		}
+		// A free variable is one declared outside the literal.
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true
+		}
+		if via, yes := c.typeHolds(obj.Type(), 0); yes {
+			seen[obj] = true
+			pass.Reportf(id.Pos(), "go-spawned closure captures %q, which holds a simulation network (%s); networks must not cross goroutines — use sim.Pool's one-network-per-job pattern", obj.Name(), via)
+		}
+		return true
+	})
+}
+
+// checkPackageVar flags package-level variable declarations whose type
+// can hold a network.
+func (c *netChecker) checkPackageVar(f *ast.File, decl *ast.GenDecl) {
+	pass := c.pass
+	// Only top-level var declarations matter; nested GenDecls inside
+	// functions declare locals.
+	isTop := false
+	for _, d := range f.Decls {
+		if d == ast.Decl(decl) {
+			isTop = true
+			break
+		}
+	}
+	if !isTop {
+		return
+	}
+	for _, spec := range decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if via, yes := c.typeHolds(obj.Type(), 0); yes {
+				pass.Reportf(name.Pos(), "package-level variable %q holds a simulation network (%s); networks are per-run state and must never live in package scope", name.Name, via)
+			}
+		}
+	}
+}
+
+// checkPackageStore flags assignments that smuggle a network into
+// package-level state through an interface-typed or aggregate global
+// (`global = net`, `cache[k] = net`).
+func (c *netChecker) checkPackageStore(as *ast.AssignStmt) {
+	pass := c.pass
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		var base *ast.Ident
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			base = l
+		case *ast.IndexExpr:
+			base, _ = l.X.(*ast.Ident)
+		}
+		if base == nil {
+			continue
+		}
+		obj := pass.TypesInfo.Uses[base]
+		if obj == nil || obj.Pkg() != pass.Pkg || obj.Parent() != pass.Pkg.Scope() {
+			continue
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			continue
+		}
+		if _, declared := c.typeHolds(obj.Type(), 0); declared {
+			// The variable's declared type already holds a network, so
+			// the declaration itself carries the diagnostic.
+			continue
+		}
+		if via, yes := c.exprHolds(as.Rhs[i]); yes {
+			pass.Reportf(as.Pos(), "assignment stores a value that holds a simulation network (%s) into package-level variable %q; networks are per-run state and must never live in package scope", via, base.Name)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"nbtinoc/internal/lint"
+	"nbtinoc/internal/lint/linttest"
+)
+
+func TestNetShare(t *testing.T) {
+	linttest.Run(t, lint.NetShare, "netshare")
+}
+
+// TestNetShareTransitive checks the cross-package leg: netshare_b never
+// mentions a network type, yet its sends, spawns and package vars are
+// flagged because netshare_a's HoldsNetwork facts flow in through the
+// harness's fact channel.
+func TestNetShareTransitive(t *testing.T) {
+	linttest.Run(t, lint.NetShare, "netshare_b")
+}
+
+// TestNetShareRequiresDepFacts is the negative control for the test
+// above: with dependency facts withheld, netshare cannot know that
+// netshare_a.Result holds a network, and netshare_b analyzes clean.
+// Together the two tests prove the invariant crosses the package
+// boundary via facts, not via anything visible in netshare_b's syntax.
+func TestNetShareRequiresDepFacts(t *testing.T) {
+	diags := linttest.DiagnosticsNoDepFacts(t, []*lint.Analyzer{lint.NetShare}, "netshare_b")
+	if len(diags) != 0 {
+		t.Errorf("netshare reported %d findings without dependency facts, want 0: %v", len(diags), diags)
+	}
+}
+
+// TestNetShareFactsExported pins the facts netshare_a publishes: the
+// marked root and the transitively-holding Result type, and nothing
+// for types that hold no network.
+func TestNetShareFactsExported(t *testing.T) {
+	facts := linttest.Facts(t, []*lint.Analyzer{lint.NetShare}, "netshare_a")
+	want := []string{
+		"netshare_a.Network: *lint.HoldsNetwork",
+		"netshare_a.Result: *lint.HoldsNetwork",
+	}
+	got := strings.Join(facts, "\n")
+	for _, w := range want {
+		if !strings.Contains(got, w) {
+			t.Errorf("exported facts missing %q; got:\n%s", w, got)
+		}
+	}
+	if len(facts) != len(want) {
+		t.Errorf("exported %d facts, want %d:\n%s", len(facts), len(want), got)
+	}
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PackedIdx enforces the flat-memory engine's single-point-of-truth
+// rule for packed index arithmetic: expressions of the shape
+// `node*(NumPorts+1)+port` or `unit*TotalVCs+vc` — any multiply inside
+// an index or slice bound of a slice or array — must live inside a
+// function marked //nbtilint:packed (internal/noc's packing helpers),
+// so the arena layout can evolve in exactly one place. Ad-hoc copies of
+// the arithmetic are how a layout change silently reads another unit's
+// state.
+var PackedIdx = &Analyzer{
+	Name: "packedidx",
+	Doc: "flags multiply-add index arithmetic in slice/array index and slice-bound " +
+		"positions outside functions marked //nbtilint:packed; packed arena " +
+		"offsets must route through the named packing helpers so the layout " +
+		"can change in one place",
+	Run: runPackedIdx,
+}
+
+func runPackedIdx(pass *Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		// Scope: the invariant protects the engine's arena layout;
+		// display code in cmd/ and examples/ never touches it.
+		return nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		marked := markedLines(pass.Fset, f, "packed")
+		var packedFns []*ast.FuncDecl
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && markerCovers(pass.Fset, marked, fn.Pos()) {
+				packedFns = append(packedFns, fn)
+			}
+		}
+		inPacked := func(pos token.Pos) bool {
+			for _, fn := range packedFns {
+				if fn.Pos() <= pos && pos < fn.End() {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IndexExpr:
+				if isSliceOrArray(pass, n.X) && !inPacked(n.Pos()) {
+					checkIdxOperand(pass, n.Index)
+				}
+			case *ast.SliceExpr:
+				if isSliceOrArray(pass, n.X) && !inPacked(n.Pos()) {
+					checkIdxOperand(pass, n.Low)
+					checkIdxOperand(pass, n.High)
+					checkIdxOperand(pass, n.Max)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSliceOrArray reports whether e is a value of slice, array, or
+// pointer-to-array type — the index contexts where packed offsets
+// occur. Maps and generic type instantiations are not index layouts.
+func isSliceOrArray(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || !tv.IsValue() {
+		return false
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, isArr := t.Elem().Underlying().(*types.Array)
+		return isArr
+	}
+	return false
+}
+
+// checkIdxOperand reports a diagnostic if the operand contains a
+// multiplication with at least one non-constant factor. A fully
+// constant product (`buf[2*3]`) is a literal, not layout arithmetic.
+func checkIdxOperand(pass *Pass, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	reported := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.MUL {
+			return true
+		}
+		if isConstExpr(pass, be.X) && isConstExpr(pass, be.Y) {
+			return true
+		}
+		reported = true
+		pass.Reportf(be.Pos(), "packed index arithmetic outside a //nbtilint:packed helper: route this offset through the named packing helpers so the arena layout can evolve in one place")
+		return false
+	})
+}
+
+// isConstExpr reports whether the type checker evaluated e to a
+// constant.
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

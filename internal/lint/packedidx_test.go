@@ -1,0 +1,22 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nbtinoc/internal/lint"
+	"nbtinoc/internal/lint/linttest"
+)
+
+func TestPackedIdx(t *testing.T) {
+	linttest.Run(t, lint.PackedIdx, "packedidx")
+}
+
+// TestPackedIdxSkipsMainPackages mirrors the detmap scoping test: the
+// arena layout invariant guards engine code; display code in package
+// main never touches packed offsets.
+func TestPackedIdxSkipsMainPackages(t *testing.T) {
+	diags := linttest.Diagnostics(t, []*lint.Analyzer{lint.PackedIdx}, "mainscope")
+	if len(diags) != 0 {
+		t.Errorf("packedidx reported %d findings in package main, want 0: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,74 @@
+// Fixture for the arenaalias analyzer: a struct with an arena-marked
+// subslice field, the blessed construction idioms (slice-expression
+// windows, make, nil), and every forbidden shape — append growth,
+// aliasing, retention, channel sends, and package-level storage.
+package arenaalias
+
+type unit struct {
+	//nbtilint:arena window into the network's flat buffer arena
+	vcs []int
+	// scratch is unmarked and follows no arena rules.
+	scratch []int
+}
+
+type misuse struct {
+	//nbtilint:arena
+	count int // want `//nbtilint:arena marker on non-slice field count`
+}
+
+func grow(u *unit) {
+	u.vcs = append(u.vcs, 1) // want `append grows arena-owned slice unit.vcs`
+}
+
+func alias(u *unit, other []int) {
+	u.vcs = other // want `arena-owned slice unit.vcs rebound to another slice value`
+}
+
+func rebindAppend(u *unit, other []int) {
+	u.vcs = append(other, 1) // want `arena-owned slice unit.vcs rebound to an append result`
+}
+
+func carve(u *unit, arena []int, lo, hi int) {
+	u.vcs = arena[lo:hi:hi]
+	u.vcs = make([]int, 4)
+	u.vcs = nil
+	u.scratch = arena
+}
+
+func build(arena []int, total int) unit {
+	return unit{vcs: arena[:total:total], scratch: arena}
+}
+
+func buildBad(other []int) unit {
+	return unit{vcs: other} // want `arena-owned slice unit.vcs rebound to another slice value`
+}
+
+func retain(u *unit, sink [][]int) [][]int {
+	return append(sink, u.vcs) // want `arena-owned slice unit.vcs stored as an element of another slice`
+}
+
+func spread(dst []int, u *unit) []int {
+	return append(dst, u.vcs...) // spreading copies elements out: fine
+}
+
+func send(u *unit, ch chan []int) {
+	ch <- u.vcs // want `arena-owned slice unit.vcs sent on a channel`
+}
+
+var global []int
+
+func stash(u *unit) {
+	global = u.vcs // want `arena-owned slice unit.vcs stored in package-level variable "global"`
+}
+
+func multi(u *unit, m map[string][]int) {
+	var ok bool
+	u.vcs, ok = m["k"] // want `arena-owned slice unit.vcs rebound from a multi-value source`
+	_ = ok
+}
+
+func fresh(u *unit) {
+	u.vcs, _ = carve2()
+}
+
+func carve2() ([]int, bool) { return nil, true }

@@ -1,0 +1,59 @@
+// Fixture for the globalmut analyzer: package-level vars that are
+// written (assignment, inc/dec, element/field stores, delete, address
+// escape, pointer-receiver methods) or exported as bare aggregates are
+// flagged; sentinels, compiled regexps and unwritten lookup tables are
+// configuration, not state.
+package globalmut
+
+import (
+	"errors"
+	"regexp"
+	"sync"
+)
+
+var ErrBad = errors.New("bad")
+
+var pattern = regexp.MustCompile(`x+`)
+
+var table = map[string]int{"a": 1}
+
+func lookup(k string) int { return table[k] }
+
+var Version = "1.0"
+
+var counter int // want `package-level variable "counter" is mutable state \(incremented in`
+
+func bump() { counter++ }
+
+var names []string // want `package-level variable "names" is mutable state \(assigned in`
+
+func addName(n string) { names = append(names, n) }
+
+var index = map[string]int{} // want `package-level variable "index" is mutable state \(element written in`
+
+func set(k string, v int) { index[k] = v }
+
+var state struct{ n int } // want `package-level variable "state" is mutable state \(field written in`
+
+func poke(v int) { state.n = v }
+
+var mu sync.Mutex // want `package-level variable "mu" is mutable state \(pointer-receiver method Lock\(\) called in`
+
+func locked() { mu.Lock(); defer mu.Unlock() }
+
+var seen = map[string]bool{} // want `package-level variable "seen" is mutable state \(delete\(\) in`
+
+func forget(k string) { delete(seen, k) }
+
+var leaked int // want `package-level variable "leaked" is mutable state \(address taken in`
+
+func addr() *int { return &leaked }
+
+var Registry = map[string]int{} // want `exported package-level map "Registry" can be mutated in place by any importer`
+
+var Defaults = []string{"a"} // want `exported package-level slice "Defaults" can be mutated in place by any importer`
+
+//nbtilint:allow globalmut fixture waiver proving suppression works for this analyzer
+var waived int
+
+func bumpWaived() { waived++ }

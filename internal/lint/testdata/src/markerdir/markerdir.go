@@ -1,0 +1,14 @@
+// Fixture for marker-directive validation: an //nbtilint: comment with
+// an unknown verb must be reported, never silently ignored — a typoed
+// marker would otherwise disable an invariant without a trace.
+package markerdir
+
+//nbtilint:netwrok typo must not pass silently // want `unknown directive //nbtilint:netwrok \(known: allow, arena, network, packed\)`
+type T struct {
+	n int
+}
+
+//nbtilint:network
+type Net struct {
+	t T
+}

@@ -1,0 +1,75 @@
+// Fixture for the netshare analyzer: a marked network root, a wrapper
+// type that transitively holds one, and every forbidden sharing shape —
+// channel sends, goroutine arguments/receivers/captures, and
+// package-level storage.
+package netshare
+
+//nbtilint:network simulation state root
+type Network struct {
+	cycle int
+}
+
+func (n *Network) step() { n.cycle++ }
+
+// Runner holds a network through a pointer field, so it inherits the
+// property.
+type Runner struct {
+	Net *Network
+}
+
+// clean carries no network and may travel freely.
+type clean struct {
+	n int
+}
+
+var shared *Network // want `package-level variable "shared" holds a simulation network \(type Network\)`
+
+var pool []Runner // want `package-level variable "pool" holds a simulation network`
+
+var cache = map[string]any{}
+
+func stash(n *Network) {
+	cache["n"] = n // want `assignment stores a value that holds a simulation network .* into package-level variable "cache"`
+}
+
+func sendPtr(ch chan *Network, n *Network) {
+	ch <- n // want `channel send shares a value that holds a simulation network`
+}
+
+func sendWrapped(ch chan Runner, r Runner) {
+	ch <- r // want `channel send shares a value that holds a simulation network \(type Runner\)`
+}
+
+func sendClean(ch chan clean, c clean) {
+	ch <- c
+}
+
+func spawnArg(n *Network) {
+	go consume(n) // want `goroutine argument carries a simulation network`
+}
+
+func consume(n *Network) { n.step() }
+
+func spawnReceiver(n *Network) {
+	go n.step() // want `goroutine method receiver holds a simulation network`
+}
+
+func spawnCapture(n *Network) {
+	go func() {
+		n.step() // want `go-spawned closure captures "n", which holds a simulation network`
+	}()
+}
+
+func spawnClean(c clean) {
+	go func() {
+		c.n++
+	}()
+}
+
+// perRun is the blessed pattern: the network is constructed, used and
+// discarded inside one goroutine.
+func perRun() int {
+	n := &Network{}
+	n.step()
+	return n.cycle
+}

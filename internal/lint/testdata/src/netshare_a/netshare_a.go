@@ -1,0 +1,17 @@
+// Fixture dependency package for the transitive netshare test: it
+// declares the network root and a result type holding one, and exports
+// the HoldsNetwork facts. It contains no violations itself — the
+// violations live in netshare_b, which can only learn that
+// netshare_a.Result holds a network from the facts exported here.
+package netshare_a
+
+//nbtilint:network simulation state root
+type Network struct {
+	Cycle int
+}
+
+// Result pairs a summary with the network that produced it.
+type Result struct {
+	Rate float64
+	Net  *Network
+}

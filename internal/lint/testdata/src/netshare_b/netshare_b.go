@@ -1,0 +1,30 @@
+// Fixture for the cross-package leg of netshare: nothing in this file
+// mentions a network type or a marker. Every diagnostic below exists
+// only because netshare_a exported HoldsNetwork facts for Network and
+// Result — run without dependency facts, this package is silent (the
+// negative control in lint_test.go relies on that).
+package netshare_b
+
+import "netshare_a"
+
+// wrapper holds a network only transitively, through the imported
+// Result type.
+type wrapper struct {
+	res netshare_a.Result
+}
+
+func leak(ch chan wrapper, w wrapper) {
+	ch <- w // want `channel send shares a value that holds a simulation network \(type wrapper\)`
+}
+
+func spawn(r netshare_a.Result) {
+	go consume(r) // want `goroutine argument carries a simulation network \(type netshare_a.Result\)`
+}
+
+func consume(netshare_a.Result) {}
+
+var last wrapper // want `package-level variable "last" holds a simulation network`
+
+func pure(r netshare_a.Result) float64 {
+	return r.Rate
+}

@@ -1,0 +1,55 @@
+// Fixture for the packedidx analyzer: multiply-add arithmetic inside
+// slice index and slice-bound positions is flagged unless it lives in a
+// function marked //nbtilint:packed. Map keys, constant products and
+// plain (non-index) arithmetic are out of scope.
+package packedidx
+
+const numPorts = 5
+
+//nbtilint:packed single point of truth for the unit slot layout
+func unitIndex(node, port, slots int) int {
+	return node*slots + port
+}
+
+// window is the blessed carving helper.
+//
+//nbtilint:packed
+func window(buf []int, unit, total int) []int {
+	return buf[unit*total : (unit+1)*total]
+}
+
+func lookupBad(buf []int, node, port int) int {
+	return buf[node*(numPorts+1)+port] // want `packed index arithmetic outside a //nbtilint:packed helper`
+}
+
+func carveBad(buf []int, unit, total int) []int {
+	return buf[unit*total : (unit+1)*total] // want `packed index arithmetic` `packed index arithmetic`
+}
+
+func lookupOK(buf []int, node, port, slots int) int {
+	return buf[unitIndex(node, port, slots)]
+}
+
+func carveOK(buf []int, unit, total int) []int {
+	return window(buf, unit, total)
+}
+
+func mapOK(m map[int]int, a, b int) int {
+	return m[a*b] // map keys are not packed layouts
+}
+
+func constOK(buf []int) int {
+	return buf[2*3] // a constant product is a literal, not layout arithmetic
+}
+
+func mathOK(a, b, c float64) float64 {
+	return a*b + c // not an index at all
+}
+
+func arrayBad(grid *[16]int, row, cols int) int {
+	return grid[row*cols+3] // want `packed index arithmetic`
+}
+
+func offsetOK(buf []int, base, off int) int {
+	return buf[base+off] // plain addition: precomputed offsets are fine
+}

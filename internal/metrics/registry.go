@@ -239,7 +239,13 @@ func New() *Registry {
 }
 
 // def is the process default registry; nil (the boot state) means
-// instrumentation is disabled everywhere.
+// instrumentation is disabled everywhere. This is deliberately mutable
+// process state: instrumented objects resolve their instruments from it
+// once, at construction time, so a swap never races a simulation — and
+// the atomic.Pointer makes the single SetDefault/Default hand-off safe
+// even from tooling goroutines.
+//
+//nbtilint:allow globalmut process default registry, resolved only at construction time
 var def atomic.Pointer[Registry]
 
 // Default returns the process default registry, nil when disabled.

@@ -15,6 +15,7 @@ import (
 // network. Power state lives in the owning InputUnit's poweredMask, so
 // the buffer itself stays a compact, arena-friendly record.
 type vcBuffer struct {
+	//nbtilint:arena
 	fifo []Flit
 	head int32
 	size int32
@@ -87,7 +88,8 @@ type InputUnit struct {
 	owner NodeID
 	port  Port
 	cfg   *Config
-	vcs   []vcBuffer
+	//nbtilint:arena
+	vcs []vcBuffer
 	// flitIn is the inbound flit pipeline. The receiving end of every
 	// channel is embedded in its reader so the per-cycle receive pass
 	// touches only unit-resident cache lines; the upstream holds a
@@ -175,7 +177,7 @@ func initInputUnit(iu *InputUnit, owner NodeID, port Port, cfg *Config,
 	for i := 0; i < total; i++ {
 		devs[i].Init(vth0[i], cfg.NBTI)
 		iu.vcs[i] = vcBuffer{
-			fifo:   fifo[i*depth : (i+1)*depth : (i+1)*depth],
+			fifo:   window(fifo, i, depth),
 			outVC:  -1,
 			device: &devs[i],
 		}

@@ -104,8 +104,10 @@ type mdLink struct {
 	// It leads the struct so that, embedded in an OutputUnit, the
 	// per-cycle settled check lands on the same cache line as the
 	// neighbouring credit pipeline's hot fields.
-	stale         bool
+	stale bool
+	//nbtilint:arena
 	curMD, nextMD []int
+	//nbtilint:arena
 	curLD, nextLD []int
 }
 

@@ -22,6 +22,14 @@ import (
 //
 // so the active-set sweep walks memory nearly linearly instead of
 // chasing per-unit heap objects.
+//
+// A network is confined to a single goroutine: units reach into each
+// other's state through bare back-pointers with no synchronisation.
+// The netshare analyzer enforces the confinement (the marker below is
+// its root declaration), and sim.Pool's one-network-per-job pattern is
+// the blessed way to use many networks in parallel.
+//
+//nbtilint:network single-goroutine simulation state root
 type Network struct {
 	cfg     Config
 	routers []Router
@@ -32,13 +40,20 @@ type Network struct {
 	// links) is embedded in the unit that reads it — the writing end
 	// holds a pointer — so the per-cycle receive pass touches only the
 	// reader's own cache lines.
-	iunits  []InputUnit
-	ounits  []OutputUnit
-	vcbufs  []vcBuffer
-	outvcs  []outVC
+	//nbtilint:arena
+	iunits []InputUnit
+	//nbtilint:arena
+	ounits []OutputUnit
+	//nbtilint:arena
+	vcbufs []vcBuffer
+	//nbtilint:arena
+	outvcs []outVC
+	//nbtilint:arena
 	devices []nbti.Device
-	fifos   []Flit
-	flows   []niFlow
+	//nbtilint:arena
+	fifos []Flit
+	//nbtilint:arena
+	flows []niFlow
 
 	cycle        uint64
 	nextPacketID uint64
@@ -129,7 +144,7 @@ func New(cfg Config) (*Network, error) {
 		initRouter(&n.routers[id], NodeID(id), coords[id], &n.cfg)
 		n.routers[id].net = n
 		n.routers[id].coords = coords
-		initNI(&n.nis[id], NodeID(id), &n.cfg, n.flows[id*total:(id+1)*total])
+		initNI(&n.nis[id], NodeID(id), &n.cfg, window(n.flows, id, total))
 		n.nis[id].net = n
 	}
 
@@ -226,7 +241,11 @@ func New(cfg Config) (*Network, error) {
 }
 
 // fifoOf returns the FIFO arena slice of a unit slot: router ports use
-// BufferDepth flits per VC, the NI-side slot EjectBufferDepth.
+// BufferDepth flits per VC, the NI-side slot EjectBufferDepth. It is a
+// packing helper in its own right — the FIFO arena's stride is
+// per-node, not per-unit, because the two buffer depths differ.
+//
+//nbtilint:packed
 func (n *Network) fifoOf(node, slot int) []Flit {
 	total := n.cfg.TotalVCs()
 	nodeFifo := (int(NumPorts)*n.cfg.BufferDepth + n.cfg.EjectBufferDepth) * total
@@ -248,11 +267,11 @@ func (n *Network) fifoOf(node, slot int) []Flit {
 // slot has no router and leaves the back pointers nil.
 func (n *Network) initIU(node, slot int, owner NodeID, port Port, depth int, vth0 []float64) *InputUnit {
 	total := n.cfg.TotalVCs()
-	u := node*unitSlots + slot
+	u := unitIndex(node, slot)
 	iu := &n.iunits[u]
 	initInputUnit(iu, owner, port, &n.cfg,
-		n.vcbufs[u*total:(u+1)*total], n.fifoOf(node, slot),
-		n.devices[u*total:(u+1)*total], depth, vth0)
+		window(n.vcbufs, u, total), n.fifoOf(node, slot),
+		window(n.devices, u, total), depth, vth0)
 	iu.clk = &n.cycle
 	if slot < int(NumPorts) {
 		r := &n.routers[node]
@@ -269,9 +288,9 @@ func (n *Network) initIU(node, slot int, owner NodeID, port Port, depth int, vth
 // arena subslice and returns it.
 func (n *Network) initOU(node, slot int, owner NodeID, port Port, depth int, factory PolicyFactory) *OutputUnit {
 	total := n.cfg.TotalVCs()
-	u := node*unitSlots + slot
+	u := unitIndex(node, slot)
 	ou := &n.ounits[u]
-	initOutputUnit(ou, owner, port, &n.cfg, n.outvcs[u*total:(u+1)*total], depth, factory)
+	initOutputUnit(ou, owner, port, &n.cfg, window(n.outvcs, u, total), depth, factory)
 	if slot < int(NumPorts) {
 		r := &n.routers[node]
 		ou.ownPol = &r.polPorts

@@ -72,7 +72,8 @@ type NI struct {
 	srcQ [][]Packet // per-vnet source queues
 	// queued counts packets across all source queues, so the per-cycle
 	// quiescence check is O(1) instead of a sweep over the queue slices.
-	queued  int
+	queued int
+	//nbtilint:arena
 	flows   []niFlow // per flattened local-port VC
 	flowArb RoundRobin
 	// flowMask marks VCs whose flow still has unlaunched flits, so

@@ -29,7 +29,8 @@ type OutputUnit struct {
 	port  Port
 	cfg   *Config
 	depth int
-	vcs   []outVC
+	//nbtilint:arena
+	vcs []outVC
 	// actMask marks VCs in the mirrored VCActive state; tailMask marks
 	// active VCs whose tail flit has been sent (awaiting credit drain);
 	// pwrMask mirrors the power state most recently commanded
@@ -91,9 +92,10 @@ type OutputUnit struct {
 	// a small rotating phase. Memo rows are indexed vn*memoStride+phase;
 	// phasePols[vn] is the phase mapper (nil for cycle-free vnets), and
 	// the whole slice is nil when no vnet rotates.
-	memoVnMask                            uint64
-	memoStride                            int
-	phasePols                             []PhasePolicy
+	memoVnMask uint64
+	memoStride int
+	phasePols  []PhasePolicy
+	//nbtilint:arena
 	lastIdle, lastPow, lastMisc, lastWant []uint64
 	// settled is recomputed by every runPolicy call: true when the call
 	// caused no power transition, no wake-up ramp progress, and re-sent
@@ -160,8 +162,8 @@ func initOutputUnit(ou *OutputUnit, owner NodeID, port Port, cfg *Config,
 	ou.creditIn.slots = make([][]int, cfg.LinkLatency)
 	mdBack := make([]int, 4*cfg.VNets)
 	ou.mdIn = mdLink{
-		curMD: mdBack[0:cfg.VNets:cfg.VNets], nextMD: mdBack[cfg.VNets : 2*cfg.VNets : 2*cfg.VNets],
-		curLD: mdBack[2*cfg.VNets : 3*cfg.VNets : 3*cfg.VNets], nextLD: mdBack[3*cfg.VNets : 4*cfg.VNets : 4*cfg.VNets],
+		curMD: window(mdBack, 0, cfg.VNets), nextMD: window(mdBack, 1, cfg.VNets),
+		curLD: window(mdBack, 2, cfg.VNets), nextLD: window(mdBack, 3, cfg.VNets),
 	}
 	ou.pwrMask = vcAllMask(total)
 	// The scratch-buffer views of PolicyInput never change after init.
@@ -195,10 +197,10 @@ func initOutputUnit(ou *OutputUnit, owner NodeID, port Port, cfg *Config,
 	}
 	rows := cfg.VNets * ou.memoStride
 	memo := make([]uint64, 4*rows)
-	ou.lastIdle = memo[0*rows : 1*rows : 1*rows]
-	ou.lastPow = memo[1*rows : 2*rows : 2*rows]
-	ou.lastMisc = memo[2*rows : 3*rows : 3*rows]
-	ou.lastWant = memo[3*rows : 4*rows : 4*rows]
+	ou.lastIdle = window(memo, 0, rows)
+	ou.lastPow = window(memo, 1, rows)
+	ou.lastMisc = window(memo, 2, rows)
+	ou.lastWant = window(memo, 3, rows)
 	for i := range ou.lastMisc {
 		// An impossible key (misc is always < 1<<17) forces the first
 		// run of every memo row to execute.

@@ -257,7 +257,7 @@ func (r *Router) stageVA(cycle uint64) {
 				vc:   vc,
 				outP: iu.vcs[vc].outPort,
 				vn:   vc / r.cfg.VCsPerVNet,
-				flat: int(inP)*total + vc,
+				flat: flatIndex(int(inP), total, vc),
 			})
 		}
 	}

@@ -179,10 +179,13 @@ type CoopTable struct {
 	MaxReductionPts float64
 }
 
-// CoopPolicies are the four policies of the ablation.
-var CoopPolicies = []string{
-	"rr-no-sensor", "rr-no-sensor-no-traffic",
-	"sensor-wise", "sensor-wise-no-traffic",
+// CoopPolicies returns the four policies of the ablation as a fresh
+// slice per call.
+func CoopPolicies() []string {
+	return []string{
+		"rr-no-sensor", "rr-no-sensor-no-traffic",
+		"sensor-wise", "sensor-wise-no-traffic",
+	}
 }
 
 // RunCooperation quantifies the benefit of the cooperative traffic
@@ -190,6 +193,7 @@ var CoopPolicies = []string{
 // on identical scenarios.
 func RunCooperation(vcs int, opt TableOptions) (*CoopTable, error) {
 	out := &CoopTable{VCs: vcs}
+	policies := CoopPolicies()
 	type job struct {
 		cores  int
 		rate   float64
@@ -201,7 +205,7 @@ func RunCooperation(vcs int, opt TableOptions) (*CoopTable, error) {
 			return nil, err
 		}
 		for _, rate := range opt.Rates {
-			for _, policy := range CoopPolicies {
+			for _, policy := range policies {
 				jobs = append(jobs, job{cores, rate, policy})
 			}
 		}
@@ -225,10 +229,10 @@ func RunCooperation(vcs int, opt TableOptions) (*CoopTable, error) {
 		for _, rate := range opt.Rates {
 			row := CoopRow{
 				Scenario: fmt.Sprintf("%dcore-inj%.2f", cores, rate),
-				DutyMD:   make(map[string]float64, len(CoopPolicies)),
+				DutyMD:   make(map[string]float64, len(policies)),
 				MDVC:     -1,
 			}
-			for _, policy := range CoopPolicies {
+			for _, policy := range policies {
 				reading := readings[next]
 				next++
 				if row.MDVC == -1 {

@@ -36,8 +36,11 @@ type CornerTable struct {
 	Rows    []CornerRow
 }
 
-// CornerPolicies are the compared policies.
-var CornerPolicies = []string{"baseline", "rr-no-sensor", "sensor-wise"}
+// CornerPolicies returns the compared policies as a fresh slice per
+// call.
+func CornerPolicies() []string {
+	return []string{"baseline", "rr-no-sensor", "sensor-wise"}
+}
 
 // RunCorners measures the most-degraded-VC duty-cycle per policy on one
 // scenario, then sweeps the NBTI model across operating corners and
@@ -53,15 +56,16 @@ func RunCorners(cores, vcs int, rate, budgetV float64,
 	if _, err := MeshSide(cores); err != nil {
 		return nil, err
 	}
+	policies := CornerPolicies()
 	out := &CornerTable{
 		Cores: cores, VCs: vcs, Rate: rate,
 		BudgetMV: 1000 * budgetV,
-		AlphaMD:  make(map[string]float64, len(CornerPolicies)),
+		AlphaMD:  make(map[string]float64, len(policies)),
 	}
 	probe := PortProbe{Node: 0, Port: noc.East}
-	alphas := make([]float64, len(CornerPolicies))
-	if err := opt.pool().Run(len(CornerPolicies), func(i int) error {
-		res, err := opt.runSynthetic(cores, vcs, rate, PolicySpec{Name: CornerPolicies[i]},
+	alphas := make([]float64, len(policies))
+	if err := opt.pool().Run(len(policies), func(i int) error {
+		res, err := opt.runSynthetic(cores, vcs, rate, PolicySpec{Name: policies[i]},
 			[]PortProbe{probe}, nil)
 		if err != nil {
 			return err
@@ -72,7 +76,7 @@ func RunCorners(cores, vcs int, rate, budgetV float64,
 	}); err != nil {
 		return nil, err
 	}
-	for i, policy := range CornerPolicies {
+	for i, policy := range policies {
 		out.AlphaMD[policy] = alphas[i]
 	}
 
@@ -87,9 +91,9 @@ func RunCorners(cores, vcs int, rate, budgetV float64,
 			row := CornerRow{
 				TempK:         tK,
 				Vdd:           vdd,
-				LifetimeYears: make(map[string]float64, len(CornerPolicies)),
+				LifetimeYears: make(map[string]float64, len(policies)),
 			}
-			for _, policy := range CornerPolicies {
+			for _, policy := range policies {
 				lt := model.LifetimeToBudget(out.AlphaMD[policy], budgetV)
 				years := lt / nbti.SecondsPerYear
 				if math.IsInf(lt, 1) || years > 100 {
@@ -108,20 +112,21 @@ func RunCorners(cores, vcs int, rate, budgetV float64,
 
 // Render formats the corner sweep.
 func (t *CornerTable) Render() string {
+	policies := CornerPolicies()
 	var b strings.Builder
 	fmt.Fprintf(&b, "Lifetime to a %.0f mV ΔVth budget across operating corners\n", t.BudgetMV)
 	fmt.Fprintf(&b, "(%d cores, %d VCs, uniform inj %.2f; duty-cycles:", t.Cores, t.VCs, t.Rate)
-	for _, p := range CornerPolicies {
+	for _, p := range policies {
 		fmt.Fprintf(&b, " %s=%.1f%%", p, 100*t.AlphaMD[p])
 	}
 	fmt.Fprintf(&b, ")\n%-7s %-6s", "T(K)", "Vdd")
-	for _, p := range CornerPolicies {
+	for _, p := range policies {
 		fmt.Fprintf(&b, " %14s", p)
 	}
 	fmt.Fprintf(&b, " %10s\n", "extension")
 	for _, r := range t.Rows {
 		fmt.Fprintf(&b, "%-7.0f %-6.2f", r.TempK, r.Vdd)
-		for _, p := range CornerPolicies {
+		for _, p := range policies {
 			y := r.LifetimeYears[p]
 			if y >= 100 {
 				fmt.Fprintf(&b, " %13s", ">100 y")

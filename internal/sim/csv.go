@@ -63,7 +63,7 @@ func (t *CoopTable) CSV() string {
 	var b strings.Builder
 	b.WriteString("scenario,md_vc,policy,duty_md_pct\n")
 	for _, r := range t.Rows {
-		for _, p := range CoopPolicies {
+		for _, p := range CoopPolicies() {
 			fmt.Fprintf(&b, "%s,%d,%s,%.4f\n", r.Scenario, r.MDVC, p, r.DutyMD[p])
 		}
 	}

@@ -30,8 +30,11 @@ type PerfTable struct {
 	Rows          []PerfRow
 }
 
-// PerfPolicies are the policies compared in the trade-off sweep.
-var PerfPolicies = []string{"baseline", "rr-no-sensor", "sensor-wise"}
+// PerfPolicies returns the policies compared in the trade-off sweep as
+// a fresh slice per call.
+func PerfPolicies() []string {
+	return []string{"baseline", "rr-no-sensor", "sensor-wise"}
+}
 
 // RunPerfImpact sweeps injection rates for each policy on one
 // architecture and reports latency, throughput and the MD-VC duty-cycle,
@@ -48,7 +51,7 @@ func RunPerfImpact(cores, vcs, wakeup int, rates []float64, opt TableOptions) (*
 	}
 	var jobs []job
 	for _, rate := range rates {
-		for _, policy := range PerfPolicies {
+		for _, policy := range PerfPolicies() {
 			jobs = append(jobs, job{rate, policy})
 		}
 	}

@@ -11,7 +11,7 @@ func TestPerfImpact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tbl.Rows) != 2*len(PerfPolicies) {
+	if len(tbl.Rows) != 2*len(PerfPolicies()) {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
 	byKey := map[string]PerfRow{}

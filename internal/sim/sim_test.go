@@ -279,7 +279,7 @@ func TestCooperation(t *testing.T) {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
 	for _, r := range tbl.Rows {
-		for _, p := range CoopPolicies {
+		for _, p := range CoopPolicies() {
 			if _, ok := r.DutyMD[p]; !ok {
 				t.Fatalf("%s: missing %s", r.Scenario, p)
 			}

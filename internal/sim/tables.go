@@ -8,8 +8,12 @@ import (
 	"nbtinoc/internal/noc"
 )
 
-// SyntheticPolicies are the three policy columns of Tables II and III.
-var SyntheticPolicies = []string{"rr-no-sensor", "sensor-wise-no-traffic", "sensor-wise"}
+// SyntheticPolicies returns the three policy columns of Tables II and
+// III. It returns a fresh slice per call so no caller can mutate a
+// shared package-level value.
+func SyntheticPolicies() []string {
+	return []string{"rr-no-sensor", "sensor-wise-no-traffic", "sensor-wise"}
+}
 
 // TableOptions parameterises the synthetic-traffic tables.
 type TableOptions struct {
@@ -178,7 +182,7 @@ func scenarioSeed(base uint64, cores int, rate float64, salt uint64) uint64 {
 // opt.Meshes swaps the paper's core sweep for explicit geometries
 // (e.g. 16x16 or 32x32 scaling studies).
 func RunSyntheticTable(vcs int, opt TableOptions) (*SyntheticTable, error) {
-	tbl := &SyntheticTable{VCs: vcs, Policies: append([]string(nil), SyntheticPolicies...)}
+	tbl := &SyntheticTable{VCs: vcs, Policies: SyntheticPolicies()}
 	meshes, err := opt.meshes()
 	if err != nil {
 		return nil, err
