@@ -3,6 +3,11 @@
 GO ?= go
 # BENCHTIME feeds -benchtime for `make bench`; CI smoke runs use 1x.
 BENCHTIME ?= 1x
+# BENCH_LABEL names the run recorded into BENCH_engine.json; the short
+# commit hash makes each data point identifiable, and benchjson replaces
+# a same-label run in place, so re-benching one commit never appends
+# duplicates. Falls back to "current" outside a git checkout.
+BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo current)
 # SEC_TOL is the allowed sec/op regression band (percent) for
 # bench-check; wider than the allocs gate because 1x timings are noisy
 # (benchjson's own default is 25%, but run-to-run swings on small
@@ -49,7 +54,7 @@ test-debug:
 bench:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run '^$$' . | tee bench_output.txt
-	bin/benchjson -label current -o BENCH_engine.json -append < bench_output.txt
+	bin/benchjson -label $(BENCH_LABEL) -o BENCH_engine.json -append < bench_output.txt
 
 # bench plus the allocs/op and sec/op regression gates against the
 # pinned baseline (the CI smoke job).

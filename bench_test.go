@@ -10,6 +10,7 @@
 package nbtinoc
 
 import (
+	"io"
 	"path/filepath"
 	"strconv"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"nbtinoc/internal/core"
 	"nbtinoc/internal/noc"
 	"nbtinoc/internal/sim"
+	"nbtinoc/internal/sweep"
 	"nbtinoc/internal/traffic"
 )
 
@@ -120,6 +122,76 @@ func BenchmarkTableII_CacheWarm(b *testing.B) {
 		b.ReportMetric(gap/float64(len(tbl.Rows)), "gap_pts")
 		if st := opt.Cache.Stats(); st.Misses != 0 {
 			b.Fatalf("warm store recomputed: %+v", st)
+		}
+	}
+}
+
+// benchSweepGrid is the campaign the sweep benchmarks run: the Table II
+// policy/rate cross at benchmark scale, expanded through the sharded
+// sweep layer instead of the table driver.
+func benchSweepGrid() *sweep.Grid {
+	return &sweep.Grid{
+		Name: "bench",
+		Base: sim.Scenario{
+			Name: "bench", Cores: 4, VCs: 2, Policy: "baseline",
+			Workload: "uniform", Rate: 0.1,
+			Warmup: 2_000, Measure: 20_000, Seed: 1, PVSeed: 1,
+		},
+		Axes: sweep.Axes{
+			Policies: []string{"baseline", "sensor-wise"},
+			Rates:    []float64{0.1, 0.2, 0.3},
+		},
+		Probes: []string{"0:E"},
+	}
+}
+
+// benchSweepRun drives one full coordinator round (expand, execute,
+// merge) against dir and fails the benchmark on any unit error.
+func benchSweepRun(b *testing.B, dir string) *sweep.Result {
+	b.Helper()
+	manifest, units, err := sweep.NewManifest(benchSweepGrid())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := &sweep.Coordinator{
+		Manifest: manifest, Units: units,
+		CacheDir: dir, Procs: 1, Workers: 1,
+	}
+	res, err := c.Run(io.Discard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkSweepCold runs the sweep campaign against an empty cache
+// every iteration: all misses, so it measures grid expansion, unit
+// execution, entry persistence and the sequential merge end to end.
+// BenchmarkSweepWarm replays the identical campaign against the filled
+// cache — the resume/no-op path, whose cost is keying plus decode —
+// and the ratio between the pair is what the cache-as-coordination
+// layer buys a repeated or resumed campaign.
+func BenchmarkSweepCold(b *testing.B) {
+	root := b.TempDir()
+	for i := 0; i < b.N; i++ {
+		res := benchSweepRun(b, filepath.Join(root, strconv.Itoa(i)))
+		// Every unit misses once; the merge pass then reads them back as
+		// hits, so only the miss count distinguishes cold from warm.
+		if res.Stats.Misses != int64(res.Done) {
+			b.Fatalf("cold sweep: %d misses for %d units: %+v", res.Stats.Misses, res.Done, res.Stats)
+		}
+	}
+}
+
+// BenchmarkSweepWarm: see BenchmarkSweepCold.
+func BenchmarkSweepWarm(b *testing.B) {
+	dir := b.TempDir()
+	benchSweepRun(b, dir)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := benchSweepRun(b, dir)
+		if res.Stats.Misses != 0 {
+			b.Fatalf("warm sweep recomputed: %+v", res.Stats)
 		}
 	}
 }

@@ -5,7 +5,12 @@
 //	go test -bench=. -benchmem -run '^$' . | benchjson -label after -o BENCH_engine.json -append
 //
 // -append keeps the runs already in the output file (e.g. the "before"
-// run recorded prior to an optimisation) and adds the new one.
+// run recorded prior to an optimisation) and adds the new one. A run
+// whose label already exists is replaced in place instead of
+// duplicated, so labels identify data points: the Makefile labels each
+// run with the short git commit hash, and re-running `make bench` on
+// the same commit refreshes that commit's numbers rather than
+// appending an indistinguishable copy.
 // -baseline compares the parsed run against the named benchmarks of a
 // pinned baseline file and exits non-zero when any regress: allocs/op
 // beyond -alloc-tol percent (the guard against per-cycle allocation
@@ -52,6 +57,19 @@ type File struct {
 	Runs []Run `json:"runs"`
 }
 
+// upsert adds r to the trajectory, replacing an existing run with the
+// same label in place (keeping its position in the history) rather than
+// appending a duplicate data point.
+func (f *File) upsert(r Run) {
+	for i := range f.Runs {
+		if f.Runs[i].Label == r.Label {
+			f.Runs[i] = r
+			return
+		}
+	}
+	f.Runs = append(f.Runs, r)
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -93,7 +111,7 @@ func run(args []string, in io.Reader, errOut io.Writer) error {
 			return err
 		}
 	}
-	file.Runs = append(file.Runs, parsed)
+	file.upsert(parsed)
 
 	data, err := json.MarshalIndent(&file, "", "  ")
 	if err != nil {

@@ -68,6 +68,41 @@ func TestRunWritesAndAppends(t *testing.T) {
 	}
 }
 
+func TestRunReplacesSameLabelInPlace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	for _, label := range []string{"before", "abc1234", "after"} {
+		if err := run([]string{"-o", out, "-label", label, "-append"},
+			strings.NewReader(sampleBench), os.Stderr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-benching the middle label must refresh that run where it sits,
+	// not append a fourth, indistinguishable data point.
+	faster := strings.ReplaceAll(sampleBench, "4674572191 ns/op", "1674572191 ns/op")
+	if err := run([]string{"-o", out, "-label", "abc1234", "-append"},
+		strings.NewReader(faster), os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file File
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatal(err)
+	}
+	if len(file.Runs) != 3 {
+		t.Fatalf("got %d runs, want 3 (same-label run must replace)", len(file.Runs))
+	}
+	if file.Runs[1].Label != "abc1234" || file.Runs[1].Benchmarks[0].NsPerOp != 1674572191 {
+		t.Fatalf("middle run not replaced in place: %+v", file.Runs[1])
+	}
+	if file.Runs[0].Label != "before" || file.Runs[2].Label != "after" {
+		t.Fatalf("neighbouring runs disturbed: %+v", file.Runs)
+	}
+}
+
 func TestBaselineRegressionFails(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "baseline.json")

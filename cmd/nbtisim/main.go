@@ -33,7 +33,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
@@ -43,6 +42,7 @@ import (
 	"nbtinoc/internal/noc"
 	"nbtinoc/internal/prof"
 	"nbtinoc/internal/sim"
+	"nbtinoc/internal/sweep"
 	"nbtinoc/internal/traffic"
 )
 
@@ -91,6 +91,7 @@ func run(args []string, out io.Writer) (err error) {
 
 		cacheMode = fs.String("cache", "rw", "result cache mode: off, ro or rw")
 		cacheDir  = fs.String("cache-dir", "", "result cache directory (default: user cache dir)")
+		sweepOut  = fs.String("sweep-manifest", "", "record every cached scenario into a sweep manifest at this path (replayable with nbtisweep)")
 		verbose   = fs.Bool("v", false, "print result-cache statistics to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -177,7 +178,7 @@ func run(args []string, out io.Writer) (err error) {
 	if multi && (*agingIn != "" || *agingOut != "" || *flitLog != "") {
 		return fmt.Errorf("-aging-in, -aging-out and -flit-trace write per-run files and require a single -config scenario")
 	}
-	probe, err := parseProbe(*probeStr)
+	probe, err := sim.ParsePortProbe(*probeStr)
 	if err != nil {
 		return err
 	}
@@ -191,6 +192,17 @@ func run(args []string, out io.Writer) (err error) {
 		return err
 	}
 	runner := sim.Runner{Store: store}
+	// -sweep-manifest records every cache-keyed scenario this run
+	// executes, so a -config batch doubles as a sweep campaign
+	// definition nbtisweep can shard and resume.
+	var recorder *sweep.Recorder
+	if *sweepOut != "" {
+		if live {
+			return fmt.Errorf("-sweep-manifest records cached scenarios and cannot combine with live modes (-all-ports, -heatmap, -trace, -aging-in/-out, -flit-trace)")
+		}
+		recorder = sweep.NewRecorder("nbtisim")
+		runner.Record = recorder.Record
+	}
 
 	runScenario := func(scen *sim.Scenario) (*sim.RunResult, error) {
 		cfg, err := scen.BuildConfig()
@@ -297,6 +309,15 @@ func run(args []string, out io.Writer) (err error) {
 			return err
 		}
 	}
+	if recorder != nil {
+		m := recorder.Manifest()
+		if err := m.Save(*sweepOut); err != nil {
+			return err
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "nbtisim: recorded %d units into %s\n", len(m.Units), *sweepOut)
+		}
+	}
 	if *verbose && store != nil {
 		fmt.Fprintf(os.Stderr, "nbtisim: cache: %s\n", store.Stats())
 	}
@@ -347,6 +368,13 @@ func openCache(prog, mode, dir string) (*cache.Store, error) {
 	// rules); the CLI injects it so hits can report time saved.
 	//nbtilint:allow wallclock display-only: compute durations are recorded in cache entries so later hits can report wall-clock time saved; they never feed simulator state or outputs
 	st.Clock = func() int64 { return time.Now().UnixNano() }
+	if m == cache.ReadWrite {
+		// Lease files give cross-process single-flight: a concurrent
+		// nbtisweep campaign (or second CLI run) over the same cache
+		// directory never computes the same scenario twice.
+		//nbtilint:allow wallclock display-only: lease waiters sleep between polls; cache contents and rendered output are independent of any timing
+		st.Lease = cache.DefaultLeasePolicy(func(ns int64) { time.Sleep(time.Duration(ns)) })
+	}
 	st.Warnf = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, prog+": cache: "+format+"\n", args...)
 	}
@@ -464,33 +492,6 @@ func renderAllPorts(out io.Writer, res *sim.RunResult) error {
 		}
 	}
 	return nil
-}
-
-func parseProbe(s string) (sim.PortProbe, error) {
-	parts := strings.Split(s, ":")
-	if len(parts) != 2 {
-		return sim.PortProbe{}, fmt.Errorf("probe %q not in node:port form", s)
-	}
-	node, err := strconv.Atoi(parts[0])
-	if err != nil {
-		return sim.PortProbe{}, fmt.Errorf("probe node %q: %v", parts[0], err)
-	}
-	var port noc.Port
-	switch strings.ToUpper(parts[1]) {
-	case "L":
-		port = noc.Local
-	case "N":
-		port = noc.North
-	case "E":
-		port = noc.East
-	case "S":
-		port = noc.South
-	case "W":
-		port = noc.West
-	default:
-		return sim.PortProbe{}, fmt.Errorf("unknown port %q", parts[1])
-	}
-	return sim.PortProbe{Node: noc.NodeID(node), Port: port}, nil
 }
 
 func render(out io.Writer, format string, res *sim.RunSummary) error {

@@ -9,6 +9,8 @@ import (
 	"testing"
 
 	"nbtinoc/internal/noc"
+	"nbtinoc/internal/sim"
+	"nbtinoc/internal/sweep"
 )
 
 func runCLI(t *testing.T, args ...string) string {
@@ -25,6 +27,37 @@ func runCLI(t *testing.T, args ...string) string {
 func shortArgs(extra ...string) []string {
 	base := []string{"-cores", "4", "-vcs", "2", "-warmup", "500", "-cycles", "5000"}
 	return append(base, extra...)
+}
+
+func TestSweepManifestRecordsRun(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "camp.json")
+	runCLI(t, shortArgs("-policy", "sensor-wise",
+		"-cache", "rw", "-cache-dir", filepath.Join(dir, "cache"),
+		"-sweep-manifest", manifest)...)
+	m, err := sweep.LoadManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Units) != 1 || m.Units[0].State != sweep.UnitDone {
+		t.Fatalf("recorded units: %+v", m.Units)
+	}
+	// The manifest must resolve to executable units whose specs re-key
+	// to the recorded content addresses — the nbtisweep replay contract.
+	units, err := m.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if units[0].Key != m.Units[0].Key {
+		t.Fatalf("resolved key %s, recorded %s", units[0].Key, m.Units[0].Key)
+	}
+}
+
+func TestSweepManifestRefusedWithLiveModes(t *testing.T) {
+	err := run(shortArgs("-heatmap", "-sweep-manifest", "x.json"), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-sweep-manifest") {
+		t.Fatalf("want live-mode refusal, got %v", err)
+	}
 }
 
 func TestTextOutput(t *testing.T) {
@@ -94,12 +127,12 @@ func TestBadFlagsRejected(t *testing.T) {
 }
 
 func TestProbeParsing(t *testing.T) {
-	p, err := parseProbe("3:w")
+	p, err := sim.ParsePortProbe("3:w")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p.Node != 3 || p.Port != noc.West {
-		t.Errorf("parseProbe = %+v", p)
+		t.Errorf("ParsePortProbe = %+v", p)
 	}
 }
 

@@ -1,0 +1,357 @@
+// Command nbtisweep runs sharded scenario campaigns: it expands a
+// declarative grid (JSON) into content-addressed work units, shards
+// them across worker processes that share one result cache, and merges
+// the finished campaign into a deterministic CSV report — byte-identical
+// at any (processes × workers) topology.
+//
+//	nbtisweep -grid grid.json -manifest camp.json -procs 4 -j 2
+//
+// Workers coordinate through the cache directory itself: lease files
+// give cross-process single-flight (no unit is ever computed twice
+// concurrently), a killed worker's claims expire by heartbeat, and the
+// manifest checkpoints per-unit state so a killed campaign resumes
+// exactly where it stopped:
+//
+//	nbtisweep -manifest camp.json            # resume
+//	nbtisweep -manifest camp.json -status    # inspect progress
+//
+// -strategy picks the sharding discipline: "range" gives each worker a
+// disjoint contiguous share (no lease contention; a dead worker's share
+// waits for a resume), "steal" gives every worker the full pending list
+// at rotated offsets (leases deduplicate; dead workers' units are taken
+// over in-run). -o writes the merged report to a file instead of
+// stdout; stderr carries progress and the aggregated cache statistics
+// of all workers, never report bytes.
+//
+// The "worker" subcommand is the re-exec entry point the coordinator
+// spawns; it is not meant to be invoked by hand. -kill-worker/-kill-after
+// make the chosen worker exit mid-batch — a crash-injection hook for
+// the resume tests and CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"nbtinoc/internal/cache"
+	"nbtinoc/internal/metrics"
+	"nbtinoc/internal/noc"
+	"nbtinoc/internal/prof"
+	"nbtinoc/internal/sim"
+	"nbtinoc/internal/sweep"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "worker" {
+		if err := runWorker(args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "nbtisweep worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(args, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nbtisweep:", err)
+		os.Exit(1)
+	}
+}
+
+// realEnv is the injected wall-clock/lease wiring shared by the
+// coordinator and worker roles; the libraries themselves never touch
+// time (nbtilint wallclock rule).
+func realEnv(ttl time.Duration) (func() int64, *cache.LeasePolicy) {
+	//nbtilint:allow wallclock display-only: timestamps feed lease heartbeats and cache time-saved accounting, never simulator state or report bytes
+	clock := func() int64 { return time.Now().UnixNano() }
+	//nbtilint:allow wallclock display-only: sleeping paces lease waiters; the merged report bytes are independent of any timing
+	lease := cache.DefaultLeasePolicy(func(ns int64) { time.Sleep(time.Duration(ns)) })
+	if ttl > 0 {
+		lease.TTLNS = int64(ttl)
+		if hb := lease.TTLNS / 5; hb < lease.HeartbeatNS {
+			lease.HeartbeatNS = hb
+		}
+	}
+	return clock, lease
+}
+
+func run(args []string, out io.Writer) (err error) {
+	fs := flag.NewFlagSet("nbtisweep", flag.ContinueOnError)
+	var profFlags prof.Flags
+	profFlags.Register(fs, "trace")
+	var metFlags metrics.CLIFlags
+	metFlags.Register(fs)
+	var (
+		gridPath     = fs.String("grid", "", "grid JSON describing the campaign (new campaigns)")
+		manifestPath = fs.String("manifest", "", "campaign manifest: created with -grid, resumed without")
+		procs        = fs.Int("procs", 1, "worker processes (1 runs in-process)")
+		jobs         = fs.Int("j", 0, "per-process pool width: 0 = one per core, 1 = sequential")
+		strategyStr  = fs.String("strategy", "range", "shard strategy: range or steal")
+		cacheDir     = fs.String("cache-dir", "", "shared result cache directory (default: user cache dir)")
+		outPath      = fs.String("o", "", "write the merged report to this file (default stdout)")
+		status       = fs.Bool("status", false, "print the manifest's unit states and exit")
+		leaseTTL     = fs.Duration("lease-ttl", 0, "override the lease staleness horizon (default 10s)")
+		killWorker   = fs.Int("kill-worker", -1, "crash injection: which spawned worker to kill (-1 = none)")
+		killAfter    = fs.Int("kill-after", 1, "crash injection: kill after this many completed units")
+		verbose      = fs.Bool("v", false, "print progress and campaign cache statistics to stderr")
+		engineVer    = fs.Bool("engine-version", false, "print the engine fingerprint baked into cache keys, then exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *engineVer {
+		fmt.Fprintln(out, sim.EngineVersion)
+		return nil
+	}
+	if *status {
+		if *manifestPath == "" {
+			return fmt.Errorf("-status needs -manifest")
+		}
+		m, err := sweep.LoadManifest(*manifestPath)
+		if err != nil {
+			return err
+		}
+		pending, done, failed := m.Counts()
+		fmt.Fprintf(out, "campaign %s: %d units: %d done, %d failed, %d pending\n",
+			m.Name, len(m.Units), done, failed, pending)
+		for _, u := range m.Units {
+			if u.State == sweep.UnitFailed {
+				fmt.Fprintf(out, "  failed %d %s: %s\n", u.Index, u.Label, u.Err)
+			}
+		}
+		return nil
+	}
+	strategy, err := sweep.ParseStrategy(*strategyStr)
+	if err != nil {
+		return err
+	}
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+	finishMet, err := metFlags.Setup(*verbose, prof.HTTPHandler(), func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "nbtisweep: "+format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if merr := finishMet(); merr != nil && err == nil {
+			err = merr
+		}
+	}()
+
+	manifest, units, err := resolveCampaign(*gridPath, *manifestPath)
+	if err != nil {
+		return err
+	}
+	dir := *cacheDir
+	if dir == "" {
+		dir = cache.DefaultDir()
+	}
+	clock, lease := realEnv(*leaseTTL)
+	c := &sweep.Coordinator{
+		Manifest:     manifest,
+		Units:        units,
+		ManifestPath: *manifestPath,
+		CacheDir:     dir,
+		Procs:        *procs,
+		Workers:      *jobs,
+		Strategy:     strategy,
+		Clock:        clock,
+		Lease:        lease,
+	}
+	if *verbose {
+		c.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "nbtisweep: "+format+"\n", args...)
+		}
+		if r := metrics.Default(); r != nil {
+			stop := startProgress("nbtisweep", &metrics.Progress{
+				R:          r,
+				Cycles:     noc.MetricCycles,
+				JobsDone:   sweep.MetricUnitsDone,
+				JobsTotal:  sweep.MetricUnitsTotal,
+				SampleHeap: true,
+				Extra: func() string {
+					w := r.CounterValue(cache.MetricLeaseWaited)
+					s := r.CounterValue(cache.MetricLeaseTakeovers)
+					if w == 0 && s == 0 {
+						return ""
+					}
+					return fmt.Sprintf("lease wait %d steal %d", w, s)
+				},
+			})
+			defer stop()
+		}
+	}
+	if *procs > 1 {
+		c.Spawn = execWorkerSpawn(*leaseTTL, *killWorker, *killAfter, *verbose)
+	}
+
+	var w io.Writer = out
+	if *outPath != "" {
+		f, cerr := os.Create(*outPath)
+		if cerr != nil {
+			return cerr
+		}
+		defer func() {
+			if ferr := f.Close(); ferr != nil && err == nil {
+				err = ferr
+			}
+		}()
+		w = f
+	}
+	_, err = c.Run(w)
+	return err
+}
+
+// resolveCampaign builds the (manifest, units) pair from the flag
+// combination: fresh from a grid, resumed from a manifest, or — both
+// given and the manifest file already existing — resumed after
+// checking the grid hasn't drifted from the recorded campaign.
+func resolveCampaign(gridPath, manifestPath string) (*sweep.Manifest, []sweep.Unit, error) {
+	if gridPath == "" && manifestPath == "" {
+		return nil, nil, fmt.Errorf("need -grid (new campaign) or -manifest (resume)")
+	}
+	if manifestPath != "" {
+		if _, err := os.Stat(manifestPath); err == nil {
+			m, err := sweep.LoadManifest(manifestPath)
+			if err != nil {
+				return nil, nil, err
+			}
+			if gridPath != "" {
+				g, err := sweep.LoadGridFile(gridPath)
+				if err != nil {
+					return nil, nil, err
+				}
+				key, err := g.Key()
+				if err != nil {
+					return nil, nil, err
+				}
+				if key != m.GridKey {
+					return nil, nil, fmt.Errorf("grid %s does not match manifest %s (campaign was started from a different grid)",
+						gridPath, manifestPath)
+				}
+			}
+			units, err := m.Resolve()
+			if err != nil {
+				return nil, nil, err
+			}
+			return m, units, nil
+		}
+	}
+	if gridPath == "" {
+		return nil, nil, fmt.Errorf("manifest %s does not exist and no -grid was given to create it", manifestPath)
+	}
+	g, err := sweep.LoadGridFile(gridPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, units, err := sweep.NewManifest(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, units, nil
+}
+
+// execWorkerSpawn re-execs this binary's "worker" subcommand per
+// shard — real OS processes, each with its own cache Store, flight
+// map and lease identity.
+func execWorkerSpawn(ttl time.Duration, killWorker, killAfter int, verbose bool) func(int, string, string) error {
+	return func(w int, assignPath, reportPath string) error {
+		exe, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		args := []string{"worker", "-assign", assignPath, "-report", reportPath}
+		if ttl > 0 {
+			args = append(args, "-lease-ttl", ttl.String())
+		}
+		if w == killWorker {
+			args = append(args, "-kill-after", strconv.Itoa(killAfter))
+		}
+		if verbose {
+			args = append(args, "-v")
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		return cmd.Run()
+	}
+}
+
+// runWorker is the spawned-process entry point: execute one assignment
+// file against the shared cache and write the report file.
+func runWorker(args []string) error {
+	fs := flag.NewFlagSet("nbtisweep worker", flag.ContinueOnError)
+	var (
+		assignPath = fs.String("assign", "", "assignment file from the coordinator")
+		reportPath = fs.String("report", "", "where to write the worker report")
+		leaseTTL   = fs.Duration("lease-ttl", 0, "override the lease staleness horizon")
+		killAfter  = fs.Int("kill-after", 0, "crash injection: exit(3) after this many completed units")
+		verbose    = fs.Bool("v", false, "log per-batch completion to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *assignPath == "" || *reportPath == "" {
+		return fmt.Errorf("worker needs -assign and -report")
+	}
+	clock, lease := realEnv(*leaseTTL)
+	env := sweep.WorkerEnv{Clock: clock, Lease: lease}
+	if *killAfter > 0 {
+		n := *killAfter
+		env.AfterUnit = func(completed int) {
+			if completed >= n {
+				// Die like a crash: no report, no lease release — the
+				// abandoned claims must expire by heartbeat.
+				os.Exit(3)
+			}
+		}
+	}
+	if *verbose {
+		var done atomic.Int64
+		prev := env.AfterUnit
+		env.AfterUnit = func(completed int) {
+			fmt.Fprintf(os.Stderr, "nbtisweep worker %d: %d units done\n", os.Getpid(), done.Add(1))
+			if prev != nil {
+				prev(completed)
+			}
+		}
+	}
+	return sweep.ExecuteAssignment(*assignPath, *reportPath, env)
+}
+
+// startProgress prints p to stderr every 2 seconds until the returned
+// stop function runs; wall time stays confined to package main.
+func startProgress(prog string, p *metrics.Progress) func() {
+	//nbtilint:allow wallclock display-only: progress timestamps pace a stderr status line and never feed simulator state or outputs
+	p.Start(time.Now().UnixNano())
+	//nbtilint:allow wallclock display-only: the ticker paces the stderr progress line only
+	tick := time.NewTicker(2 * time.Second)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				//nbtilint:allow wallclock display-only: rate-window timestamp for the stderr progress line only
+				fmt.Fprintf(os.Stderr, "%s: %s\n", prog, p.Line(time.Now().UnixNano()))
+			}
+		}
+	}()
+	return func() {
+		tick.Stop()
+		close(done)
+	}
+}

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nbtinoc/internal/sweep"
+)
+
+// TestMain doubles as the worker entry point: the coordinator spawns
+// os.Executable() — in tests, this test binary — with "worker" argv, so
+// the dispatch here mirrors main() and the e2e tests below exercise the
+// real multi-process topology.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		if err := runWorker(os.Args[2:]); err != nil {
+			os.Stderr.WriteString("worker: " + err.Error() + "\n")
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+const testGridJSON = `{
+  "name": "e2e",
+  "base": {
+    "name": "e2e",
+    "cores": 4,
+    "vcs": 1,
+    "policy": "baseline",
+    "workload": "uniform",
+    "rate": 0.1,
+    "warmup": 200,
+    "measure": 2000,
+    "seed": 1,
+    "pv_seed": 1
+  },
+  "axes": {
+    "policies": ["baseline", "sensor-wise"],
+    "rates": [0.1, 0.2]
+  },
+  "probes": ["0:E"]
+}
+`
+
+// writeGrid drops the shared test grid into dir and returns its path.
+func writeGrid(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(path, []byte(testGridJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// sweepRun invokes the CLI's run() and returns the report bytes.
+func sweepRun(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(args, &out)
+	return out.String(), err
+}
+
+func TestSweepByteIdenticalAcrossTopologies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs worker processes")
+	}
+	dir := t.TempDir()
+	grid := writeGrid(t, dir)
+
+	// Reference: single process, sequential pool.
+	refCache := filepath.Join(dir, "cache-ref")
+	ref, err := sweepRun(t, "-grid", grid, "-cache-dir", refCache, "-procs", "1", "-j", "1")
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if !strings.HasPrefix(ref, "# nbtinoc sweep e2e ") {
+		t.Fatalf("report header missing: %q", ref[:min(len(ref), 60)])
+	}
+
+	for _, tc := range []struct {
+		procs    int
+		strategy string
+	}{
+		{2, "range"},
+		{2, "steal"},
+		{3, "steal"},
+	} {
+		cacheDir := filepath.Join(dir, "cache-"+tc.strategy+"-"+string(rune('0'+tc.procs)))
+		manifest := filepath.Join(dir, "camp-"+tc.strategy+"-"+string(rune('0'+tc.procs))+".json")
+		got, err := sweepRun(t, "-grid", grid, "-manifest", manifest,
+			"-cache-dir", cacheDir, "-procs", string(rune('0'+tc.procs)), "-strategy", tc.strategy)
+		if err != nil {
+			t.Fatalf("procs=%d strategy=%s: %v", tc.procs, tc.strategy, err)
+		}
+		if got != ref {
+			t.Errorf("procs=%d strategy=%s: report differs from single-process reference\nref:\n%s\ngot:\n%s",
+				tc.procs, tc.strategy, ref, got)
+		}
+	}
+}
+
+func TestSweepKillThenResumeMatchesUninterrupted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs worker processes")
+	}
+	dir := t.TempDir()
+	grid := writeGrid(t, dir)
+
+	refCache := filepath.Join(dir, "cache-ref")
+	ref, err := sweepRun(t, "-grid", grid, "-cache-dir", refCache, "-procs", "1", "-j", "1")
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	cacheDir := filepath.Join(dir, "cache-killed")
+	manifest := filepath.Join(dir, "camp-killed.json")
+	// Range sharding: worker 0's share stays incomplete when it dies, so
+	// the first round must fail and leave pending units behind.
+	out, err := sweepRun(t, "-grid", grid, "-manifest", manifest, "-cache-dir", cacheDir,
+		"-procs", "2", "-strategy", "range", "-kill-worker", "0", "-kill-after", "1")
+	if err == nil {
+		t.Fatal("killed campaign reported success")
+	}
+	if out != "" {
+		t.Fatalf("killed campaign emitted report bytes: %q", out)
+	}
+	m, err := sweep.LoadManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending, done, _ := m.Counts()
+	if pending == 0 || done == 0 {
+		t.Fatalf("after kill want partial progress, got %d pending %d done", pending, done)
+	}
+
+	// Resume from the manifest alone — no -grid needed.
+	got, err := sweepRun(t, "-manifest", manifest, "-cache-dir", cacheDir, "-procs", "1")
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if got != ref {
+		t.Errorf("resumed report differs from uninterrupted reference\nref:\n%s\ngot:\n%s", ref, got)
+	}
+}
+
+func TestSweepStatusAndFlagErrors(t *testing.T) {
+	dir := t.TempDir()
+	grid := writeGrid(t, dir)
+	manifest := filepath.Join(dir, "camp.json")
+
+	// No grid, no manifest.
+	if _, err := sweepRun(t); err == nil {
+		t.Error("want error without -grid or -manifest")
+	}
+	// Manifest path that does not exist and no grid to create it.
+	if _, err := sweepRun(t, "-manifest", manifest); err == nil {
+		t.Error("want error for missing manifest without -grid")
+	}
+	// Unknown strategy.
+	if _, err := sweepRun(t, "-grid", grid, "-strategy", "round-robin"); err == nil {
+		t.Error("want error for unknown strategy")
+	}
+	// -status needs -manifest.
+	if _, err := sweepRun(t, "-status"); err == nil {
+		t.Error("want error for -status without -manifest")
+	}
+
+	// A real campaign, then -status over its manifest.
+	cacheDir := filepath.Join(dir, "cache")
+	if _, err := sweepRun(t, "-grid", grid, "-manifest", manifest, "-cache-dir", cacheDir, "-procs", "1"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := sweepRun(t, "-manifest", manifest, "-status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "campaign e2e: 4 units: 4 done, 0 failed, 0 pending\n"
+	if out != want {
+		t.Errorf("status = %q, want %q", out, want)
+	}
+
+	// Resuming with a drifted grid is refused.
+	drifted := strings.Replace(testGridJSON, "0.2", "0.3", 1)
+	driftPath := filepath.Join(dir, "drift.json")
+	if err := os.WriteFile(driftPath, []byte(drifted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sweepRun(t, "-grid", driftPath, "-manifest", manifest, "-cache-dir", cacheDir); err == nil {
+		t.Error("want error resuming with a different grid")
+	} else if !strings.Contains(err.Error(), "does not match manifest") {
+		t.Errorf("drift error = %v", err)
+	}
+}
+
+func TestSweepEngineVersionFlag(t *testing.T) {
+	out, err := sweepRun(t, "-engine-version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "nbtinoc-engine-") {
+		t.Errorf("engine version = %q", out)
+	}
+}

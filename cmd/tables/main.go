@@ -50,6 +50,7 @@ import (
 	"nbtinoc/internal/noc"
 	"nbtinoc/internal/prof"
 	"nbtinoc/internal/sim"
+	"nbtinoc/internal/sweep"
 )
 
 func main() {
@@ -82,6 +83,7 @@ func run(args []string, out io.Writer) (err error) {
 
 		cacheMode = fs.String("cache", "rw", "result cache mode: off, ro or rw")
 		cacheDir  = fs.String("cache-dir", "", "result cache directory (default: user cache dir)")
+		sweepOut  = fs.String("sweep-manifest", "", "record every cached scenario into a sweep manifest at this path (replayable with nbtisweep)")
 		verbose   = fs.Bool("v", false, "print result-cache statistics to stderr")
 		engineVer = fs.Bool("engine-version", false, "print the engine fingerprint baked into cache keys, then exit")
 	)
@@ -140,11 +142,21 @@ func run(args []string, out io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
+	// -sweep-manifest records every cache-keyed scenario this run
+	// executes, so a table regeneration doubles as a sweep campaign
+	// definition nbtisweep can shard and resume.
+	var recorder *sweep.Recorder
+	if *sweepOut != "" {
+		recorder = sweep.NewRecorder("tables-" + *table)
+	}
 	opt := sim.DefaultTableOptions()
 	opt.Warmup, opt.Measure, opt.SeedBase = *warmup, *measure, *seed
 	opt.Phits = *phits
 	opt.Parallelism = *jobs
 	opt.Cache = store
+	if recorder != nil {
+		opt.Record = recorder.Record
+	}
 	if *mesh != "" {
 		m, err := sim.ParseMesh(*mesh)
 		if err != nil {
@@ -203,6 +215,9 @@ func run(args []string, out io.Writer) (err error) {
 				ropt.Phits = *phits
 				ropt.Parallelism = *jobs
 				ropt.Cache = store
+				if recorder != nil {
+					ropt.Record = recorder.Record
+				}
 				return renderCSV("table4.csv")(sim.RunRealTable(ropt))
 			}},
 		{"area", "=== Section III-D: area overhead (45 nm, ORION-style model) ===",
@@ -263,6 +278,15 @@ func run(args []string, out io.Writer) (err error) {
 	if !ran {
 		return fmt.Errorf("unknown table %q", *table)
 	}
+	if recorder != nil {
+		m := recorder.Manifest()
+		if err := m.Save(*sweepOut); err != nil {
+			return err
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "tables: recorded %d units into %s\n", len(m.Units), *sweepOut)
+		}
+	}
 	if *verbose && store != nil {
 		fmt.Fprintf(os.Stderr, "tables: cache: %s\n", store.Stats())
 	}
@@ -313,6 +337,13 @@ func openCache(prog, mode, dir string) (*cache.Store, error) {
 	// rules); the CLI injects it so hits can report time saved.
 	//nbtilint:allow wallclock display-only: compute durations are recorded in cache entries so later hits can report wall-clock time saved; they never feed simulator state or outputs
 	st.Clock = func() int64 { return time.Now().UnixNano() }
+	if m == cache.ReadWrite {
+		// Lease files give cross-process single-flight: a concurrent
+		// nbtisweep campaign (or second tables run) over the same cache
+		// directory never computes the same scenario twice.
+		//nbtilint:allow wallclock display-only: lease waiters sleep between polls; cache contents and table bytes are independent of any timing
+		st.Lease = cache.DefaultLeasePolicy(func(ns int64) { time.Sleep(time.Duration(ns)) })
+	}
 	st.Warnf = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, prog+": cache: "+format+"\n", args...)
 	}

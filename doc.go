@@ -7,9 +7,9 @@
 // harness that regenerates every table and claim of the evaluation.
 //
 // The implementation lives under internal/; see README.md for the
-// public entry points (cmd/nbtisim, cmd/tables, cmd/tracegen,
-// cmd/compare, the cmd/nbtilint determinism analyzers and the runnable
-// examples), DESIGN.md for the system inventory, per-experiment index
-// and static-analysis contract, and EXPERIMENTS.md for the
-// paper-vs-measured record.
+// public entry points (cmd/nbtisim, cmd/tables, cmd/nbtisweep,
+// cmd/tracegen, cmd/compare, the cmd/nbtilint determinism analyzers
+// and the runnable examples), DESIGN.md for the system inventory,
+// per-experiment index and static-analysis contract, and
+// EXPERIMENTS.md for the paper-vs-measured record.
 package nbtinoc

@@ -92,39 +92,84 @@ func KeyOf(v any) (string, error) {
 }
 
 // Stats counts what a store did over its lifetime. All sizes are value
-// bytes (the cached payload, not the on-disk envelope).
+// bytes (the cached payload, not the on-disk envelope). The JSON tags
+// are the cross-process wire format: sweep workers serialise their
+// per-process Stats for the coordinator to Add into a campaign total.
 type Stats struct {
 	// Hits and Misses count disk lookups; Deduped counts calls that
 	// joined an in-flight leader instead of touching disk or computing.
-	Hits, Misses, Deduped int64
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Deduped int64 `json:"deduped"`
 	// Corrupt counts entries that failed to load and were recomputed.
-	Corrupt int64
+	Corrupt int64 `json:"corrupt"`
 	// BytesRead / BytesWritten are the value payload volumes.
-	BytesRead, BytesWritten int64
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
 	// TimeSavedNS accumulates the recorded compute duration of every
 	// hit and dedup — zero when no Clock was installed at write time.
-	TimeSavedNS int64
+	TimeSavedNS int64 `json:"time_saved_ns"`
+	// LeaseAcquired counts keys this store claimed for cross-process
+	// single-flight; LeaseWaited counts Do calls that found another
+	// process's claim and waited (or, for TryDo, stepped aside).
+	LeaseAcquired int64 `json:"lease_acquired,omitempty"`
+	LeaseWaited   int64 `json:"lease_waited,omitempty"`
+	// LeaseTakeovers counts stale leases reaped after their holder went
+	// silent; LeaseCorrupt counts unreadable lease files reaped.
+	LeaseTakeovers int64 `json:"lease_takeovers,omitempty"`
+	LeaseCorrupt   int64 `json:"lease_corrupt,omitempty"`
 }
 
 // Sub returns the delta s − o, for per-phase reporting.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		Hits:         s.Hits - o.Hits,
-		Misses:       s.Misses - o.Misses,
-		Deduped:      s.Deduped - o.Deduped,
-		Corrupt:      s.Corrupt - o.Corrupt,
-		BytesRead:    s.BytesRead - o.BytesRead,
-		BytesWritten: s.BytesWritten - o.BytesWritten,
-		TimeSavedNS:  s.TimeSavedNS - o.TimeSavedNS,
+		Hits:           s.Hits - o.Hits,
+		Misses:         s.Misses - o.Misses,
+		Deduped:        s.Deduped - o.Deduped,
+		Corrupt:        s.Corrupt - o.Corrupt,
+		BytesRead:      s.BytesRead - o.BytesRead,
+		BytesWritten:   s.BytesWritten - o.BytesWritten,
+		TimeSavedNS:    s.TimeSavedNS - o.TimeSavedNS,
+		LeaseAcquired:  s.LeaseAcquired - o.LeaseAcquired,
+		LeaseWaited:    s.LeaseWaited - o.LeaseWaited,
+		LeaseTakeovers: s.LeaseTakeovers - o.LeaseTakeovers,
+		LeaseCorrupt:   s.LeaseCorrupt - o.LeaseCorrupt,
+	}
+}
+
+// Add returns the sum s + o: the aggregation a sweep coordinator
+// applies over per-worker-process stats, so multi-process campaign
+// summaries count every worker instead of silently reporting only the
+// coordinator's own store.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Hits:           s.Hits + o.Hits,
+		Misses:         s.Misses + o.Misses,
+		Deduped:        s.Deduped + o.Deduped,
+		Corrupt:        s.Corrupt + o.Corrupt,
+		BytesRead:      s.BytesRead + o.BytesRead,
+		BytesWritten:   s.BytesWritten + o.BytesWritten,
+		TimeSavedNS:    s.TimeSavedNS + o.TimeSavedNS,
+		LeaseAcquired:  s.LeaseAcquired + o.LeaseAcquired,
+		LeaseWaited:    s.LeaseWaited + o.LeaseWaited,
+		LeaseTakeovers: s.LeaseTakeovers + o.LeaseTakeovers,
+		LeaseCorrupt:   s.LeaseCorrupt + o.LeaseCorrupt,
 	}
 }
 
 // String renders the counters in a fixed field order (no map
-// iteration), so stats lines are byte-stable for a given history.
+// iteration), so stats lines are byte-stable for a given history. The
+// lease counters only appear once any is non-zero, keeping
+// single-process output identical to the pre-lease format.
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d deduped=%d corrupt=%d read=%dB written=%dB saved=%.2fs",
+	out := fmt.Sprintf("hits=%d misses=%d deduped=%d corrupt=%d read=%dB written=%dB saved=%.2fs",
 		s.Hits, s.Misses, s.Deduped, s.Corrupt,
 		s.BytesRead, s.BytesWritten, float64(s.TimeSavedNS)/1e9)
+	if s.LeaseAcquired != 0 || s.LeaseWaited != 0 || s.LeaseTakeovers != 0 || s.LeaseCorrupt != 0 {
+		out += fmt.Sprintf(" lease_acq=%d lease_wait=%d lease_steal=%d lease_corrupt=%d",
+			s.LeaseAcquired, s.LeaseWaited, s.LeaseTakeovers, s.LeaseCorrupt)
+	}
+	return out
 }
 
 // Store is one cache handle. The zero value is not usable; construct
@@ -142,6 +187,10 @@ type Store struct {
 	// Warnf, when non-nil, receives diagnostics about damaged or
 	// unwritable entries. The store never fails because of them.
 	Warnf func(format string, args ...any)
+	// Lease, when non-nil (and Clock is set and the store is
+	// read-write), extends single-flight across processes sharing this
+	// directory via lease files — see lease.go for the protocol.
+	Lease *LeasePolicy
 
 	mu      sync.Mutex
 	flights map[string]*flight
@@ -266,31 +315,180 @@ func (s *Store) Do(key string, decode func([]byte) error, compute func() ([]byte
 		}
 	}
 
-	var start int64
-	if s.Clock != nil {
-		start = s.Clock()
+	if s.leased() {
+		data, hit, computeNS, err := s.leasedCompute(key, compute)
+		if err != nil {
+			f.err = err
+			return false, err
+		}
+		f.data, f.hit, f.saved = data, hit, computeNS
+		if hit {
+			s.note(func(st *Stats) {
+				st.Hits++
+				st.BytesRead += int64(len(data))
+				st.TimeSavedNS += computeNS
+			})
+			s.met.hits.Inc()
+			s.met.readBytes.Add(uint64(len(data)))
+			s.met.timeSavedNS.Add(uint64(computeNS))
+		} else {
+			s.note(func(st *Stats) { st.Misses++ })
+			s.met.misses.Inc()
+		}
+		return hit, decode(data)
 	}
-	data, err := compute()
+
+	data, computeNS, err := s.computePersist(key, compute)
 	if err != nil {
 		f.err = err
 		return false, err
 	}
-	var computeNS int64
-	if s.Clock != nil {
-		computeNS = s.Clock() - start
+	f.data, f.saved = data, computeNS
+	s.note(func(st *Stats) { st.Misses++ })
+	s.met.misses.Inc()
+	return false, decode(data)
+}
+
+// TryDo is Do without blocking on someone else's in-flight compute: it
+// serves hits, claims and computes unclaimed misses, but steps aside
+// (done=false, no error) when the key is already being computed by
+// another goroutine of this process or — with leases active — by
+// another live process. Work-stealing sweep workers use it to skip past
+// busy units instead of queueing behind them; stale and corrupt foreign
+// leases are still reaped and taken over, so a dead worker's units are
+// picked up on the first pass rather than the blocking one.
+func (s *Store) TryDo(key string, decode func([]byte) error, compute func() ([]byte, error)) (done, cached bool, err error) {
+	if s == nil || s.mode == Off {
+		data, err := compute()
+		if err != nil {
+			return true, false, err
+		}
+		return true, false, decode(data)
+	}
+
+	s.mu.Lock()
+	if _, busy := s.flights[key]; busy {
+		s.mu.Unlock()
+		s.note(func(st *Stats) { st.LeaseWaited++ })
+		s.met.leaseWaited.Inc()
+		return false, false, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.flights, key)
+		s.mu.Unlock()
+		close(f.done)
+	}()
+
+	if value, computeNS, ok := s.load(key); ok {
+		if err := decode(value); err != nil {
+			s.note(func(st *Stats) { st.Corrupt++ })
+			s.met.corrupt.Inc()
+			s.warnf("entry %s: decoding value: %v (recomputing)", key, err)
+		} else {
+			f.data, f.hit, f.saved = value, true, computeNS
+			s.note(func(st *Stats) {
+				st.Hits++
+				st.BytesRead += int64(len(value))
+				st.TimeSavedNS += computeNS
+			})
+			s.met.hits.Inc()
+			s.met.readBytes.Add(uint64(len(value)))
+			s.met.timeSavedNS.Add(uint64(computeNS))
+			return true, true, nil
+		}
+	}
+
+	if s.leased() {
+		for {
+			l, acquired, aerr := s.acquireLease(key)
+			if aerr != nil {
+				s.warnf("acquiring lease %s: %v (computing without coordination)", key, aerr)
+				break
+			}
+			if acquired {
+				s.note(func(st *Stats) { st.LeaseAcquired++ })
+				s.met.leaseAcquired.Inc()
+				stop := s.startHeartbeat(l)
+				data, computeNS, err := s.computePersist(key, compute)
+				stop()
+				s.releaseLease(key)
+				if err != nil {
+					f.err = err
+					return true, false, err
+				}
+				f.data, f.saved = data, computeNS
+				s.note(func(st *Stats) { st.Misses++ })
+				s.met.misses.Inc()
+				return true, false, decode(data)
+			}
+			held, ok, corrupt := s.readLease(key)
+			switch {
+			case corrupt:
+				s.note(func(st *Stats) { st.LeaseCorrupt++ })
+				s.met.leaseCorrupt.Inc()
+				s.warnf("lease %s: corrupt (reaping and recomputing)", key)
+				s.reapLease(key)
+				continue
+			case !ok:
+				// Released between acquire and read: the holder just
+				// finished or failed. Serve its entry if present,
+				// otherwise retry the claim.
+				if value, computeNS, loaded := s.load(key); loaded {
+					if err := decode(value); err == nil {
+						f.data, f.hit, f.saved = value, true, computeNS
+						s.note(func(st *Stats) {
+							st.Hits++
+							st.BytesRead += int64(len(value))
+							st.TimeSavedNS += computeNS
+						})
+						s.met.hits.Inc()
+						s.met.readBytes.Add(uint64(len(value)))
+						s.met.timeSavedNS.Add(uint64(computeNS))
+						return true, true, nil
+					}
+				}
+				continue
+			case s.Clock()-held.BeatNS > s.Lease.TTLNS:
+				s.note(func(st *Stats) { st.LeaseTakeovers++ })
+				s.met.leaseTakeovers.Inc()
+				s.warnf("lease %s: stale (owner %s, silent beyond ttl; taking over)", key, held.Owner)
+				s.reapLease(key)
+				continue
+			default:
+				s.note(func(st *Stats) { st.LeaseWaited++ })
+				s.met.leaseWaited.Inc()
+				return false, false, nil
+			}
+		}
+	}
+
+	data, computeNS, err := s.computePersist(key, compute)
+	if err != nil {
+		f.err = err
+		return true, false, err
 	}
 	f.data, f.saved = data, computeNS
 	s.note(func(st *Stats) { st.Misses++ })
 	s.met.misses.Inc()
-	if s.mode == ReadWrite {
-		if err := s.persist(key, data, computeNS); err != nil {
-			s.warnf("writing entry %s: %v", key, err)
-		} else {
-			s.note(func(st *Stats) { st.BytesWritten += int64(len(data)) })
-			s.met.writtenBytes.Add(uint64(len(data)))
-		}
+	return true, false, decode(data)
+}
+
+// Has reports whether an entry file exists for key — the cheap
+// completion probe sweep coordinators use to mark manifest state
+// without decoding payloads. A truncated or corrupt entry may report
+// true; the merge pass decodes through Do, which recomputes such
+// entries, so a false positive costs one recompute, never a wrong
+// result.
+func (s *Store) Has(key string) bool {
+	if s == nil || s.mode == Off {
+		return false
 	}
-	return false, decode(data)
+	info, err := os.Stat(s.entryPath(key))
+	return err == nil && info.Size() > 0
 }
 
 // load reads and validates one entry. A missing file is a silent miss;

@@ -1,0 +1,221 @@
+package cache
+
+// Cross-process single-flight proven against real OS processes: the
+// test binary re-execs itself as a cache worker (TestMain dispatches on
+// an env var), N workers race Do on the same key through one shared
+// cache directory, and the compute-log plus the summed per-process
+// Stats must show exactly one compute.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+const crossprocEnv = "NBTICACHE_CROSSPROC_HELPER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(crossprocEnv) == "1" {
+		os.Exit(crossprocHelper())
+	}
+	os.Exit(m.Run())
+}
+
+// crossprocHelper is the worker side: open the shared store with real
+// time hooks, run one Do on the configured key (the compute sleeps to
+// widen the race window and appends one line to the compute log), then
+// dump this process's Stats as JSON for the parent to aggregate.
+func crossprocHelper() int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "crossproc helper: "+format+"\n", args...)
+		return 1
+	}
+	dir := os.Getenv("NBTICACHE_DIR")
+	key := os.Getenv("NBTICACHE_KEY")
+	logPath := os.Getenv("NBTICACHE_LOG")
+	statsPath := os.Getenv("NBTICACHE_STATS")
+	delayMS, _ := strconv.Atoi(os.Getenv("NBTICACHE_DELAY_MS"))
+	ttlMS, _ := strconv.Atoi(os.Getenv("NBTICACHE_TTL_MS"))
+
+	s := Open(dir, ReadWrite)
+	s.Clock = func() int64 { return time.Now().UnixNano() }
+	s.Lease = DefaultLeasePolicy(func(ns int64) { time.Sleep(time.Duration(ns)) })
+	s.Lease.PollNS = int64(2 * time.Millisecond)
+	if ttlMS > 0 {
+		s.Lease.TTLNS = int64(ttlMS) * int64(time.Millisecond)
+		s.Lease.HeartbeatNS = s.Lease.TTLNS / 5
+	}
+
+	var got payload
+	_, err := s.Do(key,
+		func(data []byte) error { return json.Unmarshal(data, &got) },
+		func() ([]byte, error) {
+			time.Sleep(time.Duration(delayMS) * time.Millisecond)
+			// One line per compute; O_APPEND keeps concurrent writers
+			// from clobbering each other.
+			f, err := os.OpenFile(logPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := fmt.Fprintf(f, "compute pid=%d\n", os.Getpid()); err != nil {
+				f.Close()
+				return nil, err
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+			return json.Marshal(payload{N: 42, S: "crossproc"})
+		})
+	if err != nil {
+		return fail("Do: %v", err)
+	}
+	if got.N != 42 || got.S != "crossproc" {
+		return fail("wrong value: %+v", got)
+	}
+	stats, err := json.Marshal(s.Stats())
+	if err != nil {
+		return fail("marshal stats: %v", err)
+	}
+	if err := os.WriteFile(statsPath, stats, 0o644); err != nil {
+		return fail("write stats: %v", err)
+	}
+	return 0
+}
+
+// launchWorkers execs n copies of the test binary as cache workers on
+// one shared dir/key and returns their summed Stats and the number of
+// compute-log lines.
+func launchWorkers(t *testing.T, dir, key string, n, delayMS, ttlMS int) (Stats, int) {
+	t.Helper()
+	logPath := filepath.Join(dir, "compute.log")
+	cmds := make([]*exec.Cmd, n)
+	outs := make([]strings.Builder, n)
+	for i := range cmds {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(),
+			crossprocEnv+"=1",
+			"NBTICACHE_DIR="+dir,
+			"NBTICACHE_KEY="+key,
+			"NBTICACHE_LOG="+logPath,
+			"NBTICACHE_STATS="+filepath.Join(dir, fmt.Sprintf("stats-%d.json", i)),
+			"NBTICACHE_DELAY_MS="+strconv.Itoa(delayMS),
+			"NBTICACHE_TTL_MS="+strconv.Itoa(ttlMS),
+		)
+		cmd.Stdout = &outs[i]
+		cmd.Stderr = &outs[i]
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting worker %d: %v", i, err)
+		}
+		cmds[i] = cmd
+	}
+	var total Stats
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("worker %d failed: %v\n%s", i, err, outs[i].String())
+		}
+		data, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("stats-%d.json", i)))
+		if err != nil {
+			t.Fatalf("worker %d stats: %v", i, err)
+		}
+		var st Stats
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("worker %d stats: %v", i, err)
+		}
+		total = total.Add(st)
+	}
+	logData, err := os.ReadFile(logPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return total, 0
+		}
+		t.Fatalf("compute log: %v", err)
+	}
+	return total, strings.Count(string(logData), "\n")
+}
+
+// TestCrossProcessSingleFlight races three real processes on one key:
+// exactly one computes, the others are served its entry.
+func TestCrossProcessSingleFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	dir := t.TempDir()
+	key := testKey(t, "crossproc-race")
+	const n = 3
+	total, computes := launchWorkers(t, dir, key, n, 300, 0)
+	if computes != 1 {
+		t.Errorf("compute log shows %d computes, want exactly 1", computes)
+	}
+	if total.Misses != 1 {
+		t.Errorf("summed misses = %d, want exactly 1 (stats: %s)", total.Misses, total)
+	}
+	if total.Hits != n-1 {
+		t.Errorf("summed hits = %d, want %d (stats: %s)", total.Hits, n-1, total)
+	}
+	if total.LeaseAcquired != 1 {
+		t.Errorf("summed lease acquisitions = %d, want 1 (stats: %s)", total.LeaseAcquired, total)
+	}
+}
+
+// TestCrossProcessStaleTakeover plants a lease from a "killed" worker
+// (ancient heartbeat) and runs one real process against a short TTL: it
+// must reap the corpse and compute.
+func TestCrossProcessStaleTakeover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	dir := t.TempDir()
+	key := testKey(t, "crossproc-stale")
+	dead := lease{Schema: leaseSchema, Key: key, Owner: "dead-worker", PID: 999999, BeatNS: 1}
+	data, err := json.Marshal(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaseFile := filepath.Join(dir, key[:2], key+".lease")
+	if err := os.MkdirAll(filepath.Dir(leaseFile), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(leaseFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	total, computes := launchWorkers(t, dir, key, 1, 0, 200)
+	if computes != 1 || total.Misses != 1 {
+		t.Errorf("computes=%d misses=%d, want 1/1 (stats: %s)", computes, total.Misses, total)
+	}
+	if total.LeaseTakeovers != 1 {
+		t.Errorf("takeovers = %d, want 1 (stats: %s)", total.LeaseTakeovers, total)
+	}
+	if _, err := os.Stat(leaseFile); !os.IsNotExist(err) {
+		t.Errorf("stale lease not cleaned up: %v", err)
+	}
+}
+
+// TestCrossProcessCorruptLease writes garbage where a lease should be:
+// the worker counts it, reaps it, and computes anyway.
+func TestCrossProcessCorruptLease(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	dir := t.TempDir()
+	key := testKey(t, "crossproc-corrupt")
+	leaseFile := filepath.Join(dir, key[:2], key+".lease")
+	if err := os.MkdirAll(filepath.Dir(leaseFile), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(leaseFile, []byte("torn{write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	total, computes := launchWorkers(t, dir, key, 1, 0, 0)
+	if computes != 1 || total.Misses != 1 {
+		t.Errorf("computes=%d misses=%d, want 1/1 (stats: %s)", computes, total.Misses, total)
+	}
+	if total.LeaseCorrupt != 1 {
+		t.Errorf("corrupt leases = %d, want 1 (stats: %s)", total.LeaseCorrupt, total)
+	}
+}

@@ -1,0 +1,346 @@
+package cache
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Cross-process single-flight.
+//
+// The in-process flight map deduplicates concurrent Do calls inside one
+// process; lease files extend the same guarantee across processes that
+// share a cache directory. On a miss the computing process claims the
+// key by publishing a lease file next to the (future) entry; other
+// processes that miss on the same key observe the lease and poll for
+// the entry instead of recomputing. The protocol never trusts a lease
+// forever: the holder refreshes a heartbeat timestamp while computing,
+// and a lease whose heartbeat stops advancing for TTLNS (holder killed,
+// machine rebooted mid-campaign) is reaped by whoever notices, who then
+// claims the key and recomputes.
+//
+// Every transition is a single atomic filesystem operation, so no
+// observer ever sees a half-written lease:
+//
+//   - acquire: write the lease body to a temp file, then link(2) it to
+//     the lease path. Link fails with EEXIST when the key is already
+//     held — the claim and the existence check are one atomic step.
+//   - refresh: write the new heartbeat to a temp file, then rename(2)
+//     over the lease path. Only the holder refreshes, so the replace
+//     cannot race another writer.
+//   - reap: rename(2) the expired lease to a reaper-owned name. Rename
+//     succeeds for exactly one reaper; the losers see ENOENT and retry
+//     the acquire path.
+//
+// A reaped-then-recomputed key and a normally-computed key persist
+// byte-identical entries (the simulator is deterministic), so even the
+// worst-case race — a lease misjudged as stale while its holder is
+// still alive — costs a duplicate compute, never a wrong or torn
+// result. Corrupt lease files (truncated by a crash mid-write of a
+// non-atomic filesystem, or hand-damaged) are treated exactly like
+// stale ones: counted, reaped, recomputed.
+
+// LeasePolicy configures cross-process single-flight on a Store. All
+// durations are nanoseconds; the wall clock and the sleeping are
+// injected by package main (tests inject fakes), so the library itself
+// never touches time — the same division of labour as Store.Clock under
+// the nbtilint wallclock rule.
+type LeasePolicy struct {
+	// TTLNS is the staleness horizon: a lease whose heartbeat is older
+	// than this is considered abandoned and reaped.
+	TTLNS int64
+	// HeartbeatNS is the refresh period of the holder while computing.
+	// It must be well below TTLNS (a factor of 3 or more) so one missed
+	// beat never looks like a death.
+	HeartbeatNS int64
+	// PollNS is how long a waiter sleeps between checks for the entry.
+	PollNS int64
+	// Sleep blocks for the given nanoseconds. Injected (time.Sleep in
+	// CLIs, a fake in tests); leases are inert when nil.
+	Sleep func(ns int64)
+}
+
+// DefaultLeaseNS are the CLI defaults: takeover after 10 s of silence,
+// a 2 s heartbeat, a 25 ms waiter poll.
+const (
+	DefaultLeaseTTLNS       = int64(10_000_000_000)
+	DefaultLeaseHeartbeatNS = int64(2_000_000_000)
+	DefaultLeasePollNS      = int64(25_000_000)
+)
+
+// DefaultLeasePolicy returns the default timing constants with the
+// given sleeper.
+func DefaultLeasePolicy(sleep func(ns int64)) *LeasePolicy {
+	return &LeasePolicy{
+		TTLNS:       DefaultLeaseTTLNS,
+		HeartbeatNS: DefaultLeaseHeartbeatNS,
+		PollNS:      DefaultLeasePollNS,
+		Sleep:       sleep,
+	}
+}
+
+// leaseSchema versions the lease file body, like entrySchema for
+// entries: an incompatible future body is "corrupt" to this build and
+// reaped rather than misread.
+const leaseSchema = 1
+
+// lease is the on-disk lease body.
+type lease struct {
+	Schema int    `json:"schema"`
+	Key    string `json:"key"`
+	// Owner identifies the holder (pid plus acquisition timestamp) for
+	// diagnostics and for recognising our own lease on refresh.
+	Owner string `json:"owner"`
+	PID   int    `json:"pid"`
+	// BeatNS is the holder's last heartbeat, in the holder's Clock
+	// domain. Workers sharing a cache dir share a machine (and hence a
+	// clock); staleness is judged against the observer's Clock.
+	BeatNS int64 `json:"beat_ns"`
+}
+
+// leasePath maps a key to its lease file, sharded alongside the entry.
+func (s *Store) leasePath(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".lease")
+}
+
+// leased reports whether the cross-process protocol is active: a policy
+// with a sleeper, a clock to judge staleness, and a writable store (a
+// read-only store never computes into the shared dir, so it has nothing
+// to claim).
+func (s *Store) leased() bool {
+	return s.Lease != nil && s.Lease.Sleep != nil && s.Clock != nil && s.mode == ReadWrite
+}
+
+// writeLeaseTemp writes a lease body to a temp file in the lease's
+// directory, returning the temp path.
+func (s *Store) writeLeaseTemp(l lease) (string, error) {
+	data, err := json.Marshal(l)
+	if err != nil {
+		return "", err
+	}
+	dir := filepath.Dir(s.leasePath(l.Key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	tmp, err := os.CreateTemp(dir, "."+l.Key[:8]+"-lease-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	return tmp.Name(), nil
+}
+
+// acquireLease attempts to claim key. It returns the held lease body on
+// success. Failure to claim because another process holds the lease is
+// (lease{}, false, nil); filesystem trouble is returned as an error and
+// treated by callers as "compute without coordination" — a damaged
+// filesystem can cost duplicate work but never a failed run.
+func (s *Store) acquireLease(key string) (lease, bool, error) {
+	l := lease{
+		Schema: leaseSchema,
+		Key:    key,
+		PID:    os.Getpid(),
+		BeatNS: s.Clock(),
+	}
+	l.Owner = fmt.Sprintf("%d-%d", l.PID, l.BeatNS)
+	tmp, err := s.writeLeaseTemp(l)
+	if err != nil {
+		return lease{}, false, err
+	}
+	err = os.Link(tmp, s.leasePath(key))
+	os.Remove(tmp)
+	if err == nil {
+		return l, true, nil
+	}
+	if errors.Is(err, fs.ErrExist) {
+		return lease{}, false, nil
+	}
+	return lease{}, false, err
+}
+
+// refreshLease republishes the holder's lease with a fresh heartbeat:
+// temp file + rename, atomically replacing the previous body. If the
+// lease was reaped out from under a live holder (a TTL misjudgement),
+// the rename simply re-creates it; the resulting duplicate compute is
+// benign (see the package comment).
+func (s *Store) refreshLease(l lease) error {
+	l.BeatNS = s.Clock()
+	tmp, err := s.writeLeaseTemp(l)
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.leasePath(l.Key)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// releaseLease drops the holder's claim after the entry is persisted
+// (or the compute failed and someone else should try).
+func (s *Store) releaseLease(key string) {
+	os.Remove(s.leasePath(key))
+}
+
+// startHeartbeat refreshes l every HeartbeatNS until the returned stop
+// function runs. The heartbeat period is slept in PollNS slices with a
+// stop check between them, so stop() returns within one poll interval
+// rather than stalling a finished compute for a whole heartbeat.
+func (s *Store) startHeartbeat(l lease) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	step := s.Lease.PollNS
+	if step <= 0 || step > s.Lease.HeartbeatNS {
+		step = s.Lease.HeartbeatNS
+	}
+	go func() {
+		defer close(finished)
+		for {
+			for slept := int64(0); slept < s.Lease.HeartbeatNS; slept += step {
+				s.Lease.Sleep(step)
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+			if err := s.refreshLease(l); err != nil {
+				s.warnf("refreshing lease %s: %v", l.Key, err)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// readLease loads and validates the lease for key. ok=false with
+// stale=false means no lease exists; ok=false with stale=true means a
+// lease file exists but is unreadable or structurally wrong (counted as
+// corrupt by the caller) and should be reaped.
+func (s *Store) readLease(key string) (l lease, ok, corrupt bool) {
+	data, err := os.ReadFile(s.leasePath(key))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return lease{}, false, false
+		}
+		return lease{}, false, true
+	}
+	if err := json.Unmarshal(data, &l); err != nil {
+		return lease{}, false, true
+	}
+	if l.Schema != leaseSchema || l.Key != key || l.BeatNS <= 0 {
+		return lease{}, false, true
+	}
+	return l, true, false
+}
+
+// reapLease atomically retires a stale or corrupt lease: rename to a
+// reaper-unique name, then remove. Exactly one concurrent reaper wins
+// the rename; the others see ENOENT and simply retry their acquire.
+func (s *Store) reapLease(key string) bool {
+	dead := fmt.Sprintf("%s.reaped-%d-%d", s.leasePath(key), os.Getpid(), s.Clock())
+	if err := os.Rename(s.leasePath(key), dead); err != nil {
+		return false
+	}
+	os.Remove(dead)
+	return true
+}
+
+// leasedCompute is the miss path of Do when cross-process single-flight
+// is active: claim the key and compute, or wait out another process's
+// claim and serve its entry. It returns the value bytes, whether they
+// came from another process's compute (a hit), and the recorded compute
+// nanoseconds for time-saved accounting.
+func (s *Store) leasedCompute(key string, compute func() ([]byte, error)) (value []byte, hit bool, computeNS int64, err error) {
+	waited := false
+	for {
+		l, acquired, aerr := s.acquireLease(key)
+		if aerr != nil {
+			// Filesystem trouble around the lease dance must never fail
+			// a run: warn and fall back to an uncoordinated compute.
+			s.warnf("acquiring lease %s: %v (computing without coordination)", key, aerr)
+			value, computeNS, err = s.computePersist(key, compute)
+			return value, false, computeNS, err
+		}
+		if acquired {
+			s.note(func(st *Stats) { st.LeaseAcquired++ })
+			s.met.leaseAcquired.Inc()
+			stop := s.startHeartbeat(l)
+			value, computeNS, err = s.computePersist(key, compute)
+			stop()
+			s.releaseLease(key)
+			return value, false, computeNS, err
+		}
+		// Key is claimed elsewhere. Wait for the entry, judging the
+		// holder's pulse each round.
+		if !waited {
+			waited = true
+			s.note(func(st *Stats) { st.LeaseWaited++ })
+			s.met.leaseWaited.Inc()
+		}
+		l, ok, corrupt := s.readLease(key)
+		switch {
+		case corrupt:
+			s.note(func(st *Stats) { st.LeaseCorrupt++ })
+			s.met.leaseCorrupt.Inc()
+			s.warnf("lease %s: corrupt (reaping and recomputing)", key)
+			s.reapLease(key)
+			continue
+		case !ok:
+			// Released between our acquire attempt and the read: the
+			// holder finished (entry should be there) or failed (we
+			// should claim). Check the entry, then retry the acquire.
+		case s.Clock()-l.BeatNS > s.Lease.TTLNS:
+			s.note(func(st *Stats) { st.LeaseTakeovers++ })
+			s.met.leaseTakeovers.Inc()
+			s.warnf("lease %s: stale (owner %s, silent beyond ttl; taking over)", key, l.Owner)
+			s.reapLease(key)
+			continue
+		default:
+			s.Lease.Sleep(s.Lease.PollNS)
+		}
+		if value, computeNS, ok := s.load(key); ok {
+			return value, true, computeNS, nil
+		}
+	}
+}
+
+// computePersist runs compute, timestamps it, and persists the entry in
+// read-write mode — the shared tail of the coordinated and
+// uncoordinated miss paths. Stats for the miss itself are counted by
+// the caller's caller (Do), matching the original single-process flow.
+func (s *Store) computePersist(key string, compute func() ([]byte, error)) (value []byte, computeNS int64, err error) {
+	var start int64
+	if s.Clock != nil {
+		start = s.Clock()
+	}
+	value, err = compute()
+	if err != nil {
+		return nil, 0, err
+	}
+	if s.Clock != nil {
+		computeNS = s.Clock() - start
+	}
+	if s.mode == ReadWrite {
+		if perr := s.persist(key, value, computeNS); perr != nil {
+			s.warnf("writing entry %s: %v", key, perr)
+		} else {
+			s.note(func(st *Stats) { st.BytesWritten += int64(len(value)) })
+			s.met.writtenBytes.Add(uint64(len(value)))
+		}
+	}
+	return value, computeNS, nil
+}

@@ -19,6 +19,16 @@ const (
 	// MetricTimeSavedNS accumulates the recorded compute duration of
 	// every hit and dedup, in nanoseconds.
 	MetricTimeSavedNS = "cache_time_saved_ns_total"
+	// MetricLeaseAcquired counts keys claimed for cross-process
+	// single-flight; MetricLeaseWaited counts lookups that found a
+	// foreign claim and waited (Do) or stepped aside (TryDo).
+	MetricLeaseAcquired = "cache_lease_acquired_total"
+	MetricLeaseWaited   = "cache_lease_waited_total"
+	// MetricLeaseTakeovers counts stale leases reaped after their
+	// holder went silent; MetricLeaseCorrupt counts unreadable lease
+	// files reaped.
+	MetricLeaseTakeovers = "cache_lease_takeovers_total"
+	MetricLeaseCorrupt   = "cache_lease_corrupt_total"
 )
 
 // storeMetrics are the per-store handles into the process registry,
@@ -29,6 +39,8 @@ type storeMetrics struct {
 	hits, misses, deduped, corrupt *metrics.Counter
 	readBytes, writtenBytes        *metrics.Counter
 	timeSavedNS                    *metrics.Counter
+	leaseAcquired, leaseWaited     *metrics.Counter
+	leaseTakeovers, leaseCorrupt   *metrics.Counter
 }
 
 // newStoreMetrics resolves the cache instruments from the process
@@ -46,5 +58,13 @@ func newStoreMetrics() storeMetrics {
 		readBytes:    r.Counter(MetricReadBytes, "Value bytes read from the cache."),
 		writtenBytes: r.Counter(MetricWrittenBytes, "Value bytes written to the cache."),
 		timeSavedNS:  r.Counter(MetricTimeSavedNS, "Recorded compute nanoseconds saved by hits and dedups."),
+		leaseAcquired: r.Counter(MetricLeaseAcquired,
+			"Keys claimed for cross-process single-flight."),
+		leaseWaited: r.Counter(MetricLeaseWaited,
+			"Lookups that found a foreign lease and waited or stepped aside."),
+		leaseTakeovers: r.Counter(MetricLeaseTakeovers,
+			"Stale leases reaped after their holder went silent."),
+		leaseCorrupt: r.Counter(MetricLeaseCorrupt,
+			"Unreadable lease files reaped."),
 	}
 }

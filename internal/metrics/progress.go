@@ -26,6 +26,9 @@ type Progress struct {
 	SampleHeap bool
 	// Phase, when non-nil, supplies the current phase label.
 	Phase func() string
+	// Extra, when non-nil, supplies a trailing annotation (e.g. the
+	// sweep CLIs append lease contention counts); empty adds nothing.
+	Extra func() string
 
 	startNS, lastNS int64
 	lastCycles      uint64
@@ -66,6 +69,11 @@ func (p *Progress) Line(nowNS int64) string {
 	if p.Phase != nil {
 		if ph := p.Phase(); ph != "" {
 			fmt.Fprintf(&b, ", %s", ph)
+		}
+	}
+	if p.Extra != nil {
+		if ex := p.Extra(); ex != "" {
+			fmt.Fprintf(&b, ", %s", ex)
 		}
 	}
 	return b.String()

@@ -201,6 +201,18 @@ func SpecKey(s Spec) (string, error) { return specKeyFor(EngineVersion, s) }
 // attached. A zero Runner always computes.
 type Runner struct {
 	Store *cache.Store
+	// Record, when non-nil, observes every successfully completed
+	// Run/TryRun: the spec, its content address (empty when the spec
+	// bypassed the cache), and whether the summary came from the cache.
+	// Sweep manifests are built on this hook. Drivers run specs from
+	// worker pools, so Record must be safe for concurrent use.
+	Record func(spec Spec, key string, cached bool)
+}
+
+func (r Runner) record(spec Spec, key string, cached bool) {
+	if r.Record != nil {
+		r.Record(spec, key, cached)
+	}
 }
 
 // Run returns the spec's summary, from the cache when possible.
@@ -211,12 +223,20 @@ func (r Runner) Run(spec Spec) (*RunSummary, error) {
 	met := newRunnerMetrics()
 	if r.Store.Mode() == cache.Off || spec.Net.Policy != nil {
 		met.computed.Inc()
-		return spec.Compute()
+		sum, err := spec.Compute()
+		if err == nil {
+			r.record(spec, "", false)
+		}
+		return sum, err
 	}
 	key, err := SpecKey(spec)
 	if err != nil {
 		met.computed.Inc()
-		return spec.Compute()
+		sum, cerr := spec.Compute()
+		if cerr == nil {
+			r.record(spec, "", false)
+		}
+		return sum, cerr
 	}
 	var sum RunSummary
 	cached, err := r.Store.Do(key,
@@ -237,5 +257,53 @@ func (r Runner) Run(spec Spec) (*RunSummary, error) {
 	} else {
 		met.computed.Inc()
 	}
+	r.record(spec, key, cached)
 	return &sum, nil
+}
+
+// TryRun is the non-blocking variant of Run for work-stealing sweeps:
+// it never waits on another process's lease. It returns done=false
+// (and a nil summary) when the spec's key is being computed elsewhere
+// right now — the caller moves on and revisits the unit later. Specs
+// that bypass the cache always compute and complete.
+func (r Runner) TryRun(spec Spec) (sum *RunSummary, done bool, err error) {
+	met := newRunnerMetrics()
+	if r.Store.Mode() == cache.Off || spec.Net.Policy != nil {
+		met.computed.Inc()
+		sum, err = spec.Compute()
+		if err == nil {
+			r.record(spec, "", false)
+		}
+		return sum, true, err
+	}
+	key, err := SpecKey(spec)
+	if err != nil {
+		met.computed.Inc()
+		sum, cerr := spec.Compute()
+		if cerr == nil {
+			r.record(spec, "", false)
+		}
+		return sum, true, cerr
+	}
+	var got RunSummary
+	done, cached, err := r.Store.TryDo(key,
+		func(data []byte) error { return json.Unmarshal(data, &got) },
+		func() ([]byte, error) {
+			s, err := spec.Compute()
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(s)
+		},
+	)
+	if err != nil || !done {
+		return nil, done, err
+	}
+	if cached {
+		met.cached.Inc()
+	} else {
+		met.computed.Inc()
+	}
+	r.record(spec, key, cached)
+	return &got, true, nil
 }

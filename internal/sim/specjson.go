@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nbtinoc/internal/noc"
+)
+
+// Spec's JSON codec, the wire format of sweep manifests: a manifest
+// that embeds its specs can be re-run on a machine that never saw the
+// originating grid. The codec goes through configKey — the same
+// factory-free mirror the cache key hashes — so exactly the fields
+// that define a spec's content address round-trip, no more and no
+// less, and a serialised spec re-keys to the same address it was
+// recorded under.
+
+// specJSON is the serialised shape of a Spec.
+type specJSON struct {
+	Net     configKey   `json:"net"`
+	Policy  PolicySpec  `json:"policy"`
+	Gen     GenSpec     `json:"gen"`
+	Warmup  uint64      `json:"warmup"`
+	Measure uint64      `json:"measure"`
+	Probes  []PortProbe `json:"probes,omitempty"`
+}
+
+// config reverses configKeyOf. TestConfigKeyMirrorsConfig pins the
+// mirror field set, so a Config field added without extending both
+// directions fails tests rather than silently dropping state.
+func (k configKey) config() noc.Config {
+	return noc.Config{
+		Width:            k.Width,
+		Height:           k.Height,
+		VNets:            k.VNets,
+		VCsPerVNet:       k.VCsPerVNet,
+		BufferDepth:      k.BufferDepth,
+		FlitWidthBits:    k.FlitWidthBits,
+		LinkLatency:      k.LinkLatency,
+		PhitsPerFlit:     k.PhitsPerFlit,
+		Routing:          k.Routing,
+		EjectRate:        k.EjectRate,
+		EjectBufferDepth: k.EjectBufferDepth,
+		GateEjection:     k.GateEjection,
+		WakeupLatency:    k.WakeupLatency,
+		NBTI:             k.NBTI,
+		PV:               k.PV,
+		PVSeed:           k.PVSeed,
+		Sensor:           k.Sensor,
+		SensorSeed:       k.SensorSeed,
+	}
+}
+
+// MarshalJSON serialises the spec. A spec carrying a raw Policy
+// factory on its Config has no canonical encoding (funcs cannot be
+// serialised) and is refused, mirroring the cache-bypass rule in
+// Runner.Run.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	if s.Net.Policy != nil {
+		return nil, errors.New("sim: spec with a raw policy factory cannot be serialised")
+	}
+	return json.Marshal(specJSON{
+		Net:     configKeyOf(s.Net),
+		Policy:  s.Policy,
+		Gen:     s.Gen,
+		Warmup:  s.Warmup,
+		Measure: s.Measure,
+		Probes:  s.Probes,
+	})
+}
+
+// UnmarshalJSON rebuilds the spec.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	var j specJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*s = Spec{
+		Net:     j.Net.config(),
+		Policy:  j.Policy,
+		Gen:     j.Gen,
+		Warmup:  j.Warmup,
+		Measure: j.Measure,
+		Probes:  j.Probes,
+	}
+	return nil
+}
+
+// ParsePortProbe parses the "node:port" probe syntax shared by the
+// CLIs and sweep grids — a node index and a compass port letter
+// (L, N, E, S, W, case-insensitive), e.g. "5:E".
+func ParsePortProbe(s string) (PortProbe, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return PortProbe{}, fmt.Errorf("probe %q not in node:port form", s)
+	}
+	node, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return PortProbe{}, fmt.Errorf("probe node %q: %v", parts[0], err)
+	}
+	var port noc.Port
+	switch strings.ToUpper(parts[1]) {
+	case "L":
+		port = noc.Local
+	case "N":
+		port = noc.North
+	case "E":
+		port = noc.East
+	case "S":
+		port = noc.South
+	case "W":
+		port = noc.West
+	default:
+		return PortProbe{}, fmt.Errorf("unknown port %q", parts[1])
+	}
+	return PortProbe{Node: noc.NodeID(node), Port: port}, nil
+}

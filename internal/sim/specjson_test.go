@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"nbtinoc/internal/cache"
+	"nbtinoc/internal/noc"
+)
+
+// TestSpecJSONRoundTrip: a serialised spec rebuilds to the same content
+// address and the same structural value — the property sweep manifests
+// rely on to re-run recorded campaigns.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	orig := quickSpec()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Errorf("round trip changed the spec:\n got %+v\nwant %+v", back, orig)
+	}
+	if mustKey(t, back) != mustKey(t, orig) {
+		t.Error("round trip changed the content address")
+	}
+}
+
+// TestSpecJSONRefusesPolicyFactory: a factory-carrying spec has no
+// canonical encoding and must refuse to serialise rather than record a
+// spec that would re-run as something else.
+func TestSpecJSONRefusesPolicyFactory(t *testing.T) {
+	s := quickSpec()
+	s.Net.Policy = func() noc.Policy { return nil }
+	if _, err := json.Marshal(s); err == nil {
+		t.Fatal("factory-carrying spec serialised")
+	}
+}
+
+// TestConfigKeyRoundTrips: configKey -> Config -> configKey is the
+// identity, using the same reflection guard as the mirror test.
+func TestConfigKeyRoundTrips(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	cfg.Width, cfg.Height = 3, 2
+	cfg.PVSeed = 99
+	cfg.GateEjection = true
+	k := configKeyOf(cfg)
+	if got := configKeyOf(k.config()); got != k {
+		t.Errorf("config round trip:\n got %+v\nwant %+v", got, k)
+	}
+}
+
+// TestRunnerRecordHook: the hook sees every completed run with its key
+// and cache disposition, across the cached, uncached and bypass paths.
+func TestRunnerRecordHook(t *testing.T) {
+	type event struct {
+		key    string
+		cached bool
+	}
+	var mu sync.Mutex
+	var events []event
+	record := func(_ Spec, key string, cached bool) {
+		mu.Lock()
+		events = append(events, event{key, cached})
+		mu.Unlock()
+	}
+	spec := quickSpec()
+	key := mustKey(t, spec)
+
+	store := cache.Open(t.TempDir(), cache.ReadWrite)
+	r := Runner{Store: store, Record: record}
+	if _, err := r.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	// Bypass path: no store.
+	if _, err := (Runner{Record: record}).Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	want := []event{{key, false}, {key, true}, {"", false}}
+	if !reflect.DeepEqual(events, want) {
+		t.Errorf("record events = %+v, want %+v", events, want)
+	}
+}
+
+// TestRunnerTryRun: completes on idle keys, steps aside while the key
+// is claimed by a foreign lease, and matches Run's output exactly.
+func TestRunnerTryRun(t *testing.T) {
+	dir := t.TempDir()
+	store := cache.Open(dir, cache.ReadWrite)
+	store.Clock = func() int64 { return 1_000_000 }
+	store.Lease = &cache.LeasePolicy{
+		TTLNS:       1 << 62,
+		HeartbeatNS: int64(time.Millisecond),
+		PollNS:      1,
+		Sleep:       func(ns int64) { time.Sleep(time.Duration(ns)) },
+	}
+	r := Runner{Store: store}
+	spec := quickSpec()
+
+	sum, done, err := r.TryRun(spec)
+	if err != nil || !done || sum == nil {
+		t.Fatalf("TryRun on idle key: done=%v err=%v", done, err)
+	}
+	want, err := Runner{}.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sum, want) {
+		t.Error("TryRun result differs from a direct compute")
+	}
+
+	// Claim a second spec's key from a fake foreign holder: TryRun must
+	// step aside without computing.
+	spec2 := quickSpec()
+	spec2.Gen.Seed++
+	key2 := mustKey(t, spec2)
+	holder := cache.Open(dir, cache.ReadWrite)
+	holder.Clock = store.Clock
+	holder.Lease = store.Lease
+	claimed := make(chan struct{})
+	release := make(chan struct{})
+	donec := make(chan error, 1)
+	go func() {
+		_, err := holder.Do(key2,
+			func([]byte) error { return nil },
+			func() ([]byte, error) {
+				close(claimed)
+				<-release
+				s, err := spec2.Compute()
+				if err != nil {
+					return nil, err
+				}
+				return json.Marshal(s)
+			})
+		donec <- err
+	}()
+	<-claimed
+	sum2, done, err := r.TryRun(spec2)
+	if err != nil || done || sum2 != nil {
+		t.Errorf("TryRun on claimed key: sum=%v done=%v err=%v, want step-aside", sum2, done, err)
+	}
+	close(release)
+	if err := <-donec; err != nil {
+		t.Fatal(err)
+	}
+	// Once released and persisted, TryRun serves the cached entry.
+	sum2, done, err = r.TryRun(spec2)
+	if err != nil || !done || sum2 == nil {
+		t.Fatalf("TryRun after release: done=%v err=%v", done, err)
+	}
+	if store.Stats().Hits == 0 {
+		t.Error("expected the released entry to be served as a hit")
+	}
+}

@@ -48,6 +48,10 @@ type TableOptions struct {
 	// address. Determinism makes the memoization exact, so tables are
 	// byte-identical with and without it.
 	Cache *cache.Store
+	// Record, when non-nil, observes every executed spec (see
+	// Runner.Record); the CLIs use it to write sweep manifests. Called
+	// from worker goroutines, so it must be safe for concurrent use.
+	Record func(spec Spec, key string, cached bool)
 }
 
 // DefaultTableOptions mirrors the paper's sweep at a laptop-scale
@@ -98,7 +102,7 @@ func (o TableOptions) meshes() ([]Mesh, error) {
 func (o TableOptions) pool() Pool { return Pool{Workers: o.Parallelism} }
 
 // runner returns the executor configured by the Cache knob.
-func (o TableOptions) runner() Runner { return Runner{Store: o.Cache} }
+func (o TableOptions) runner() Runner { return Runner{Store: o.Cache, Record: o.Record} }
 
 // runSynthetic executes one simulation of the common synthetic scenario
 // shape shared by the table and sweep drivers: uniform traffic on a
@@ -283,6 +287,8 @@ type RealOptions struct {
 	Parallelism int
 	// Cache memoizes scenario results (see TableOptions.Cache).
 	Cache *cache.Store
+	// Record observes every executed spec (see TableOptions.Record).
+	Record func(spec Spec, key string, cached bool)
 }
 
 // DefaultRealOptions mirrors the paper's methodology at reduced length.
@@ -383,7 +389,7 @@ func RunRealTable(opt RealOptions) (*RealTable, error) {
 	}
 	ports := make([][]PortReading, len(jobs))
 	pool := Pool{Workers: opt.Parallelism}
-	runner := Runner{Store: opt.Cache}
+	runner := Runner{Store: opt.Cache, Record: opt.Record}
 	if err := pool.Run(len(jobs), func(i int) error {
 		j := jobs[i]
 		side, err := MeshSide(j.cores)

@@ -1,0 +1,286 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"nbtinoc/internal/cache"
+	"nbtinoc/internal/sim"
+)
+
+// Coordinator drives one campaign round: shard the pending units across
+// worker processes, collect their reports, checkpoint the manifest, and
+// — when everything completed — merge the campaign through a
+// strictly-sequential reduction into the report writer.
+type Coordinator struct {
+	// Manifest is the campaign state; Units its resolved work list
+	// (from NewManifest or Manifest.Resolve).
+	Manifest *Manifest
+	Units    []Unit
+	// ManifestPath, when non-empty, is where checkpoints are saved
+	// (atomically) before workers start and after they finish.
+	ManifestPath string
+	// CacheDir is the shared result cache all workers open.
+	CacheDir string
+	// Procs is the worker-process count; Workers the per-process pool
+	// width (-j).
+	Procs, Workers int
+	// Strategy selects range-sharding or work-stealing.
+	Strategy Strategy
+	// Clock and Lease are the injected time hooks handed to every
+	// store this coordinator opens (and to in-process workers).
+	Clock func() int64
+	Lease *cache.LeasePolicy
+	// Spawn launches worker w over an assignment file and blocks until
+	// its report file exists; nil runs the worker in-process with its
+	// own Store handle — the same isolation an exec'd worker has,
+	// minus the address space.
+	Spawn func(w int, assignPath, reportPath string) error
+	// ScratchDir holds assignment/report files; empty derives one next
+	// to the manifest or under os.TempDir.
+	ScratchDir string
+	// Logf, when non-nil, receives progress and the aggregated
+	// campaign cache stats. This is side-channel narration (stderr in
+	// the CLI) — never part of the merged report bytes.
+	Logf func(format string, args ...any)
+}
+
+// Result summarises a completed coordinator round.
+type Result struct {
+	// Stats aggregates cache stats across every worker process plus
+	// the coordinator's own merge pass.
+	Stats cache.Stats
+	// Done / Failed count unit outcomes after this round; Resumed
+	// counts units skipped because the cache already held their keys.
+	Done, Failed, Resumed int
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// openStore opens the shared cache with the coordinator's time hooks.
+func (c *Coordinator) openStore() *cache.Store {
+	s := cache.Open(c.CacheDir, cache.ReadWrite)
+	s.Clock = c.Clock
+	s.Lease = c.Lease
+	return s
+}
+
+// scratch resolves the scratch directory for worker files.
+func (c *Coordinator) scratch() (string, error) {
+	dir := c.ScratchDir
+	if dir == "" {
+		if c.ManifestPath != "" {
+			dir = c.ManifestPath + ".work"
+		} else {
+			dir = filepath.Join(os.TempDir(), "nbtisweep-work")
+		}
+	}
+	return dir, os.MkdirAll(dir, 0o755)
+}
+
+// Run executes one campaign round and, if every unit completes, merges
+// the report into out. On worker failure the manifest checkpoint is
+// still saved — the campaign is resumable — and the error says so.
+func (c *Coordinator) Run(out io.Writer) (*Result, error) {
+	if len(c.Units) != len(c.Manifest.Units) {
+		return nil, fmt.Errorf("sweep: %d resolved units for %d manifest units", len(c.Units), len(c.Manifest.Units))
+	}
+	res := &Result{}
+	store := c.openStore()
+
+	// Resume: a unit whose key is already in the cache is done no
+	// matter what the manifest last recorded — the cache is the ground
+	// truth, the manifest a progress journal.
+	var pending []int
+	for i := range c.Manifest.Units {
+		if c.Manifest.Units[i].State != UnitDone && store.Has(c.Manifest.Units[i].Key) {
+			c.Manifest.Units[i].State = UnitDone
+			c.Manifest.Units[i].Err = ""
+			res.Resumed++
+		}
+		if c.Manifest.Units[i].State != UnitDone {
+			pending = append(pending, i)
+		}
+	}
+	if err := c.checkpoint(); err != nil {
+		return nil, err
+	}
+	c.logf("sweep %s: %d units, %d pending (%d resumed from cache), %d procs x %d workers, %s",
+		c.Manifest.Name, len(c.Units), len(pending), res.Resumed, c.Procs, c.Workers, c.Strategy)
+
+	if len(pending) > 0 {
+		if err := c.runWorkers(pending, res); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.checkpoint(); err != nil {
+		return nil, err
+	}
+	for _, u := range c.Manifest.Units {
+		switch u.State {
+		case UnitDone:
+			res.Done++
+		case UnitFailed:
+			res.Failed++
+		}
+	}
+	if res.Failed > 0 {
+		res.Stats = res.Stats.Add(store.Stats())
+		return res, fmt.Errorf("sweep: %d of %d units failed; manifest checkpointed, rerun to retry",
+			res.Failed, len(c.Units))
+	}
+
+	// Merge: strictly sequential, index order, reading through the
+	// shared cache — the byte layout of the report depends only on the
+	// unit summaries, never on topology or timing.
+	if out != nil {
+		if err := c.merge(out, store); err != nil {
+			return nil, err
+		}
+	}
+	res.Stats = res.Stats.Add(store.Stats())
+	c.logf("sweep %s: campaign cache totals: %s", c.Manifest.Name, res.Stats)
+	return res, nil
+}
+
+// checkpoint saves the manifest when a path is configured.
+func (c *Coordinator) checkpoint() error {
+	if c.ManifestPath == "" {
+		return nil
+	}
+	return c.Manifest.Save(c.ManifestPath)
+}
+
+// runWorkers shards pending across the worker processes, launches them
+// concurrently, and folds their reports back into the manifest and the
+// aggregated stats.
+func (c *Coordinator) runWorkers(pending []int, res *Result) error {
+	procs := c.Procs
+	if procs < 1 {
+		procs = 1
+	}
+	if procs > len(pending) {
+		procs = len(pending)
+	}
+	// Workers read the manifest from disk, so spawning needs a saved
+	// copy even when the caller didn't ask for checkpoints.
+	manifestPath := c.ManifestPath
+	scratch, err := c.scratch()
+	if err != nil {
+		return err
+	}
+	if manifestPath == "" {
+		manifestPath = filepath.Join(scratch, "manifest.json")
+		if err := c.Manifest.Save(manifestPath); err != nil {
+			return err
+		}
+	}
+	assignments := Assign(pending, procs, c.Strategy)
+
+	type workerOutcome struct {
+		report *WorkerReport
+		err    error
+	}
+	outcomes := make([]workerOutcome, procs)
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		assignPath := filepath.Join(scratch, "assign-"+strconv.Itoa(w)+".json")
+		reportPath := filepath.Join(scratch, "report-"+strconv.Itoa(w)+".json")
+		os.Remove(reportPath)
+		a := &Assignment{
+			Schema:       AssignmentSchema,
+			ManifestPath: manifestPath,
+			CacheDir:     c.CacheDir,
+			Workers:      c.Workers,
+			Strategy:     c.Strategy,
+			Indices:      assignments[w],
+		}
+		if err := a.Save(assignPath); err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(w int, assignPath, reportPath string) {
+			defer wg.Done()
+			spawn := c.Spawn
+			if spawn == nil {
+				spawn = func(_ int, ap, rp string) error {
+					return ExecuteAssignment(ap, rp, WorkerEnv{Clock: c.Clock, Lease: c.Lease})
+				}
+			}
+			if err := spawn(w, assignPath, reportPath); err != nil {
+				outcomes[w].err = err
+			}
+			// Read whatever report exists even after an error: a
+			// worker killed mid-batch may still have checkpointed
+			// nothing, but one that failed late reports most units.
+			if r, lerr := LoadWorkerReport(reportPath); lerr == nil {
+				outcomes[w].report = r
+			}
+		}(w, assignPath, reportPath)
+	}
+	wg.Wait()
+
+	var spawnErr error
+	for w := 0; w < procs; w++ {
+		if outcomes[w].err != nil {
+			c.logf("sweep %s: worker %d: %v", c.Manifest.Name, w, outcomes[w].err)
+			if spawnErr == nil {
+				spawnErr = fmt.Errorf("sweep: worker %d: %w", w, outcomes[w].err)
+			}
+		}
+		r := outcomes[w].report
+		if r == nil {
+			continue
+		}
+		res.Stats = res.Stats.Add(r.Stats)
+		for j, i := range r.Indices {
+			if i < 0 || i >= len(c.Manifest.Units) {
+				continue
+			}
+			u := &c.Manifest.Units[i]
+			switch r.Results[j].State {
+			case UnitDone:
+				u.State = UnitDone
+				u.Err = ""
+			case UnitFailed:
+				// Don't let one worker's failure overwrite another's
+				// success on the same (stolen) unit.
+				if u.State != UnitDone {
+					u.State = UnitFailed
+					u.Err = r.Results[j].Err
+				}
+			}
+		}
+	}
+	if spawnErr != nil {
+		if err := c.checkpoint(); err != nil {
+			return err
+		}
+		return fmt.Errorf("%w (manifest checkpointed, rerun to resume)", spawnErr)
+	}
+	return nil
+}
+
+// merge runs the sequential reduction: every unit in index order, read
+// through the cache (a corrupt or evicted entry silently recomputes),
+// rendered into the deterministic report.
+func (c *Coordinator) merge(out io.Writer, store *cache.Store) error {
+	runner := sim.Runner{Store: store}
+	sums := make([]*sim.RunSummary, len(c.Units))
+	for i := range c.Units {
+		s, err := runner.Run(c.Units[i].Spec)
+		if err != nil {
+			return fmt.Errorf("sweep: merging unit %d (%s): %w", i, c.Units[i].Label, err)
+		}
+		sums[i] = s
+	}
+	return WriteReport(out, c.Manifest.Name, c.Units, sums)
+}
