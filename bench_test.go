@@ -478,6 +478,37 @@ func BenchmarkMesh16(b *testing.B) { benchMeshCycles(b, 16) }
 // BenchmarkMesh32 runs a 32×32 mesh (1024 routers) under load.
 func BenchmarkMesh32(b *testing.B) { benchMeshCycles(b, 32) }
 
+// BenchmarkMesh32_LowRate is the Monte Carlo lifetime-campaign regime:
+// a 32×32 mesh over a long window at an injection rate so low the
+// network is idle for most of it. This is where the event-horizon
+// engine's O(events) cost shows — geometric skip-sampling makes the
+// generator free on quiet cycles and RunUntil bulk-jumps the idle
+// spans — and the ff_ratio metric reports the fraction of simulated
+// cycles covered by fast-forward.
+func BenchmarkMesh32_LowRate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := noc.DefaultConfig()
+		cfg.Width, cfg.Height = 32, 32
+		gen, err := traffic.NewSynthetic(traffic.SyntheticConfig{
+			Pattern: traffic.Uniform, Width: 32, Height: 32,
+			Rate: 2e-6, PacketLen: 4, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(sim.RunConfig{
+			Net: cfg, PolicyName: "sensor-wise",
+			Warmup: 2_000, Measure: 500_000, Gen: gen,
+		}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(
+			float64(res.Net.FastForwardedCycles())/float64(res.Net.Cycle()), "ff_ratio")
+	}
+}
+
 // BenchmarkPolicyDecide measures one pre-VA decision of each policy.
 func BenchmarkPolicyDecide(b *testing.B) {
 	for _, tc := range []struct {

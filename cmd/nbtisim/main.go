@@ -127,6 +127,7 @@ func run(args []string, out io.Writer) (err error) {
 			JobsDone:   sim.MetricJobsDone,
 			JobsTotal:  sim.MetricJobsTotal,
 			SampleHeap: true,
+			Extra:      ffRatioExtra(metrics.Default()),
 		})
 		defer stop()
 	}
@@ -322,6 +323,21 @@ func run(args []string, out io.Writer) (err error) {
 		fmt.Fprintf(os.Stderr, "nbtisim: cache: %s\n", store.Stats())
 	}
 	return nil
+}
+
+// ffRatioExtra annotates the -v progress line with the fraction of
+// simulated cycles covered by event-horizon fast-forward. It stays
+// empty until the first bulk jump, so fully-busy runs keep the line
+// unchanged and runs without a registry cost nothing.
+func ffRatioExtra(r *metrics.Registry) func() string {
+	return func() string {
+		ff := r.CounterValue(noc.MetricCyclesFastForwarded)
+		cycles := r.CounterValue(noc.MetricCycles)
+		if ff == 0 || cycles == 0 {
+			return ""
+		}
+		return fmt.Sprintf("ff %.1f%%", 100*float64(ff)/float64(cycles))
+	}
 }
 
 // startProgress prints p to stderr every 2 seconds until the returned

@@ -36,6 +36,7 @@ import (
 	"os"
 	"os/exec"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -182,12 +183,18 @@ func run(args []string, out io.Writer) (err error) {
 				JobsTotal:  sweep.MetricUnitsTotal,
 				SampleHeap: true,
 				Extra: func() string {
+					var parts []string
+					if ff := r.CounterValue(noc.MetricCyclesFastForwarded); ff > 0 {
+						if cycles := r.CounterValue(noc.MetricCycles); cycles > 0 {
+							parts = append(parts, fmt.Sprintf("ff %.1f%%", 100*float64(ff)/float64(cycles)))
+						}
+					}
 					w := r.CounterValue(cache.MetricLeaseWaited)
 					s := r.CounterValue(cache.MetricLeaseTakeovers)
-					if w == 0 && s == 0 {
-						return ""
+					if w > 0 || s > 0 {
+						parts = append(parts, fmt.Sprintf("lease wait %d steal %d", w, s))
 					}
-					return fmt.Sprintf("lease wait %d steal %d", w, s)
+					return strings.Join(parts, " ")
 				},
 			})
 			defer stop()

@@ -1,0 +1,163 @@
+package noc
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// settleTestNet builds a small network, pushes one packet through it and
+// steps until the active sets drain, returning the idle network.
+func settleTestNet(t *testing.T) *Network {
+	t.Helper()
+	n, err := New(testConfig(2, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Inject(0, 3, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4096 && !n.Idle(); i++ {
+		n.Step()
+	}
+	if !n.Idle() {
+		t.Fatal("network never went idle")
+	}
+	return n
+}
+
+func agingJSON(t *testing.T, n *Network) string {
+	t.Helper()
+	b, err := json.Marshal(n.AgingSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// RunUntil over an idle network must be indistinguishable from stepping
+// every cycle: same cycle counter, same aging spans, same sensor state.
+func TestRunUntilMatchesStepByStep(t *testing.T) {
+	a := settleTestNet(t)
+	b := settleTestNet(t)
+	if a.Cycle() != b.Cycle() {
+		t.Fatalf("settle cycles differ: %d vs %d", a.Cycle(), b.Cycle())
+	}
+	// Span several sensor-sampling periods so sample cycles land mid-skip.
+	target := a.Cycle() + 5*a.Config().Sensor.SamplePeriod + 37
+	a.RunUntil(target)
+	for b.Cycle() < target {
+		b.Step()
+	}
+	if a.Cycle() != target || b.Cycle() != target {
+		t.Fatalf("cycles: RunUntil %d, Step loop %d, want %d", a.Cycle(), b.Cycle(), target)
+	}
+	if a.FastForwardedCycles() == 0 {
+		t.Error("RunUntil never fast-forwarded an idle network")
+	}
+	if b.FastForwardedCycles() != 0 {
+		t.Error("plain Step loop counted fast-forwarded cycles")
+	}
+	if ga, gb := agingJSON(t, a), agingJSON(t, b); ga != gb {
+		t.Errorf("aging state diverged:\n ff:  %s\n sbs: %s", ga, gb)
+	}
+	// Both networks must agree on every sensor designation too.
+	for _, port := range []Port{East, Local} {
+		if iu := a.Router(3).Input(port); iu == nil {
+			continue
+		}
+		if ma, mb := a.MostDegradedVC(3, port, 0), b.MostDegradedVC(3, port, 0); ma != mb {
+			t.Errorf("port %v: most-degraded %d vs %d", port, ma, mb)
+		}
+	}
+}
+
+// A jump must execute the sensor-sampling cycle as a real Step: the
+// clock lands exactly on nextSample, never beyond it.
+func TestRunUntilHonoursSampleCadence(t *testing.T) {
+	n := settleTestNet(t)
+	period := n.Config().Sensor.SamplePeriod
+	// Jump far past many sample boundaries; the per-VC NBTI trackers are
+	// flushed at each sample, so total tracked cycles must cover the whole
+	// span without gaps — the witness that no sample cycle was skipped.
+	start := n.Cycle()
+	target := start + 10*period
+	n.RunUntil(target)
+	if n.Cycle() != target {
+		t.Fatalf("cycle %d, want %d", n.Cycle(), target)
+	}
+	// Executed (non-skipped) steps are target-start-ff; at least the 10
+	// sample cycles in the span must have been stepped for real.
+	executed := (target - start) - n.FastForwardedCycles()
+	if executed < 10 {
+		t.Errorf("only %d real steps across 10 sample periods", executed)
+	}
+	st := n.AgingSnapshot()
+	if st.Cycle != target {
+		t.Errorf("aging snapshot at %d, want %d", st.Cycle, target)
+	}
+}
+
+// Waking exactly on nextSample: an injection scheduled for the very
+// cycle the sensor sweep runs must be processed normally afterwards.
+func TestRunUntilWakeOnSampleCycle(t *testing.T) {
+	n := settleTestNet(t)
+	period := n.Config().Sensor.SamplePeriod
+	// Land the clock exactly on a sample boundary.
+	target := (n.Cycle()/period + 3) * period
+	n.RunUntil(target)
+	if n.Cycle() != target {
+		t.Fatalf("cycle %d, want sample boundary %d", n.Cycle(), target)
+	}
+	if err := n.Inject(1, 2, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if n.Idle() {
+		t.Fatal("injection did not wake the NI")
+	}
+	before := n.TotalEjectedPackets()
+	for i := 0; i < 4096 && !n.Quiescent(); i++ {
+		n.Step()
+	}
+	if n.TotalEjectedPackets() != before+1 {
+		t.Errorf("packet injected on a sample boundary not delivered")
+	}
+}
+
+// Stalled() must not fire after a bulk jump: an idle span is not a
+// livelock, even though no flit moved for millions of cycles.
+func TestStalledAfterFastForward(t *testing.T) {
+	n := settleTestNet(t)
+	n.RunUntil(n.Cycle() + 2_000_000)
+	if n.Stalled(1000) {
+		t.Error("idle fast-forwarded network reported as stalled")
+	}
+	if n.StalledFor() > n.Config().Sensor.SamplePeriod+1 {
+		t.Errorf("StalledFor %d spans the jump; watchdog baseline not reset", n.StalledFor())
+	}
+	// And the watchdog still works: queue a packet into a livelocked
+	// situation is hard to fabricate here, but the accessor arithmetic
+	// must stay monotone after the jump.
+	c0 := n.StalledFor()
+	n.Step()
+	if got := n.StalledFor(); got != c0+1 {
+		t.Errorf("StalledFor after one idle step = %d, want %d", got, c0+1)
+	}
+}
+
+// RunUntil on a busy network degrades to plain stepping.
+func TestRunUntilBusyNetwork(t *testing.T) {
+	n, err := New(testConfig(2, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Inject(0, 3, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	n.RunUntil(50)
+	if n.Cycle() != 50 {
+		t.Fatalf("cycle %d, want 50", n.Cycle())
+	}
+	if n.TotalEjectedPackets() != 1 {
+		t.Errorf("packet not delivered while RunUntil drove a busy network")
+	}
+}

@@ -21,6 +21,10 @@ const (
 	// by the recovery policies, labeled policy=<name> and
 	// kind=gate|wake.
 	MetricGatingTransitions = "noc_gating_transitions_total"
+	// MetricCyclesFastForwarded counts simulated cycles covered by bulk
+	// fast-forward jumps (RunUntil) rather than executed Steps; the ratio
+	// to MetricCycles is the event-horizon engine's effectiveness.
+	MetricCyclesFastForwarded = "engine_cycles_fastforwarded_total"
 )
 
 // netMetrics are the per-network handles into the process registry,
@@ -31,6 +35,7 @@ const (
 // that this stays free.
 type netMetrics struct {
 	cycles         *metrics.Counter
+	ffCycles       *metrics.Counter
 	routersActive  *metrics.Counter
 	routersSkipped *metrics.Counter
 	nisActive      *metrics.Counter
@@ -47,7 +52,9 @@ func newNetMetrics() netMetrics {
 	steps := r.CounterVec(MetricUnitSteps,
 		"Per-cycle unit visits by the activity-gated engine.", "unit", "state")
 	return netMetrics{
-		cycles:         r.Counter(MetricCycles, "Simulated cycles executed."),
+		cycles: r.Counter(MetricCycles, "Simulated cycles executed."),
+		ffCycles: r.Counter(MetricCyclesFastForwarded,
+			"Simulated cycles covered by bulk fast-forward jumps."),
 		routersActive:  steps.With("router", "active"),
 		routersSkipped: steps.With("router", "skipped"),
 		nisActive:      steps.With("ni", "active"),

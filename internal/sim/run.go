@@ -36,6 +36,12 @@ type RunConfig struct {
 	RestoreAging *noc.AgingState
 	// Tracer, when non-nil, receives flit-level pipeline events.
 	Tracer noc.Tracer
+	// StepByStep disables event-horizon fast-forwarding, forcing the
+	// cycle-by-cycle loop. Results are identical either way (pinned by
+	// TestFastForwardMatchesStepByStep); the knob exists for that
+	// cross-check and for debugging, so it is deliberately NOT part of
+	// the cached Spec key.
+	StepByStep bool
 }
 
 // PortProbe identifies one observed input port, as in the paper's
@@ -137,7 +143,37 @@ func Run(rc RunConfig, probes []PortProbe) (*RunResult, error) {
 	sink := injectSink{net: net}
 	emit := sink.emit // bound once; no per-cycle or per-capture closure
 	total := rc.Warmup + rc.Measure
+	horizon, _ := rc.Gen.(traffic.EventHorizon)
+	if rc.StepByStep {
+		horizon = nil
+	}
 	for c := uint64(0); c < total; c++ {
+		// Event-horizon fast-forward: when the generator will provably
+		// not emit before cycle `next` and the network is idle, the
+		// iterations in between are no-ops (Tick emits nothing, Step
+		// touches nothing but the sensor cadence, which RunUntil honours)
+		// — so jump straight to the first eventful iteration. The jump is
+		// clamped to the warm-up edge so the statistics reset at
+		// c+1 == Warmup still runs in its own iteration, and to total-1 so
+		// the loop exits at the same cycle count as step-by-step mode.
+		// Closed-loop generators are safe without extra gating: an idle
+		// network delivers nothing, so no response can become due
+		// mid-jump.
+		if horizon != nil {
+			if next := horizon.NextEventCycle(c); next > c && net.Idle() {
+				limit := next
+				if limit > total-1 {
+					limit = total - 1
+				}
+				if c < rc.Warmup && limit > rc.Warmup-1 {
+					limit = rc.Warmup - 1
+				}
+				if limit > c {
+					net.RunUntil(limit)
+					c = limit
+				}
+			}
+		}
 		rc.Gen.Tick(c, emit)
 		net.Step()
 		if sink.err != nil {

@@ -354,7 +354,7 @@ func TestGoldenDeterminism(t *testing.T) {
 	p := res.Ports[0]
 	got := fmt.Sprintf("md=%d duty0=%.6f duty1=%.6f lat=%.6f ej=%d",
 		p.MostDegraded, p.Duty[0], p.Duty[1], res.AvgLatency, res.EjectedPackets)
-	const want = "md=1 duty0=25.240000 duty1=8.270000 lat=16.287711 ej=3994"
+	const want = "md=1 duty0=26.050000 duty1=7.880000 lat=16.388661 ej=4071"
 	if got != want {
 		t.Errorf("golden run changed:\n got  %s\n want %s", got, want)
 	}

@@ -1,0 +1,270 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"nbtinoc/internal/noc"
+	"nbtinoc/internal/rng"
+)
+
+// collectSkipping drives g via NextEventCycle, ticking only at cycles
+// the generator claims are eventful, up to the cycle limit.
+func collectSkipping(g Generator, cycles uint64) []Event {
+	h := g.(EventHorizon)
+	var out []Event
+	c := uint64(0)
+	for c < cycles {
+		next := h.NextEventCycle(c)
+		if next >= cycles || next == rng.Never {
+			return out
+		}
+		c = next
+		g.Tick(c, func(src, dst noc.NodeID, vnet, length int) {
+			out = append(out, Event{Cycle: c, Src: src, Dst: dst, VNet: vnet, Len: length})
+		})
+		c++
+	}
+	return out
+}
+
+func synCfg(seed uint64) SyntheticConfig {
+	return SyntheticConfig{
+		Pattern: Uniform, Width: 4, Height: 4, Rate: 0.1, PacketLen: 4, Seed: seed,
+	}
+}
+
+// The per-cycle Tick sweep and the NextEventCycle-driven skip schedule
+// must produce the identical event stream: fast-forwarding over cycles
+// the horizon declares eventless loses nothing.
+func TestSyntheticSkipEquivalence(t *testing.T) {
+	a, err := NewSynthetic(synCfg(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSynthetic(synCfg(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 20000
+	dense := collect(a, cycles)
+	sparse := collectSkipping(b, cycles)
+	if len(dense) != len(sparse) {
+		t.Fatalf("dense emitted %d events, skip-driven %d", len(dense), len(sparse))
+	}
+	for i := range dense {
+		if dense[i] != sparse[i] {
+			t.Fatalf("event %d differs: dense %+v vs skip %+v", i, dense[i], sparse[i])
+		}
+	}
+}
+
+// NextEventCycle must be a true horizon: no emissions strictly before
+// it, and it must not advance generator state when polled repeatedly.
+func TestSyntheticHorizonIsSound(t *testing.T) {
+	g, err := NewSynthetic(synCfg(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c uint64
+	for iter := 0; iter < 200; iter++ {
+		next := g.NextEventCycle(c)
+		if next < c {
+			t.Fatalf("horizon went backwards: NextEventCycle(%d) = %d", c, next)
+		}
+		if again := g.NextEventCycle(c); again != next {
+			t.Fatalf("polling advanced state: %d then %d", next, again)
+		}
+		// Ticking any cycle strictly before the horizon must emit nothing.
+		for probe := c; probe < next && probe < c+5; probe++ {
+			g.Tick(probe, func(src, dst noc.NodeID, vnet, length int) {
+				t.Fatalf("emission at %d before horizon %d", probe, next)
+			})
+		}
+		emitted := false
+		g.Tick(next, func(src, dst noc.NodeID, vnet, length int) { emitted = true })
+		// A horizon cycle may still emit nothing visible (self-addressed
+		// drop), so only the ordering is checked, not emission itself.
+		_ = emitted
+		c = next + 1
+	}
+}
+
+// Statistical equivalence with the Bernoulli process the paper
+// specifies: per-node packet-start counts over T cycles must match the
+// Binomial(T, rate/len) expectation, and per-node inter-arrival gaps
+// must have the geometric mean 1/p.
+func TestSyntheticStatisticalEquivalence(t *testing.T) {
+	cfg := synCfg(23)
+	g, err := NewSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 200000
+	p := cfg.Rate / float64(cfg.PacketLen)
+	n := cfg.Width * cfg.Height
+
+	// Count packet starts per node, including self-addressed drops: walk
+	// the arrival process directly so the Bernoulli comparison is exact.
+	starts := make([]int, n)
+	var gapSum float64
+	var gapCount int
+	for i := 0; i < n; i++ {
+		src := rng.NewStream(cfg.Seed, uint64(i))
+		c := src.Geometric(p) - 1
+		prev := int64(-1)
+		for c < cycles {
+			starts[i]++
+			if prev >= 0 {
+				gapSum += float64(int64(c) - prev)
+				gapCount++
+			}
+			prev = int64(c)
+			// Skip the destination draws the generator makes; gap
+			// statistics only need the arrival stream. Reproduce them so
+			// the stream position matches the real generator.
+			uniformDest(src, noc.NodeID(i), n)
+			c += src.Geometric(p)
+		}
+	}
+
+	want := float64(cycles) * p
+	sd := math.Sqrt(float64(cycles) * p * (1 - p))
+	for i, s := range starts {
+		if math.Abs(float64(s)-want) > 4*sd {
+			t.Errorf("node %d: %d starts, want %.0f +- %.0f (4 sigma)", i, s, want, 4*sd)
+		}
+	}
+	meanGap := gapSum / float64(gapCount)
+	// Mean inter-arrival of a Bernoulli(p) process is 1/p; allow 4 sigma
+	// of the pooled sample mean (gap SD is sqrt(1-p)/p).
+	tol := 4 * math.Sqrt(1-p) / p / math.Sqrt(float64(gapCount))
+	if math.Abs(meanGap-1/p) > tol {
+		t.Errorf("mean inter-arrival %.2f, want %.2f +- %.2f", meanGap, 1/p, tol)
+	}
+
+	// And the generator proper emits the same aggregate load.
+	events := collect(g, cycles)
+	flits := 0
+	for _, e := range events {
+		flits += e.Len
+	}
+	got := float64(flits) / float64(cycles) / float64(n)
+	if math.Abs(got-cfg.Rate) > 0.01 {
+		t.Errorf("offered load %.4f flits/cycle/node, want ~%.2f", got, cfg.Rate)
+	}
+}
+
+// Per-node streams must be pairwise distinct: two nodes of the same
+// generator never share an arrival schedule.
+func TestSyntheticPerNodeStreamsIndependent(t *testing.T) {
+	g, err := NewSynthetic(synCfg(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := collect(g, 50000)
+	perNode := make(map[noc.NodeID][]uint64)
+	for _, e := range events {
+		perNode[e.Src] = append(perNode[e.Src], e.Cycle)
+	}
+	if len(perNode) < 16 {
+		t.Fatalf("only %d/16 nodes emitted", len(perNode))
+	}
+	for a := noc.NodeID(0); a < 16; a++ {
+		for b := a + 1; b < 16; b++ {
+			ca, cb := perNode[a], perNode[b]
+			if len(ca) != len(cb) {
+				continue
+			}
+			same := true
+			for i := range ca {
+				if ca[i] != cb[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Errorf("nodes %d and %d share an identical arrival schedule", a, b)
+			}
+		}
+	}
+}
+
+// Zero-rate generators never emit and report Never.
+func TestSyntheticZeroRate(t *testing.T) {
+	cfg := synCfg(25)
+	cfg.Rate = 0
+	g, err := NewSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next := g.NextEventCycle(0); next != rng.Never {
+		t.Fatalf("zero-rate NextEventCycle = %d, want Never", next)
+	}
+	for c := uint64(0); c < 1000; c++ {
+		g.Tick(c, func(src, dst noc.NodeID, vnet, length int) {
+			t.Fatal("zero-rate generator emitted")
+		})
+	}
+}
+
+// ReqResp's request side follows the same skip-sampled process, and its
+// horizon folds in scheduled responses.
+func TestReqRespSkipEquivalenceAndHorizon(t *testing.T) {
+	mk := func() *ReqResp {
+		g, err := NewReqResp(DefaultReqResp(4, 4, 0.02, 31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := mk(), mk()
+	const cycles = 20000
+	dense := collect(a, cycles)
+	sparse := collectSkipping(b, cycles)
+	if len(dense) != len(sparse) {
+		t.Fatalf("dense emitted %d events, skip-driven %d", len(dense), len(sparse))
+	}
+	for i := range dense {
+		if dense[i] != sparse[i] {
+			t.Fatalf("event %d differs: dense %+v vs skip %+v", i, dense[i], sparse[i])
+		}
+	}
+
+	// A delivery schedules a response, and the horizon must surface it
+	// even when it precedes the next request arrival.
+	g := mk()
+	g.OnDeliver(2, 5, g.cfg.ReqVNet, 100)
+	due := uint64(100) + g.cfg.ServiceLatency
+	if next := g.NextEventCycle(due - 1); next > due {
+		t.Fatalf("horizon %d ignores pending response due at %d", next, due)
+	}
+	found := false
+	g.Tick(due, func(src, dst noc.NodeID, vnet, length int) {
+		if vnet == g.cfg.RespVNet && src == 5 && dst == 2 {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("due response not emitted at its horizon cycle")
+	}
+}
+
+// Replayer's horizon is exact: the next trace event's cycle.
+func TestReplayerHorizon(t *testing.T) {
+	r := NewReplayer([]Event{
+		{Cycle: 7, Src: 0, Dst: 1, Len: 4},
+		{Cycle: 40, Src: 1, Dst: 0, Len: 1},
+	})
+	if next := r.NextEventCycle(0); next != 7 {
+		t.Fatalf("NextEventCycle(0) = %d, want 7", next)
+	}
+	r.Tick(7, func(src, dst noc.NodeID, vnet, length int) {})
+	if next := r.NextEventCycle(8); next != 40 {
+		t.Fatalf("NextEventCycle(8) = %d, want 40", next)
+	}
+	r.Tick(40, func(src, dst noc.NodeID, vnet, length int) {})
+	if next := r.NextEventCycle(41); next != rng.Never {
+		t.Fatalf("exhausted replayer horizon = %d, want Never", next)
+	}
+}

@@ -32,9 +32,9 @@ func ExampleSynthetic() {
 	}
 	fmt.Println("pattern:", gen.Name())
 	// Output:
-	// packet 6 -> 9 (4 flits)
-	// packet 2 -> 8 (4 flits)
 	// packet 3 -> 12 (4 flits)
+	// packet 4 -> 1 (4 flits)
+	// packet 7 -> 13 (4 flits)
 	// pattern: transpose-inj1.00
 }
 

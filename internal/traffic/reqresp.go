@@ -81,10 +81,15 @@ type pendingResp struct {
 // ReqResp is the closed-loop request/response generator. It implements
 // both Generator (open-loop request side plus due-response emission)
 // and DeliveryListener (requests arriving at their destination schedule
-// responses).
+// responses). The request side is skip-sampled per node exactly like
+// Synthetic — geometric inter-arrival gaps on per-node rng streams — and
+// NextEventCycle folds in the earliest scheduled response, so the
+// generator also implements EventHorizon.
 type ReqResp struct {
 	cfg ReqRespConfig
-	src *rng.Source
+	// reqNodes/reqHeap mirror Synthetic's skip-sampled arrival state.
+	reqNodes []synNode
+	reqHeap  []int32
 	// pending is a FIFO of scheduled responses; ServiceLatency is
 	// constant so due times are naturally ordered.
 	pending []pendingResp
@@ -97,7 +102,51 @@ func NewReqResp(cfg ReqRespConfig) (*ReqResp, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &ReqResp{cfg: cfg, src: rng.New(cfg.Seed)}, nil
+	n := cfg.Width * cfg.Height
+	g := &ReqResp{
+		cfg:      cfg,
+		reqNodes: make([]synNode, n),
+		reqHeap:  make([]int32, n),
+	}
+	for i := range g.reqNodes {
+		nd := &g.reqNodes[i]
+		nd.src = *rng.NewStream(cfg.Seed, uint64(i))
+		if gap := nd.src.Geometric(cfg.Rate); gap == rng.Never {
+			nd.next = rng.Never
+		} else {
+			nd.next = gap - 1
+		}
+		g.reqHeap[i] = int32(i)
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		g.siftDown(i)
+	}
+	return g, nil
+}
+
+func (g *ReqResp) heapLess(a, b int32) bool {
+	na, nb := g.reqNodes[a].next, g.reqNodes[b].next
+	return na < nb || (na == nb && a < b)
+}
+
+func (g *ReqResp) siftDown(i int) {
+	h := g.reqHeap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && g.heapLess(h[r], h[l]) {
+			m = r
+		}
+		if !g.heapLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // Name implements Generator.
@@ -115,6 +164,19 @@ func (g *ReqResp) Responses() uint64 { return g.responses }
 // responses.
 func (g *ReqResp) PendingResponses() int { return len(g.pending) }
 
+// NextEventCycle implements EventHorizon: the earlier of the next due
+// response and the next skip-sampled request arrival.
+func (g *ReqResp) NextEventCycle(now uint64) uint64 {
+	next := g.reqNodes[g.reqHeap[0]].next
+	if len(g.pending) > 0 && g.pending[0].due < next {
+		next = g.pending[0].due
+	}
+	if next < now {
+		return now
+	}
+	return next
+}
+
 // Tick implements Generator: emit due responses first, then new
 // requests.
 func (g *ReqResp) Tick(cycle uint64, emit Emit) {
@@ -125,17 +187,19 @@ func (g *ReqResp) Tick(cycle uint64, emit Emit) {
 		emit(p.src, p.dst, g.cfg.RespVNet, g.cfg.RespLen)
 		g.responses++
 	}
-	nodes := g.cfg.Width * g.cfg.Height
-	for node := 0; node < nodes; node++ {
-		if !g.src.Bool(g.cfg.Rate) {
-			continue
+	for {
+		i := g.reqHeap[0]
+		nd := &g.reqNodes[i]
+		if nd.next > cycle {
+			return
 		}
-		dst := g.dest(noc.NodeID(node))
-		if dst == noc.NodeID(node) {
-			continue
+		dst := g.dest(noc.NodeID(i), &nd.src)
+		if dst != noc.NodeID(i) {
+			emit(noc.NodeID(i), dst, g.cfg.ReqVNet, g.cfg.ReqLen)
+			g.requests++
 		}
-		emit(noc.NodeID(node), dst, g.cfg.ReqVNet, g.cfg.ReqLen)
-		g.requests++
+		nd.next = satAdd(nd.next, nd.src.Geometric(g.cfg.Rate))
+		g.siftDown(0)
 	}
 }
 
@@ -152,8 +216,9 @@ func (g *ReqResp) OnDeliver(src, dst noc.NodeID, vnet int, cycle uint64) {
 	})
 }
 
-// dest picks a request target using the configured pattern.
-func (g *ReqResp) dest(src noc.NodeID) noc.NodeID {
+// dest picks a request target using the configured pattern, drawing any
+// randomness from the requesting node's own stream.
+func (g *ReqResp) dest(src noc.NodeID, r *rng.Source) noc.NodeID {
 	n := g.cfg.Width * g.cfg.Height
 	switch g.cfg.Pattern {
 	case Neighbor:
@@ -163,10 +228,6 @@ func (g *ReqResp) dest(src noc.NodeID) noc.NodeID {
 	case Hotspot:
 		return 0
 	default:
-		d := g.src.Intn(n - 1)
-		if d >= int(src) {
-			d++
-		}
-		return noc.NodeID(d)
+		return uniformDest(r, src, n)
 	}
 }

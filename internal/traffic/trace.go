@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"nbtinoc/internal/noc"
+	"nbtinoc/internal/rng"
 )
 
 // Event is one packet injection in a recorded trace.
@@ -94,6 +95,18 @@ func (r *Replayer) Done() bool { return r.idx >= len(r.events) }
 // Remaining returns the number of events not yet replayed.
 func (r *Replayer) Remaining() int { return len(r.events) - r.idx }
 
+// NextEventCycle implements EventHorizon: a trace knows its next
+// emission exactly.
+func (r *Replayer) NextEventCycle(now uint64) uint64 {
+	if r.idx >= len(r.events) {
+		return rng.Never
+	}
+	if c := r.events[r.idx].Cycle; c > now {
+		return c
+	}
+	return now
+}
+
 // Tick implements Generator: all events stamped with the given cycle are
 // emitted. Events whose cycle has already passed (e.g. when the replay
 // starts mid-trace) are emitted immediately rather than dropped.
@@ -117,6 +130,17 @@ func NewRecorder(g Generator) *Recorder { return &Recorder{inner: g} }
 
 // Name implements Generator.
 func (r *Recorder) Name() string { return r.inner.Name() + "+record" }
+
+// NextEventCycle implements EventHorizon when the wrapped generator
+// does; recording adds no events of its own. If the inner generator has
+// no horizon, the Recorder reports "next cycle", conservatively
+// disabling fast-forward.
+func (r *Recorder) NextEventCycle(now uint64) uint64 {
+	if h, ok := r.inner.(EventHorizon); ok {
+		return h.NextEventCycle(now)
+	}
+	return now
+}
 
 // Tick implements Generator.
 func (r *Recorder) Tick(cycle uint64, emit Emit) {

@@ -31,9 +31,23 @@ type Emit func(src, dst noc.NodeID, vnet, length int)
 type Generator interface {
 	// Name identifies the workload in reports.
 	Name() string
-	// Tick emits the packets to be injected at the given cycle. It is
-	// called exactly once per cycle, in increasing cycle order.
+	// Tick emits the packets to be injected at the given cycle. Calls
+	// must be in strictly increasing cycle order, but cycles may be
+	// skipped: a generator that also implements EventHorizon promises
+	// the skipped cycles were eventless, and one that does not simply
+	// emits any overdue packets at the cycle it is next ticked.
 	Tick(cycle uint64, emit Emit)
+}
+
+// EventHorizon is implemented by generators that know, without
+// simulating the cycles in between, the next cycle at which they will
+// emit a packet. The engine uses it to fast-forward simulated time over
+// provably eventless spans.
+type EventHorizon interface {
+	// NextEventCycle returns the earliest cycle >= now at which the
+	// generator may emit, or rng.Never if it will never emit again.
+	// It must not advance generator state.
+	NextEventCycle(now uint64) uint64
 }
 
 // Pattern is a synthetic spatial traffic pattern.
@@ -143,9 +157,28 @@ func (c SyntheticConfig) Validate() error {
 }
 
 // Synthetic is a Bernoulli-injection synthetic traffic generator.
+//
+// Each node runs an independent per-node RNG stream (rng.NewStream keyed
+// by (Seed, node)) and is skip-sampled: instead of a Bernoulli(p) draw
+// every cycle, the node draws geometric inter-arrival gaps, so Tick costs
+// O(packets emitted) rather than O(nodes) and NextEventCycle exposes the
+// first upcoming injection to the engine's fast-forward path. The two
+// formulations describe the identical arrival process (see rng.Geometric),
+// but the draw sequence differs, so changing between them is an
+// EngineVersion bump.
 type Synthetic struct {
-	cfg SyntheticConfig
-	src *rng.Source
+	cfg   SyntheticConfig
+	prob  float64 // per-cycle packet-start probability, Rate/PacketLen
+	nodes []synNode
+	// heap holds every node index as a binary min-heap ordered by
+	// (nodes[i].next, i); the deterministic tie-break keeps same-cycle
+	// emissions in ascending node order, matching the old per-cycle sweep.
+	heap []int32
+}
+
+type synNode struct {
+	src  rng.Source
+	next uint64 // absolute cycle of this node's next packet start
 }
 
 // NewSynthetic builds a generator, validating the configuration.
@@ -153,7 +186,29 @@ func NewSynthetic(cfg SyntheticConfig) (*Synthetic, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Synthetic{cfg: cfg, src: rng.New(cfg.Seed)}, nil
+	n := cfg.Width * cfg.Height
+	g := &Synthetic{
+		cfg:   cfg,
+		prob:  cfg.Rate / float64(cfg.PacketLen),
+		nodes: make([]synNode, n),
+		heap:  make([]int32, n),
+	}
+	for i := range g.nodes {
+		nd := &g.nodes[i]
+		nd.src = *rng.NewStream(cfg.Seed, uint64(i))
+		// The first success of a Bernoulli process whose first trial is at
+		// cycle 0 lands at cycle G-1.
+		if gap := nd.src.Geometric(g.prob); gap == rng.Never {
+			nd.next = rng.Never
+		} else {
+			nd.next = gap - 1
+		}
+		g.heap[i] = int32(i)
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		g.siftDown(i)
+	}
+	return g, nil
 }
 
 // Name implements Generator.
@@ -161,25 +216,72 @@ func (g *Synthetic) Name() string {
 	return fmt.Sprintf("%v-inj%.2f", g.cfg.Pattern, g.cfg.Rate)
 }
 
-// Tick implements Generator: each node independently starts a packet
-// with probability rate/packetLen per cycle.
+// NextEventCycle implements EventHorizon.
+func (g *Synthetic) NextEventCycle(now uint64) uint64 {
+	next := g.nodes[g.heap[0]].next
+	if next < now {
+		return now
+	}
+	return next
+}
+
+// Tick implements Generator: pops every node whose next arrival is due,
+// in deterministic (cycle, node) order.
 func (g *Synthetic) Tick(cycle uint64, emit Emit) {
-	nodes := g.cfg.Width * g.cfg.Height
-	p := g.cfg.Rate / float64(g.cfg.PacketLen)
-	for node := 0; node < nodes; node++ {
-		if !g.src.Bool(p) {
-			continue
+	for {
+		i := g.heap[0]
+		nd := &g.nodes[i]
+		if nd.next > cycle {
+			return
 		}
-		dst := g.destination(noc.NodeID(node), cycle)
-		if dst == noc.NodeID(node) {
-			continue // self-addressed slots are dropped, as is customary
+		dst := g.destination(noc.NodeID(i), cycle, &nd.src)
+		if dst != noc.NodeID(i) { // self-addressed slots are dropped, as is customary
+			emit(noc.NodeID(i), dst, g.cfg.VNet, g.cfg.PacketLen)
 		}
-		emit(noc.NodeID(node), dst, g.cfg.VNet, g.cfg.PacketLen)
+		// Reschedule relative to the due cycle, not the tick cycle, so the
+		// arrival process is independent of when the engine polls.
+		nd.next = satAdd(nd.next, nd.src.Geometric(g.prob))
+		g.siftDown(0)
 	}
 }
 
-// destination applies the spatial pattern for a packet from src.
-func (g *Synthetic) destination(src noc.NodeID, cycle uint64) noc.NodeID {
+// satAdd returns a+b, saturating at rng.Never.
+func satAdd(a, b uint64) uint64 {
+	s := a + b
+	if s < a {
+		return rng.Never
+	}
+	return s
+}
+
+func (g *Synthetic) heapLess(a, b int32) bool {
+	na, nb := g.nodes[a].next, g.nodes[b].next
+	return na < nb || (na == nb && a < b)
+}
+
+func (g *Synthetic) siftDown(i int) {
+	h := g.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && g.heapLess(h[r], h[l]) {
+			m = r
+		}
+		if !g.heapLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// destination applies the spatial pattern for a packet from src, drawing
+// any randomness from the emitting node's own stream.
+func (g *Synthetic) destination(src noc.NodeID, cycle uint64, r *rng.Source) noc.NodeID {
 	w, h := g.cfg.Width, g.cfg.Height
 	n := w * h
 	switch g.cfg.Pattern {
@@ -203,17 +305,17 @@ func (g *Synthetic) destination(src noc.NodeID, cycle uint64) noc.NodeID {
 		c.X = (c.X + 1) % w
 		return c.NodeOf(w)
 	case Hotspot:
-		if g.src.Bool(g.cfg.HotspotFraction) {
+		if r.Bool(g.cfg.HotspotFraction) {
 			return g.cfg.HotspotNode
 		}
-		return g.uniformDest(src, n)
+		return uniformDest(r, src, n)
 	default: // Uniform
-		return g.uniformDest(src, n)
+		return uniformDest(r, src, n)
 	}
 }
 
-func (g *Synthetic) uniformDest(src noc.NodeID, n int) noc.NodeID {
-	d := g.src.Intn(n - 1)
+func uniformDest(r *rng.Source, src noc.NodeID, n int) noc.NodeID {
+	d := r.Intn(n - 1)
 	if d >= int(src) {
 		d++
 	}

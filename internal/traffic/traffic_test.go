@@ -96,32 +96,36 @@ func TestPatternDestinations(t *testing.T) {
 		}
 		return g
 	}
+	dest := func(p Pattern, src noc.NodeID) noc.NodeID {
+		g := mk(p)
+		return g.destination(src, 0, &g.nodes[int(src)].src)
+	}
 	// Transpose: node (1,0)=1 -> (0,1)=4.
-	if d := mk(Transpose).destination(1, 0); d != 4 {
+	if d := dest(Transpose, 1); d != 4 {
 		t.Errorf("transpose(1) = %d, want 4", d)
 	}
 	// Bit complement on 16 nodes: 0b0001 -> 0b1110.
-	if d := mk(BitComplement).destination(1, 0); d != 14 {
+	if d := dest(BitComplement, 1); d != 14 {
 		t.Errorf("bit-complement(1) = %d, want 14", d)
 	}
 	// Bit reverse: 0b0001 -> 0b1000.
-	if d := mk(BitReverse).destination(1, 0); d != 8 {
+	if d := dest(BitReverse, 1); d != 8 {
 		t.Errorf("bit-reverse(1) = %d, want 8", d)
 	}
 	// Shuffle: rotate left: 0b1001 -> 0b0011.
-	if d := mk(Shuffle).destination(9, 0); d != 3 {
+	if d := dest(Shuffle, 9); d != 3 {
 		t.Errorf("shuffle(9) = %d, want 3", d)
 	}
 	// Tornado on width 4: x -> x+1 mod 4.
-	if d := mk(Tornado).destination(0, 0); d != 1 {
+	if d := dest(Tornado, 0); d != 1 {
 		t.Errorf("tornado(0) = %d, want 1", d)
 	}
 	// Neighbor: (0,0) -> (1,0).
-	if d := mk(Neighbor).destination(0, 0); d != 1 {
+	if d := dest(Neighbor, 0); d != 1 {
 		t.Errorf("neighbor(0) = %d, want 1", d)
 	}
 	// Hotspot with fraction 1 always hits the hotspot.
-	if d := mk(Hotspot).destination(0, 0); d != 5 {
+	if d := dest(Hotspot, 0); d != 5 {
 		t.Errorf("hotspot(0) = %d, want 5", d)
 	}
 }
@@ -378,7 +382,7 @@ func TestQuickPatternsInMesh(t *testing.T) {
 			return false
 		}
 		for src := 0; src < 16; src++ {
-			d := g.destination(noc.NodeID(src), 0)
+			d := g.destination(noc.NodeID(src), 0, &g.nodes[src].src)
 			if int(d) < 0 || int(d) >= 16 {
 				return false
 			}
