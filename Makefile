@@ -18,7 +18,10 @@ SEC_TOL ?= 40
 # current total so coverage can only erode deliberately.
 COVER_MIN ?= 0
 
-.PHONY: all build test test-race test-debug vet lint bench bench-check tables tables-quick examples fuzz cover clean clean-cache
+# SERVE_ADDR is where `make serve` binds the simulation daemon.
+SERVE_ADDR ?= 127.0.0.1:8310
+
+.PHONY: all build test test-race test-debug vet lint bench bench-check tables tables-quick examples fuzz cover serve clean clean-cache
 
 all: build vet lint test test-race
 
@@ -79,6 +82,13 @@ examples:
 fuzz:
 	$(GO) test -fuzz=FuzzReadTrace -fuzztime=30s ./internal/traffic
 
+# Build and run the simulation service locally (SIGINT/SIGTERM drains).
+# Author request bodies with `nbtisim -emit-spec`, then:
+#   curl -d @spec.json http://$(SERVE_ADDR)/jobs
+serve:
+	$(GO) build -o bin/nbtisimd ./cmd/nbtisimd
+	bin/nbtisimd -addr $(SERVE_ADDR) -cache-dir .nbticache -v
+
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/...
 	@$(GO) tool cover -func=cover.out | tail -1
@@ -89,7 +99,8 @@ cover:
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt cold.txt warm.txt /tmp/bench_check.json
-	rm -rf bin
+	rm -f spec.json ref.json got.json nbtisimd.log
+	rm -rf bin svc-cache
 
 # The result cache survives a plain `clean` so local stores persist;
 # clean-cache drops the repo-local store explicitly.

@@ -92,6 +92,7 @@ func run(args []string, out io.Writer) (err error) {
 		cacheMode = fs.String("cache", "rw", "result cache mode: off, ro or rw")
 		cacheDir  = fs.String("cache-dir", "", "result cache directory (default: user cache dir)")
 		sweepOut  = fs.String("sweep-manifest", "", "record every cached scenario into a sweep manifest at this path (replayable with nbtisweep)")
+		emitSpec  = fs.Bool("emit-spec", false, "print the declarative spec JSON for each scenario and exit without simulating (submittable to nbtisimd)")
 		verbose   = fs.Bool("v", false, "print result-cache statistics to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -188,6 +189,29 @@ func run(args []string, out io.Writer) (err error) {
 	// trace generator) cannot be served from the result cache.
 	live := *allPorts || *heatmap || *traceIn != "" ||
 		*agingIn != "" || *agingOut != "" || *flitLog != ""
+	// -emit-spec turns the CLI into a spec authoring tool: the same
+	// flag vocabulary, but the output is the declarative request body
+	// the nbtisimd daemon accepts instead of a simulation result.
+	if *emitSpec {
+		if live {
+			return fmt.Errorf("-emit-spec serialises declarative specs and cannot combine with live modes (-all-ports, -heatmap, -trace, -aging-in/-out, -flit-trace)")
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		for _, scen := range scens {
+			spec, err := scen.Spec([]sim.PortProbe{probe})
+			if err != nil {
+				return err
+			}
+			if spec.Net.Routing, err = noc.ParseRouting(*routing); err != nil {
+				return err
+			}
+			if err := enc.Encode(spec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	store, err := openCache("nbtisim", *cacheMode, *cacheDir)
 	if err != nil {
 		return err
@@ -510,59 +534,9 @@ func renderAllPorts(out io.Writer, res *sim.RunResult) error {
 	return nil
 }
 
+// render forwards to the shared summary renderer (internal/sim), the
+// same code path the nbtisimd result endpoint serves — which is what
+// makes the daemon-vs-CLI byte comparison in CI exact.
 func render(out io.Writer, format string, res *sim.RunSummary) error {
-	switch format {
-	case "json":
-		enc := json.NewEncoder(out)
-		enc.SetIndent("", "  ")
-		return enc.Encode(struct {
-			Policy, Workload  string
-			Cycles            uint64
-			Probe             string
-			MostDegradedVC    int
-			DutyCycle         []float64
-			Vth0              []float64
-			AvgLatency        float64
-			Throughput        float64
-			Injected, Ejected uint64
-		}{
-			res.Policy, res.Workload, res.Cycles,
-			res.Ports[0].Probe.Label(), res.Ports[0].MostDegraded,
-			res.Ports[0].Duty, res.Ports[0].Vth0,
-			res.AvgLatency, res.Throughput,
-			res.InjectedPackets, res.EjectedPackets,
-		})
-	case "csv":
-		fmt.Fprintln(out, "policy,workload,probe,vc,duty_pct,vth0,most_degraded")
-		p := res.Ports[0]
-		for vc, d := range p.Duty {
-			md := 0
-			if vc == p.MostDegraded {
-				md = 1
-			}
-			fmt.Fprintf(out, "%s,%s,%s,%d,%.4f,%.6f,%d\n",
-				res.Policy, res.Workload, p.Probe.Label(), vc, d, p.Vth0[vc], md)
-		}
-		return nil
-	case "text":
-		p := res.Ports[0]
-		fmt.Fprintf(out, "policy      %s\n", res.Policy)
-		fmt.Fprintf(out, "workload    %s\n", res.Workload)
-		fmt.Fprintf(out, "cycles      %d measured\n", res.Cycles)
-		fmt.Fprintf(out, "probe       %s (most degraded VC: %d)\n", p.Probe.Label(), p.MostDegraded)
-		for vc, d := range p.Duty {
-			marker := " "
-			if vc == p.MostDegraded {
-				marker = "*"
-			}
-			fmt.Fprintf(out, "  VC%d%s  duty %6.2f%%  busy %6.2f%%  Vth0 %.4f V\n",
-				vc, marker, d, p.Busy[vc], p.Vth0[vc])
-		}
-		fmt.Fprintf(out, "latency     %.2f cycles avg\n", res.AvgLatency)
-		fmt.Fprintf(out, "throughput  %.4f flits/cycle/node\n", res.Throughput)
-		fmt.Fprintf(out, "packets     %d injected, %d ejected\n", res.InjectedPackets, res.EjectedPackets)
-		return nil
-	default:
-		return fmt.Errorf("unknown format %q", format)
-	}
+	return res.Render(out, format)
 }

@@ -1,0 +1,154 @@
+// Command nbtisimd is the long-running simulation service: an
+// HTTP/JSON daemon that accepts declarative sim.Spec submissions
+// (author them with nbtisim -emit-spec), queues them on a bounded
+// priority queue, executes them through a bounded worker pool, and
+// dedups identical work through the content-addressed result cache —
+// a million identical submissions cost one simulation.
+//
+//	nbtisimd -addr 127.0.0.1:8310 -j 4 -cache-dir /var/cache/nbtinoc
+//
+// SIGTERM/SIGINT drains gracefully: new submissions get 503, every
+// accepted job finishes, then the process exits. See the README
+// "Simulation service" section for the API.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nbtinoc/internal/cache"
+	"nbtinoc/internal/metrics"
+	"nbtinoc/internal/prof"
+	"nbtinoc/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nbtisimd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nbtisimd", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8310", "listen address (host:port; :0 picks a free port)")
+		jobs        = fs.Int("j", 0, "simulation workers: 0 = one per core")
+		queueCap    = fs.Int("queue", service.DefaultQueueCap, "job queue capacity (submissions beyond it get 429)")
+		clientLimit = fs.Int("client-limit", 64, "max queued+running jobs per client (X-Client-ID header or remote host); 0 = unlimited")
+		jobTimeout  = fs.Duration("job-timeout", 0, "fail jobs still running after this long (0 = no timeout)")
+		cacheMode   = fs.String("cache", "rw", "result cache mode: off, ro or rw")
+		cacheDir    = fs.String("cache-dir", "", "result cache directory (default: user cache dir)")
+		verbose     = fs.Bool("v", false, "log job completions and print cache statistics on exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// The daemon always carries a live registry: /metrics is part of
+	// the service API, not an opt-in like the CLI's -metrics-addr.
+	metrics.SetDefault(metrics.New())
+	defer metrics.SetDefault(nil)
+
+	store, err := openCache("nbtisimd", *cacheMode, *cacheDir)
+	if err != nil {
+		return err
+	}
+	warnf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "nbtisimd: "+format+"\n", a...)
+	}
+	cfg := service.Config{
+		Store:        store,
+		Workers:      *jobs,
+		QueueCap:     *queueCap,
+		ClientLimit:  *clientLimit,
+		JobTimeoutNS: int64(*jobTimeout),
+		Debug:        prof.HTTPHandler(),
+	}
+	if *verbose {
+		cfg.Warnf = warnf
+	}
+	// internal/service never touches the time package (determinism
+	// lint); the binary owns the wall clock and hands it in, the same
+	// seam the cache lease policy uses.
+	//nbtilint:allow wallclock service boundary: job timestamps and timeouts are operational concerns of the daemon, injected so internal/service stays deterministic
+	cfg.Clock = func() int64 { return time.Now().UnixNano() }
+	cfg.After = func(ns int64) <-chan struct{} {
+		c := make(chan struct{})
+		//nbtilint:allow wallclock service boundary: per-job timeout timer, injected into internal/service
+		time.AfterFunc(time.Duration(ns), func() { close(c) })
+		return c
+	}
+
+	srv, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address line is the startup handshake: tests and
+	// scripts using -addr :0 parse the port from it.
+	fmt.Fprintf(out, "nbtisimd: listening on http://%s\n", ln.Addr())
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		return err
+	case got := <-sig:
+		fmt.Fprintf(out, "nbtisimd: %v: draining (in-flight jobs finish, new submissions get 503)\n", got)
+	}
+	// Drain first so /healthz and /jobs report the draining state while
+	// accepted jobs finish; only then stop the HTTP listener.
+	srv.Drain()
+	if err := hs.Shutdown(context.Background()); err != nil {
+		return err
+	}
+	if *verbose && store != nil {
+		fmt.Fprintf(os.Stderr, "nbtisimd: cache: %+v\n", store.Stats())
+	}
+	fmt.Fprintln(out, "nbtisimd: drained, bye")
+	return nil
+}
+
+// openCache mirrors the nbtisim CLI helper: same modes, same default
+// directory, so a daemon and CLI runs dedup against each other through
+// the lease files when they share a cache directory.
+func openCache(prog, mode, dir string) (*cache.Store, error) {
+	m, err := cache.ParseMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	if m == cache.Off {
+		return nil, nil
+	}
+	if dir == "" {
+		dir = cache.DefaultDir()
+	}
+	st := cache.Open(dir, m)
+	//nbtilint:allow wallclock display-only: compute durations are recorded in cache entries so later hits can report wall-clock time saved; they never feed simulator state or outputs
+	st.Clock = func() int64 { return time.Now().UnixNano() }
+	if m == cache.ReadWrite {
+		//nbtilint:allow wallclock display-only: lease waiters sleep between polls; cache contents and rendered output are independent of any timing
+		st.Lease = cache.DefaultLeasePolicy(func(ns int64) { time.Sleep(time.Duration(ns)) })
+	}
+	st.Warnf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, prog+": cache: "+format+"\n", args...)
+	}
+	return st, nil
+}

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"nbtinoc/internal/noc"
+	"nbtinoc/internal/service"
+	"nbtinoc/internal/sim"
+)
+
+func quickSpec() sim.Spec {
+	cfg := noc.DefaultConfig()
+	cfg.Width, cfg.Height = 2, 2
+	cfg.VCsPerVNet = 2
+	return sim.Spec{
+		Net:     cfg,
+		Policy:  sim.PolicySpec{Name: "sensor-wise"},
+		Gen:     sim.GenSpec{Kind: "synthetic", Pattern: "uniform", Width: 2, Height: 2, Rate: 0.1, PacketLen: 4, Seed: 9},
+		Warmup:  200,
+		Measure: 2_000,
+		Probes:  []sim.PortProbe{{Node: 0, Port: noc.East}},
+	}
+}
+
+// startDaemon runs the daemon in-process on a free port and returns
+// its base URL, a line channel with its remaining output, and the
+// channel run's error arrives on after a signal.
+func startDaemon(t *testing.T, extra ...string) (base string, lines <-chan string, done <-chan error) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	errc := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-cache-dir", t.TempDir(), "-j", "2"}, extra...)
+	go func() {
+		err := run(args, pw)
+		pw.Close()
+		errc <- err
+	}()
+	sc := bufio.NewScanner(pr)
+	if !sc.Scan() {
+		t.Fatalf("daemon produced no startup line (run error: %v)", <-errc)
+	}
+	first := sc.Text()
+	const marker = "listening on "
+	i := strings.Index(first, marker)
+	if i < 0 {
+		t.Fatalf("startup line %q lacks %q", first, marker)
+	}
+	base = strings.TrimSpace(first[i+len(marker):])
+	rest := make(chan string, 64)
+	go func() {
+		defer close(rest)
+		for sc.Scan() {
+			rest <- sc.Text()
+		}
+	}()
+	return base, rest, errc
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	base, lines, done := startDaemon(t)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	spec := quickSpec()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d (%+v)", resp.StatusCode, view)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for view.State != service.StateDone && view.State != service.StateFailed {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", view.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		r, err := http.Get(base + "/jobs/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	if view.State != service.StateDone {
+		t.Fatalf("job failed: %s", view.Error)
+	}
+
+	// The daemon's JSON report must be byte-identical to the CLI's
+	// (both call the shared sim renderer on the same summary).
+	r, err := http.Get(base + "/jobs/" + view.ID + "/result?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d %v", r.StatusCode, err)
+	}
+	sum, err := spec.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := sum.Render(&want, "json"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("daemon result differs from the CLI renderer:\n--- daemon ---\n%s--- cli ---\n%s", got, want.Bytes())
+	}
+
+	// A second submission of the same spec dedups at the job layer —
+	// and the store's miss counter proves only one simulation ran.
+	resp, err = http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit: %d, want 200 (dedup)", resp.StatusCode)
+	}
+	var stats struct {
+		Store struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"store"`
+	}
+	r, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(r.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if stats.Store.Misses != 1 {
+		t.Errorf("store misses = %d after resubmit, want 1 (exactly one simulation)", stats.Store.Misses)
+	}
+
+	// SIGTERM drains: run returns nil and says goodbye.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	var tail []string
+	for line := range lines {
+		tail = append(tail, line)
+	}
+	out := strings.Join(tail, "\n")
+	if !strings.Contains(out, "draining") || !strings.Contains(out, "drained, bye") {
+		t.Errorf("drain output:\n%s", out)
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, io.Discard); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-cache", "sideways"}, io.Discard); err == nil {
+		t.Error("bad cache mode accepted")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:bad"}, io.Discard); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import "net/http"
+
+// HTTP server instrumentation for the simulation service: a per-route
+// request counter labelled with the response code, and an in-flight
+// gauge. Instruments follow the registry's nil-receiver contract, so a
+// server built without a registry pays only a nil check per request.
+
+// Metric names exported by HTTPMetrics.
+const (
+	MetricHTTPRequests = "http_requests_total"
+	MetricHTTPInFlight = "http_requests_in_flight"
+)
+
+// HTTPMetrics instruments HTTP handlers. The zero value is inert.
+type HTTPMetrics struct {
+	requests *CounterVec
+	inflight *Gauge
+}
+
+// NewHTTPMetrics resolves the HTTP instruments against the current
+// default registry (nil registry means inert instruments, like every
+// other construction-time resolution in this package).
+func NewHTTPMetrics() HTTPMetrics {
+	r := Default()
+	return HTTPMetrics{
+		requests: r.CounterVec(MetricHTTPRequests, "HTTP requests served, by route and status code.", "route", "code"),
+		inflight: r.Gauge(MetricHTTPInFlight, "HTTP requests currently being served."),
+	}
+}
+
+// statusWriter captures the response code a handler writes; implicit
+// 200s (a body written without WriteHeader) are recorded as 200.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// Wrap instruments a handler under a fixed route label (the registered
+// pattern, not the raw URL, so label cardinality stays bounded).
+func (m HTTPMetrics) Wrap(route string, h http.Handler) http.Handler {
+	if m.requests == nil && m.inflight == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.inflight.Inc()
+		defer m.inflight.Dec()
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		m.requests.With(route, itoa(sw.code)).Inc()
+	})
+}
+
+// itoa formats the small positive integers status codes are, without
+// pulling strconv into the hot path for a handful of distinct values.
+func itoa(n int) string {
+	if n <= 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

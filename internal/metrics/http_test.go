@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHTTPMetricsWrap(t *testing.T) {
+	r := New()
+	SetDefault(r)
+	defer SetDefault(nil)
+	m := NewHTTPMetrics()
+
+	ok := m.Wrap("GET /ok", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("hi")) // implicit 200
+	}))
+	missing := m.Wrap("GET /missing", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusNotFound)
+	}))
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		ok.ServeHTTP(rec, httptest.NewRequest("GET", "/ok", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d", rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	missing.ServeHTTP(rec, httptest.NewRequest("GET", "/missing", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d", rec.Code)
+	}
+
+	if got := r.CounterValue(MetricHTTPRequests); got != 4 {
+		t.Errorf("total requests = %d, want 4", got)
+	}
+	snap := r.Snapshot()
+	var found bool
+	for _, f := range snap.Families {
+		if f.Name != MetricHTTPRequests {
+			continue
+		}
+		for _, c := range f.Metrics {
+			if len(c.LabelValues) == 2 && c.LabelValues[0] == "GET /ok" && c.LabelValues[1] == "200" {
+				found = true
+				if *c.Counter != 3 {
+					t.Errorf("GET /ok 200 = %d, want 3", *c.Counter)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no route/code child for GET /ok 200")
+	}
+	if got := r.GaugeValue(MetricHTTPInFlight); got != 0 {
+		t.Errorf("in-flight gauge settled at %d, want 0", got)
+	}
+}
+
+// TestHTTPMetricsInert: without a registry the middleware is a
+// pass-through, not a panic.
+func TestHTTPMetricsInert(t *testing.T) {
+	SetDefault(nil)
+	m := NewHTTPMetrics()
+	h := m.Wrap("GET /", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status %d", rec.Code)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for _, c := range []struct {
+		n    int
+		want string
+	}{{200, "200"}, {404, "404"}, {0, "0"}, {-5, "0"}, {7, "7"}} {
+		if got := itoa(c.n); got != c.want {
+			t.Errorf("itoa(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}

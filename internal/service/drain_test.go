@@ -1,0 +1,207 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"nbtinoc/internal/sim"
+)
+
+// TestDrainFinishesAcceptedWork is the SIGTERM contract: drain rejects
+// new submissions with 503 while every job accepted before the drain —
+// running or still queued — completes.
+func TestDrainFinishesAcceptedWork(t *testing.T) {
+	release := make(chan struct{})
+	srv := newTestServer(t, func(cfg *Config) { cfg.Workers = 1 })
+	inner := srv.runJob
+	srv.runJob = func(spec sim.Spec) (*sim.RunSummary, bool, error) {
+		<-release
+		return inner(spec)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// Two distinct specs on one worker: the first runs (blocked on
+	// release), the second waits in the queue.
+	specA, specB := testSpec(21), testSpec(22)
+	for _, spec := range []sim.Spec{specA, specB} {
+		if resp, data := postSpec(t, ts.Client(), ts.URL, spec, nil); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: %d %s", resp.StatusCode, data)
+		}
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		srv.Drain()
+		close(drained)
+	}()
+	waitUntil(t, srv.Draining)
+
+	// New submissions bounce with 503 and a machine-readable body.
+	resp, data := postSpec(t, ts.Client(), ts.URL, testSpec(23), nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: status %d", resp.StatusCode)
+	}
+	var body errorBody
+	if err := json.Unmarshal(data, &body); err != nil || body.Code != "draining" {
+		t.Errorf("draining body: %s (%v)", data, err)
+	}
+	if resp := getJSON(t, ts.Client(), ts.URL+"/healthz", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: %d", resp.StatusCode)
+	}
+
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a job was still in flight")
+	default:
+	}
+	close(release)
+	select {
+	case <-drained:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Drain did not return after jobs were released")
+	}
+	for _, spec := range []sim.Spec{specA, specB} {
+		id, _ := sim.SpecKey(spec)
+		var view JobView
+		getJSON(t, ts.Client(), ts.URL+"/jobs/"+id, &view)
+		if view.State != StateDone {
+			t.Errorf("accepted job %s drained as %s: %s", id[:8], view.State, view.Error)
+		}
+	}
+}
+
+// waitUntil polls a condition that a background goroutine flips.
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestQueueFullBackpressure: submissions beyond the queue capacity get
+// 429 with the queue_full code and a Retry-After hint.
+func TestQueueFullBackpressure(t *testing.T) {
+	srv := newTestServer(t, func(cfg *Config) { cfg.QueueCap = 1 })
+	// Workers never started: the queued job cannot drain.
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	if resp, data := postSpec(t, ts.Client(), ts.URL, testSpec(31), nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d %s", resp.StatusCode, data)
+	}
+	resp, data := postSpec(t, ts.Client(), ts.URL, testSpec(32), nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap submit: status %d, body %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var body errorBody
+	if err := json.Unmarshal(data, &body); err != nil {
+		t.Fatalf("429 body is not JSON: %s", data)
+	}
+	if body.Code != "queue_full" || body.Error == "" {
+		t.Errorf("429 body: %+v", body)
+	}
+	// Resubmitting the queued spec still dedups rather than bouncing:
+	// the job exists, no new queue slot is needed.
+	if resp, _ := postSpec(t, ts.Client(), ts.URL, testSpec(31), nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("dedup against full queue: status %d", resp.StatusCode)
+	}
+}
+
+// TestClientLimitBackpressure: a client over its in-flight budget gets
+// 429 client_limit, while other clients are unaffected.
+func TestClientLimitBackpressure(t *testing.T) {
+	srv := newTestServer(t, func(cfg *Config) { cfg.ClientLimit = 1 })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	alice := map[string]string{"X-Client-ID": "alice"}
+	if resp, data := postSpec(t, ts.Client(), ts.URL, testSpec(41), alice); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d %s", resp.StatusCode, data)
+	}
+	resp, data := postSpec(t, ts.Client(), ts.URL, testSpec(42), alice)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit submit: status %d, body %s", resp.StatusCode, data)
+	}
+	var body errorBody
+	if err := json.Unmarshal(data, &body); err != nil || body.Code != "client_limit" {
+		t.Errorf("429 body: %s (%v)", data, err)
+	}
+	// A different client still has budget.
+	if resp, data := postSpec(t, ts.Client(), ts.URL, testSpec(42), map[string]string{"X-Client-ID": "bob"}); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("other client: %d %s", resp.StatusCode, data)
+	}
+	// Alice resubmitting her own queued spec dedups, costing no slot.
+	if resp, _ := postSpec(t, ts.Client(), ts.URL, testSpec(41), alice); resp.StatusCode != http.StatusOK {
+		t.Errorf("dedup under client limit: status %d", resp.StatusCode)
+	}
+}
+
+// TestJobTimeout: a job exceeding the injected timeout fails with a
+// timeout error and releases its client slot; the orphaned computation
+// finishing later must not resurrect the job.
+func TestJobTimeout(t *testing.T) {
+	fire := make(chan struct{})
+	block := make(chan struct{})
+	srv := newTestServer(t, func(cfg *Config) {
+		cfg.Workers = 1
+		cfg.ClientLimit = 1
+		cfg.JobTimeoutNS = int64(time.Second) // value irrelevant: After is stubbed
+		cfg.After = func(int64) <-chan struct{} { return fire }
+	})
+	srv.runJob = func(spec sim.Spec) (*sim.RunSummary, bool, error) {
+		<-block
+		return &sim.RunSummary{}, false, nil
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		// Release the orphaned computations (the execute goroutines
+		// park on a buffered channel, so they exit on their own), then
+		// drain the workers.
+		close(block)
+		srv.Drain()
+	})
+
+	alice := map[string]string{"X-Client-ID": "alice"}
+	spec := testSpec(51)
+	if resp, data := postSpec(t, ts.Client(), ts.URL, spec, alice); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	id, _ := sim.SpecKey(spec)
+	// Let the worker pick the job up, then fire the timeout.
+	waitUntil(t, func() bool {
+		var view JobView
+		getJSON(t, ts.Client(), ts.URL+"/jobs/"+id, &view)
+		return view.State == StateRunning
+	})
+	close(fire)
+	final := pollDone(t, ts.Client(), ts.URL, id)
+	if final.State != StateFailed {
+		t.Fatalf("timed-out job finished as %s", final.State)
+	}
+	if final.Error == "" {
+		t.Error("timed-out job carries no error")
+	}
+	var body errorBody
+	if resp := getJSON(t, ts.Client(), ts.URL+"/jobs/"+id+"/result", &body); resp.StatusCode != http.StatusConflict || body.Code != "job_failed" {
+		t.Errorf("result of failed job: %d %+v", resp.StatusCode, body)
+	}
+	// The failure released alice's slot: a fresh spec fits her
+	// one-job budget again.
+	if resp, data := postSpec(t, ts.Client(), ts.URL, testSpec(52), alice); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("post-timeout submit: %d %s", resp.StatusCode, data)
+	}
+}

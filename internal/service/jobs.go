@@ -1,0 +1,203 @@
+package service
+
+import (
+	"sync"
+
+	"nbtinoc/internal/sim"
+)
+
+// JobState is a job's position in its lifecycle.
+type JobState string
+
+// Job lifecycle states. Queued jobs wait for a worker, running jobs
+// occupy one, and done/failed are terminal.
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// Job is one submitted simulation. The identity fields (id, spec,
+// priority, client, seq) are immutable after submit; the lifecycle
+// fields are guarded by the owning jobStore's lock.
+type Job struct {
+	id       string
+	spec     sim.Spec
+	priority int
+	client   string
+	seq      uint64
+
+	state       JobState
+	cached      bool
+	submissions int
+	err         string
+	submittedNS int64
+	startedNS   int64
+	finishedNS  int64
+	sum         *sim.RunSummary
+}
+
+// JobView is the wire representation of a job: everything a polling
+// client needs to decide whether to fetch the result.
+type JobView struct {
+	ID       string   `json:"id"`
+	State    JobState `json:"state"`
+	Priority int      `json:"priority"`
+	// Cached reports whether the summary was served from the result
+	// cache rather than computed — the dedup evidence.
+	Cached bool `json:"cached"`
+	// Submissions counts how many POSTs collapsed into this job.
+	Submissions int    `json:"submissions"`
+	SubmittedNS int64  `json:"submitted_ns"`
+	StartedNS   int64  `json:"started_ns,omitempty"`
+	FinishedNS  int64  `json:"finished_ns,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+func (j *Job) viewLocked() JobView {
+	return JobView{
+		ID:          j.id,
+		State:       j.state,
+		Priority:    j.priority,
+		Cached:      j.cached,
+		Submissions: j.submissions,
+		SubmittedNS: j.submittedNS,
+		StartedNS:   j.startedNS,
+		FinishedNS:  j.finishedNS,
+		Error:       j.err,
+	}
+}
+
+// jobStore owns every job the server has accepted, keyed by the spec's
+// content address — which is exactly what makes submission dedup work:
+// two identical specs share a key, therefore a job, therefore a single
+// simulation.
+type jobStore struct {
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []*Job         // submission order, for stable listings
+	clients map[string]int // in-flight (queued+running) jobs per client
+	seq     uint64
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{
+		jobs:    make(map[string]*Job),
+		clients: make(map[string]int),
+	}
+}
+
+// submit registers a submission for the given spec key, collapsing it
+// into an existing job when one is already known. The dedup check, the
+// per-client limit, the job creation and the queue push all happen
+// under one lock so two racing identical submissions cannot both
+// create a job (lock order: store.mu, then queue.mu inside push).
+func (s *jobStore) submit(q *jobQueue, key string, spec sim.Spec, priority int, client string, limit int, nowNS int64) (j *Job, created bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[key]; ok {
+		j.submissions++
+		return j, false, nil
+	}
+	if limit > 0 && s.clients[client] >= limit {
+		return nil, false, ErrClientLimit
+	}
+	s.seq++
+	j = &Job{
+		id:          key,
+		spec:        spec,
+		priority:    priority,
+		client:      client,
+		seq:         s.seq,
+		state:       StateQueued,
+		submissions: 1,
+		submittedNS: nowNS,
+	}
+	if err := q.push(j); err != nil {
+		return nil, false, err
+	}
+	s.jobs[key] = j
+	s.order = append(s.order, j)
+	s.clients[client]++
+	return j, true, nil
+}
+
+// start transitions a job to running when a worker picks it up.
+func (s *jobStore) start(j *Job, nowNS int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.state = StateRunning
+	j.startedNS = nowNS
+}
+
+// finish records a job's outcome and releases its client slot. It is
+// idempotent: a timed-out job whose orphaned computation completes
+// later must not overwrite the recorded failure (or decrement the
+// client count twice).
+func (s *jobStore) finish(j *Job, sum *sim.RunSummary, cached bool, jerr error, nowNS int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state == StateDone || j.state == StateFailed {
+		return
+	}
+	j.finishedNS = nowNS
+	if jerr != nil {
+		j.state = StateFailed
+		j.err = jerr.Error()
+	} else {
+		j.state = StateDone
+		j.sum = sum
+		j.cached = cached
+	}
+	if n := s.clients[j.client] - 1; n > 0 {
+		s.clients[j.client] = n
+	} else {
+		delete(s.clients, j.client)
+	}
+}
+
+// get returns the job for a spec key (which doubles as the job id).
+func (s *jobStore) get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// view snapshots one job.
+func (s *jobStore) view(j *Job) JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.viewLocked()
+}
+
+// result returns a done job's summary. The boolean distinguishes
+// "not finished yet" from "finished without a summary" for the caller.
+func (s *jobStore) result(j *Job) (*sim.RunSummary, JobView) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.sum, j.viewLocked()
+}
+
+// list snapshots every job in submission order.
+func (s *jobStore) list() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	views := make([]JobView, len(s.order))
+	for i, j := range s.order {
+		views[i] = j.viewLocked()
+	}
+	return views
+}
+
+// counts tallies jobs by state for the stats endpoint.
+func (s *jobStore) counts() map[JobState]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := make(map[JobState]int, 4)
+	for _, j := range s.order {
+		c[j.state]++
+	}
+	return c
+}

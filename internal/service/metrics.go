@@ -1,0 +1,58 @@
+package service
+
+import "nbtinoc/internal/metrics"
+
+// Service metric names, under the registry's usual snake_case scheme.
+const (
+	MetricSubmissions = "service_submissions_total"
+	MetricDeduped     = "service_submissions_deduped_total"
+	MetricRejected    = "service_rejected_total"
+	MetricJobsStarted = "service_jobs_started_total"
+	MetricJobsDone    = "service_jobs_done_total"
+	MetricJobsFailed  = "service_jobs_failed_total"
+	MetricJobTimeouts = "service_job_timeouts_total"
+	MetricQueueDepth  = "service_queue_depth"
+)
+
+// serviceMetrics holds the instruments, resolved once at construction
+// against the then-current default registry (nil registry: all inert).
+type serviceMetrics struct {
+	submissions *metrics.Counter
+	deduped     *metrics.Counter
+	rejected    *metrics.CounterVec
+	rejectFull  *metrics.Counter
+	rejectLimit *metrics.Counter
+	rejectDrain *metrics.Counter
+	started     *metrics.Counter
+	done        *metrics.Counter
+	failed      *metrics.Counter
+	timeouts    *metrics.Counter
+	queueDepth  *metrics.Gauge
+	http        metrics.HTTPMetrics
+}
+
+func newServiceMetrics() serviceMetrics {
+	r := metrics.Default()
+	rejected := r.CounterVec(MetricRejected, "Submissions rejected, by reason.", "reason")
+	return serviceMetrics{
+		submissions: r.Counter(MetricSubmissions, "Spec submissions accepted (including dedup hits)."),
+		deduped:     r.Counter(MetricDeduped, "Submissions collapsed into an existing job."),
+		rejected:    rejected,
+		rejectFull:  rejected.With("queue_full"),
+		rejectLimit: rejected.With("client_limit"),
+		rejectDrain: rejected.With("draining"),
+		started:     r.Counter(MetricJobsStarted, "Jobs picked up by a worker."),
+		done:        r.Counter(MetricJobsDone, "Jobs finished successfully."),
+		failed:      r.Counter(MetricJobsFailed, "Jobs finished with an error."),
+		timeouts:    r.Counter(MetricJobTimeouts, "Jobs failed by the per-job timeout."),
+		queueDepth:  r.Gauge(MetricQueueDepth, "Jobs currently queued."),
+		http:        metrics.NewHTTPMetrics(),
+	}
+}
+
+// registryView pins the registry the /metrics endpoints serve to the
+// one current at construction, so a later SetDefault cannot swap the
+// exposition away from the instruments the server actually increments.
+type registryView struct{ r *metrics.Registry }
+
+func currentRegistry() registryView { return registryView{r: metrics.Default()} }

@@ -1,0 +1,116 @@
+package service
+
+import "sync"
+
+// jobQueue is a bounded priority queue: higher-priority jobs first,
+// FIFO (by submission sequence) within a priority. It is a hand-rolled
+// binary heap rather than container/heap so the blocking pop and the
+// closed/drain protocol live next to the ordering they guard.
+type jobQueue struct {
+	mu     sync.Mutex
+	nonEmp *sync.Cond
+	heap   []*Job
+	cap    int
+	closed bool
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	q := &jobQueue{cap: capacity}
+	q.nonEmp = sync.NewCond(&q.mu)
+	return q
+}
+
+// before orders the heap: higher priority wins, ties resolved by
+// submission order so equal-priority jobs stay FIFO.
+func (a *Job) before(b *Job) bool {
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	return a.seq < b.seq
+}
+
+// push enqueues a job. It fails with ErrDraining once the queue is
+// closed and ErrQueueFull at capacity — the two backpressure signals
+// the HTTP layer translates to 503 and 429.
+func (q *jobQueue) push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if q.cap > 0 && len(q.heap) >= q.cap {
+		return ErrQueueFull
+	}
+	q.heap = append(q.heap, j)
+	q.up(len(q.heap) - 1)
+	q.nonEmp.Signal()
+	return nil
+}
+
+// pop blocks until a job is available or the queue is closed and
+// empty. Close-with-backlog still hands out the queued jobs: drain
+// means "finish what was accepted", not "abandon it".
+func (q *jobQueue) pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.heap) == 0 {
+		if q.closed {
+			return nil, false
+		}
+		q.nonEmp.Wait()
+	}
+	j := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return j, true
+}
+
+// close stops accepting pushes and wakes every blocked pop so workers
+// can drain the backlog and exit.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.nonEmp.Broadcast()
+}
+
+// depth reports the number of queued jobs.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+func (q *jobQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.heap[i].before(q.heap[parent]) {
+			return
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *jobQueue) down(i int) {
+	n := len(q.heap)
+	for {
+		best := i
+		if l := 2*i + 1; l < n && q.heap[l].before(q.heap[best]) {
+			best = l
+		}
+		if r := 2*i + 2; r < n && q.heap[r].before(q.heap[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		q.heap[i], q.heap[best] = q.heap[best], q.heap[i]
+		i = best
+	}
+}

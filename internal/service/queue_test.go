@@ -1,0 +1,72 @@
+package service
+
+import "testing"
+
+func qjob(seq uint64, priority int) *Job {
+	return &Job{id: "j", seq: seq, priority: priority}
+}
+
+func TestQueuePriorityThenFIFO(t *testing.T) {
+	q := newJobQueue(16)
+	// Interleave priorities; within a priority, seq order must hold.
+	for _, j := range []*Job{qjob(1, 0), qjob(2, 5), qjob(3, 0), qjob(4, 5), qjob(5, -1)} {
+		if err := q.push(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []uint64{2, 4, 1, 3, 5}
+	for i, w := range want {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatalf("pop %d: queue unexpectedly closed", i)
+		}
+		if j.seq != w {
+			t.Fatalf("pop %d: got seq %d, want %d", i, j.seq, w)
+		}
+	}
+}
+
+func TestQueueFullAndClosed(t *testing.T) {
+	q := newJobQueue(2)
+	if err := q.push(qjob(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(qjob(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(qjob(3, 0)); err != ErrQueueFull {
+		t.Fatalf("push beyond cap: got %v, want ErrQueueFull", err)
+	}
+	if d := q.depth(); d != 2 {
+		t.Fatalf("depth = %d, want 2", d)
+	}
+	q.close()
+	if err := q.push(qjob(4, 0)); err != ErrDraining {
+		t.Fatalf("push after close: got %v, want ErrDraining", err)
+	}
+	// Close with a backlog still hands out the accepted jobs before
+	// reporting exhaustion: drain completes accepted work.
+	for i := 0; i < 2; i++ {
+		if _, ok := q.pop(); !ok {
+			t.Fatalf("pop %d after close: backlog abandoned", i)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on closed empty queue reported a job")
+	}
+}
+
+func TestQueuePopBlocksUntilPush(t *testing.T) {
+	q := newJobQueue(4)
+	got := make(chan *Job, 1)
+	go func() {
+		j, _ := q.pop()
+		got <- j
+	}()
+	if err := q.push(qjob(7, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if j := <-got; j.seq != 7 {
+		t.Fatalf("blocked pop returned seq %d, want 7", j.seq)
+	}
+}

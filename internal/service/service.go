@@ -1,0 +1,222 @@
+// Package service implements the nbtisimd simulation daemon: an
+// HTTP/JSON front door over the declarative sim.Spec layer, with the
+// content-addressed result cache as the dedup layer.
+//
+// The design hinges on one identity decision: a job's id IS its spec's
+// content address (sim.SpecKey). Identical submissions therefore
+// collapse into one job before any simulation starts, the in-process
+// single-flight in cache.Store collapses concurrent computes of the
+// same key, and the cross-process lease files collapse work between a
+// daemon and any CLI sharing its cache directory — three dedup layers,
+// one key.
+//
+// Jobs flow through a bounded priority queue into a fixed sim.Pool of
+// workers. Backpressure is explicit: a full queue or a client over its
+// in-flight limit gets 429, a draining server 503. Drain (SIGTERM in
+// cmd/nbtisimd) closes the queue, finishes every accepted job, then
+// lets the process exit — accepted work is never abandoned.
+//
+// The package never reads the wall clock: Config.Clock and
+// Config.After are injected by the binary, the same seam
+// cache.LeasePolicy uses, so the simulation libraries stay
+// deterministic and nbtilint-clean and tests control time completely.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"nbtinoc/internal/cache"
+	"nbtinoc/internal/sim"
+)
+
+// Backpressure and lifecycle sentinels, translated to HTTP statuses by
+// the handlers (429, 429, 503 respectively).
+var (
+	// ErrQueueFull reports a submission bouncing off the bounded queue.
+	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrClientLimit reports a client exceeding its in-flight job limit.
+	ErrClientLimit = errors.New("service: client in-flight job limit reached")
+	// ErrDraining reports a submission arriving after drain started.
+	ErrDraining = errors.New("service: server is draining")
+)
+
+// DefaultQueueCap bounds the job queue when Config.QueueCap is zero.
+const DefaultQueueCap = 256
+
+// Config assembles a Server. Store and Clock are required.
+type Config struct {
+	// Store is the content-addressed result cache; its mode decides
+	// whether results persist across restarts (rw) or live only in the
+	// job store (off).
+	Store *cache.Store
+	// Workers sizes the simulation pool; <=0 means GOMAXPROCS.
+	Workers int
+	// QueueCap bounds the job queue; <=0 means DefaultQueueCap.
+	QueueCap int
+	// ClientLimit caps queued+running jobs per client id; <=0 means
+	// unlimited.
+	ClientLimit int
+	// JobTimeoutNS fails jobs still running after this long; <=0 means
+	// no timeout. Requires After.
+	JobTimeoutNS int64
+	// Clock returns the current wall time in Unix nanoseconds. The
+	// service never calls the time package itself (see package doc).
+	Clock func() int64
+	// After returns a channel that closes once the given number of
+	// nanoseconds has elapsed. Required only when JobTimeoutNS > 0.
+	After func(ns int64) <-chan struct{}
+	// Debug, when non-nil, is mounted at /debug/ (prof.HTTPHandler).
+	Debug http.Handler
+	// Warnf, when non-nil, receives operational warnings.
+	Warnf func(format string, args ...any)
+}
+
+// Server is the simulation service: job store, queue, worker pool and
+// HTTP handlers. Create with New, start the workers with Start, serve
+// Handler, stop with Drain.
+type Server struct {
+	cfg   Config
+	store *jobStore
+	queue *jobQueue
+	met   serviceMetrics
+	reg   registryView
+
+	// runJob executes one spec; defaults to the cache-backed
+	// sim.Runner. Tests substitute it to control execution timing.
+	runJob func(sim.Spec) (*sim.RunSummary, bool, error)
+
+	draining  chanFlag
+	done      chan struct{}
+	startOnce sync.Once
+}
+
+// chanFlag is a set-once boolean readable without a lock.
+type chanFlag struct {
+	once sync.Once
+	c    chan struct{}
+}
+
+func (f *chanFlag) set() { f.once.Do(func() { close(f.c) }) }
+func (f *chanFlag) isSet() bool {
+	select {
+	case <-f.c:
+		return true
+	default:
+		return false
+	}
+}
+
+// New builds a Server from the config. It does not start the workers;
+// call Start (tests that only exercise submission skip it).
+func New(cfg Config) (*Server, error) {
+	if cfg.Clock == nil {
+		return nil, errors.New("service: Config.Clock is required (inject the wall clock; see package doc)")
+	}
+	if cfg.JobTimeoutNS > 0 && cfg.After == nil {
+		return nil, errors.New("service: Config.After is required when JobTimeoutNS is set")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	s := &Server{
+		cfg:      cfg,
+		store:    newJobStore(),
+		queue:    newJobQueue(cfg.QueueCap),
+		met:      newServiceMetrics(),
+		reg:      currentRegistry(),
+		draining: chanFlag{c: make(chan struct{})},
+		done:     make(chan struct{}),
+	}
+	runner := sim.Runner{Store: cfg.Store}
+	s.runJob = runner.RunJob
+	return s, nil
+}
+
+// Start launches the worker pool. Safe to call once; Handler works
+// before Start (submissions queue up).
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		go func() {
+			defer close(s.done)
+			// Each pool worker drains the queue until close-and-empty.
+			// Pool.Run returns only when every worker exits, which is
+			// exactly the drain barrier Drain waits on.
+			_ = sim.Pool{Workers: s.cfg.Workers}.Run(s.cfg.Workers, func(int) error {
+				for {
+					j, ok := s.queue.pop()
+					if !ok {
+						return nil
+					}
+					s.execute(j)
+				}
+			})
+		}()
+	})
+}
+
+// Drain stops accepting submissions, lets every accepted job finish,
+// and returns once the workers have exited. Idempotent.
+func (s *Server) Drain() {
+	s.draining.set()
+	s.queue.close()
+	<-s.done
+}
+
+// Draining reports whether drain has started.
+func (s *Server) Draining() bool { return s.draining.isSet() }
+
+// execute runs one job on a pool worker, racing it against the
+// configured timeout when one is set.
+func (s *Server) execute(j *Job) {
+	s.store.start(j, s.cfg.Clock())
+	s.met.started.Inc()
+	if s.cfg.JobTimeoutNS <= 0 {
+		sum, cached, err := s.runJob(j.spec)
+		s.finish(j, sum, cached, err)
+		return
+	}
+	type outcome struct {
+		sum    *sim.RunSummary
+		cached bool
+		err    error
+	}
+	// Buffered so a timed-out computation can still deposit its result
+	// and let the goroutine exit; jobStore.finish being idempotent makes
+	// the late write harmless.
+	ch := make(chan outcome, 1)
+	go func() {
+		sum, cached, err := s.runJob(j.spec)
+		ch <- outcome{sum, cached, err}
+	}()
+	select {
+	case o := <-ch:
+		s.finish(j, o.sum, o.cached, o.err)
+	case <-s.cfg.After(s.cfg.JobTimeoutNS):
+		s.met.timeouts.Inc()
+		s.finish(j, nil, false, fmt.Errorf("service: job timed out after %dns", s.cfg.JobTimeoutNS))
+	}
+}
+
+func (s *Server) finish(j *Job, sum *sim.RunSummary, cached bool, err error) {
+	s.store.finish(j, sum, cached, err, s.cfg.Clock())
+	if err != nil {
+		s.met.failed.Inc()
+		s.warnf("job %s failed: %v", j.id, err)
+	} else {
+		s.met.done.Inc()
+	}
+	s.met.queueDepth.Set(int64(s.queue.depth()))
+}
+
+func (s *Server) warnf(format string, args ...any) {
+	if s.cfg.Warnf != nil {
+		s.cfg.Warnf(format, args...)
+	}
+}

@@ -261,6 +261,27 @@ func (r Runner) Run(spec Spec) (*RunSummary, error) {
 	return &sum, nil
 }
 
+// RunJob is the job-level entry the simulation service is built on:
+// validate the spec (returning the field-tagged SpecErrors report worth
+// serialising over HTTP), execute it through the cache, and report
+// whether the summary was served from the store — the flag a job view
+// exposes as dedup evidence. Any Record hook already installed on the
+// runner still fires.
+func (r Runner) RunJob(spec Spec) (sum *RunSummary, cached bool, err error) {
+	if err := spec.Validate(); err != nil {
+		return nil, false, err
+	}
+	prev := r.Record
+	r.Record = func(sp Spec, key string, c bool) {
+		cached = c
+		if prev != nil {
+			prev(sp, key, c)
+		}
+	}
+	sum, err = r.Run(spec)
+	return sum, cached, err
+}
+
 // TryRun is the non-blocking variant of Run for work-stealing sweeps:
 // it never waits on another process's lease. It returns done=false
 // (and a nil summary) when the spec's key is being computed elsewhere

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Summary renderers, shared verbatim by cmd/nbtisim and the nbtisimd
+// result endpoint: the daemon's GET /jobs/<id>/result and the CLI's
+// -format output come from the same functions, which is what makes the
+// service-e2e byte-comparison between the two meaningful.
+
+// RenderFormats lists the formats Render accepts.
+func RenderFormats() []string { return []string{"text", "csv", "json"} }
+
+// Render writes the summary's single-probe report in the given format
+// (text, csv or json). It requires at least one port reading — the
+// probe-less perf-only summaries have nothing to put in the per-VC
+// rows; serialise those as raw JSON instead.
+func (s *RunSummary) Render(w io.Writer, format string) error {
+	if len(s.Ports) == 0 {
+		return errors.New("sim: summary has no port readings to render (run with at least one probe)")
+	}
+	switch format {
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Policy, Workload  string
+			Cycles            uint64
+			Probe             string
+			MostDegradedVC    int
+			DutyCycle         []float64
+			Vth0              []float64
+			AvgLatency        float64
+			Throughput        float64
+			Injected, Ejected uint64
+		}{
+			s.Policy, s.Workload, s.Cycles,
+			s.Ports[0].Probe.Label(), s.Ports[0].MostDegraded,
+			s.Ports[0].Duty, s.Ports[0].Vth0,
+			s.AvgLatency, s.Throughput,
+			s.InjectedPackets, s.EjectedPackets,
+		})
+	case "csv":
+		fmt.Fprintln(w, "policy,workload,probe,vc,duty_pct,vth0,most_degraded")
+		p := s.Ports[0]
+		for vc, d := range p.Duty {
+			md := 0
+			if vc == p.MostDegraded {
+				md = 1
+			}
+			fmt.Fprintf(w, "%s,%s,%s,%d,%.4f,%.6f,%d\n",
+				s.Policy, s.Workload, p.Probe.Label(), vc, d, p.Vth0[vc], md)
+		}
+		return nil
+	case "text":
+		p := s.Ports[0]
+		fmt.Fprintf(w, "policy      %s\n", s.Policy)
+		fmt.Fprintf(w, "workload    %s\n", s.Workload)
+		fmt.Fprintf(w, "cycles      %d measured\n", s.Cycles)
+		fmt.Fprintf(w, "probe       %s (most degraded VC: %d)\n", p.Probe.Label(), p.MostDegraded)
+		for vc, d := range p.Duty {
+			marker := " "
+			if vc == p.MostDegraded {
+				marker = "*"
+			}
+			fmt.Fprintf(w, "  VC%d%s  duty %6.2f%%  busy %6.2f%%  Vth0 %.4f V\n",
+				vc, marker, d, p.Busy[vc], p.Vth0[vc])
+		}
+		fmt.Fprintf(w, "latency     %.2f cycles avg\n", s.AvgLatency)
+		fmt.Fprintf(w, "throughput  %.4f flits/cycle/node\n", s.Throughput)
+		fmt.Fprintf(w, "packets     %d injected, %d ejected\n", s.InjectedPackets, s.EjectedPackets)
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}

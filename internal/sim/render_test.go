@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRenderFormats(t *testing.T) {
+	sum, err := quickSpec().Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range RenderFormats() {
+		var buf bytes.Buffer
+		if err := sum.Render(&buf, format); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s: empty output", format)
+		}
+		switch format {
+		case "json":
+			var decoded map[string]any
+			if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+				t.Errorf("json output does not parse: %v", err)
+			}
+			if _, ok := decoded["DutyCycle"]; !ok {
+				t.Error("json output lacks DutyCycle")
+			}
+		case "csv":
+			if !strings.HasPrefix(buf.String(), "policy,workload,probe,vc,duty_pct,vth0,most_degraded\n") {
+				t.Errorf("csv header: %q", buf.String())
+			}
+		case "text":
+			if !strings.Contains(buf.String(), "throughput") {
+				t.Errorf("text output: %q", buf.String())
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := sum.Render(&buf, "yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := (&RunSummary{}).Render(&buf, "json"); err == nil {
+		t.Error("probe-less summary rendered")
+	}
+}

@@ -449,3 +449,39 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// TestAssignmentServerSeamRefused: the reserved daemon-execution field
+// round-trips through the file protocol but is refused by the local
+// executor — a coordinator written for a future nbtisimd-backed mode
+// must not silently fall back to in-process simulation.
+func TestAssignmentServerSeamRefused(t *testing.T) {
+	dir := t.TempDir()
+	a := &Assignment{
+		Schema:       AssignmentSchema,
+		ManifestPath: filepath.Join(dir, "manifest.json"),
+		CacheDir:     filepath.Join(dir, "cache"),
+		Workers:      1,
+		Strategy:     Range,
+		Indices:      []int{0},
+		Server:       "http://127.0.0.1:8310",
+	}
+	path := filepath.Join(dir, "assign.json")
+	if err := a.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadAssignment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Server != a.Server {
+		t.Fatalf("Server field did not round-trip: %q", loaded.Server)
+	}
+	err = ExecuteAssignment(path, filepath.Join(dir, "report.json"),
+		WorkerEnv{Clock: realClock(), Lease: testLease()})
+	if err == nil {
+		t.Fatal("assignment with a server was executed locally")
+	}
+	if !strings.Contains(err.Error(), "server") {
+		t.Errorf("refusal does not mention the server seam: %v", err)
+	}
+}

@@ -123,6 +123,15 @@ type Assignment struct {
 	Workers      int      `json:"workers"`
 	Strategy     Strategy `json:"strategy"`
 	Indices      []int    `json:"indices"`
+	// Server is the reserved seam for a future nbtisweep -server mode:
+	// the base URL of an nbtisimd daemon to submit units to (POST
+	// /jobs with each unit's spec, poll /jobs/<id>) instead of
+	// simulating in-process. The daemon's job ids are the same spec
+	// content addresses this package records in manifests, so the
+	// dedup semantics carry over unchanged. ExecuteAssignment refuses
+	// assignments that set it until that mode lands — a typo'd field
+	// must not silently fall back to local execution.
+	Server string `json:"server,omitempty"`
 }
 
 // WorkerReport is the worker→coordinator result file: one outcome per
@@ -222,6 +231,9 @@ func ExecuteAssignment(assignPath, reportPath string, env WorkerEnv) error {
 	a, err := LoadAssignment(assignPath)
 	if err != nil {
 		return err
+	}
+	if a.Server != "" {
+		return fmt.Errorf("sweep: assignment %s sets server %q, but daemon-backed execution is not implemented yet (see Assignment.Server)", assignPath, a.Server)
 	}
 	m, err := LoadManifest(a.ManifestPath)
 	if err != nil {
